@@ -1,0 +1,35 @@
+"""Benchmark-suite helpers.
+
+Every figure benchmark runs its experiment once inside
+``benchmark.pedantic`` (the experiments are deterministic virtual-time
+sweeps, not microbenchmarks), asserts the paper's qualitative shape,
+and archives the rendered series table under ``benchmarks/results/``
+so the regenerated figures can be inspected and diffed.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Scale knob: REPRO_BENCH_FULL=1 runs the full paper-size sweeps.
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture
+def record_result():
+    """Write one experiment's rendered table to benchmarks/results/."""
+    def _record(result) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{result.experiment_id}.txt"
+        path.write_text(result.render() + "\n")
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Execute *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,46 @@
+"""Figures 8 & 9: Allcache remote-access penalty on a parallel selection.
+
+Paper shapes asserted:
+* Tr > Tl at every thread count (remote data costs extra);
+* the penalty Tr - Tl is a small fraction of the total (~4%);
+* the penalty *decreases* as threads share the line shipping.
+"""
+
+from conftest import FULL, run_once
+
+from repro.bench import fig08_remote_access
+
+
+def test_fig08_09_remote_access(benchmark, record_result):
+    cardinality = 200_000 if FULL else 50_000
+    result = run_once(benchmark,
+                      lambda: fig08_remote_access.run(cardinality=cardinality))
+    record_result(result)
+
+    local = result.get("Tl (local)")
+    remote = result.get("Tr (remote)")
+    delta = result.get("Tr - Tl")
+
+    assert all(r > l for r, l in zip(remote.values, local.values)), \
+        "remote execution must be slower at every thread count"
+    fraction = result.notes["delta_fraction_mean"]
+    assert 0.0 < fraction < 0.10, \
+        f"Tr - Tl should be a small fraction of total (paper ~4%), got {fraction:.3f}"
+    assert delta.values[0] > delta.values[-1], \
+        "the remote penalty must shrink as threads parallelize line shipping"
+    # monotone non-increasing within a small tolerance
+    for earlier, later in zip(delta.values, delta.values[1:]):
+        assert later <= earlier * 1.10
+
+
+def test_fig08_small_thread_counts_cache_overflow(benchmark, record_result):
+    """Section 5.2: under ~5 threads the per-thread share exceeds the
+    local cache, so even 'local' runs ship lines (Tr/Tl -> 1)."""
+    result = run_once(benchmark, fig08_remote_access.run_small_thread_counts)
+    result.experiment_id = "fig08_small_threads"
+    record_result(result)
+    local = result.get("Tl (local)")
+    remote = result.get("Tr (remote)")
+    ratios = [r / l for r, l in zip(remote.values, local.values)]
+    # the advantage of local placement is smaller at 2 threads than at 8
+    assert ratios[0] < ratios[-1] * 1.02

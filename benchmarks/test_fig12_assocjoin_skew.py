@@ -1,0 +1,31 @@
+"""Figure 12: AssocJoin execution time vs skew (flat, near Tworst)."""
+
+from conftest import FULL, run_once
+
+from repro.bench import fig12_assocjoin_skew
+
+
+def test_fig12_assocjoin_skew(benchmark, record_result):
+    if FULL:
+        result = run_once(benchmark, fig12_assocjoin_skew.run)
+    else:
+        result = run_once(benchmark, lambda: fig12_assocjoin_skew.run(
+            card_a=50_000, card_b=5_000,
+            thetas=(0.0, 0.2, 0.4, 0.6, 0.8, 1.0)))
+    record_result(result)
+
+    measured = result.get("measured (Random)")
+    worst = result.get("Tworst")
+    ideal = result.get("Tideal")
+
+    # Paper: constant whatever the skew (max deviation ~3%).
+    assert measured.spread() < 0.05, \
+        f"AssocJoin must be skew-insensitive; spread={measured.spread():.3f}"
+    # Measured sits between the analytic ideal and worst bounds
+    # (small queue-machinery slack allowed).
+    for m, w, i in zip(measured.values, worst.values, ideal.values):
+        assert m <= w * 1.05
+        assert m >= i * 0.98
+    # Join results are identical across skew levels.
+    cardinalities = set(result.notes["result_cardinalities"])
+    assert len(cardinalities) == 1

@@ -1,0 +1,45 @@
+"""Figure 13: IdealJoin vs skew — Random degrades, LPT resists to ~0.8."""
+
+from conftest import FULL, run_once
+
+from repro.bench import fig13_idealjoin_skew
+
+
+def test_fig13_idealjoin_skew(benchmark, record_result):
+    if FULL:
+        result = run_once(benchmark, fig13_idealjoin_skew.run)
+    else:
+        result = run_once(benchmark, lambda: fig13_idealjoin_skew.run(
+            card_a=50_000, card_b=5_000))
+    record_result(result)
+
+    thetas = result.x_values
+    random_series = result.get("Random")
+    lpt = result.get("LPT")
+    ideal = result.get("Tideal")
+    worst = result.get("Tworst")
+    pmax = result.get("Pmax")
+    index_of = {theta: i for i, theta in enumerate(thetas)}
+
+    # Low skew (< 0.4): both strategies near-ideal, as in the paper.
+    for theta in (0.0, 0.1, 0.2, 0.3):
+        i = index_of[theta]
+        assert random_series.values[i] <= ideal.values[i] * 1.15
+        assert lpt.values[i] <= ideal.values[i] * 1.15
+
+    # High skew: LPT beats Random and stays near-ideal up to ~0.8.
+    for theta in (0.8, 0.9, 1.0):
+        i = index_of[theta]
+        assert lpt.values[i] <= random_series.values[i] * 1.02
+    i08 = index_of[0.8]
+    assert lpt.values[i08] <= max(ideal.values[i08], pmax.values[i08]) * 1.10
+
+    # Inflection past 0.8: the longest activation alone exceeds the
+    # ideal time and pins even LPT's response.
+    i10 = index_of[1.0]
+    assert pmax.values[i10] > ideal.values[i10]
+    assert lpt.values[i10] >= pmax.values[i10]
+
+    # Random stays under the analytic worst bound.
+    for i in range(len(thetas)):
+        assert random_series.values[i] <= worst.values[i] * 1.05

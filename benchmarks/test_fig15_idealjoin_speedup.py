@@ -1,0 +1,43 @@
+"""Figure 15: IdealJoin speed-up ceilings — nmax ~= 6 / 19 / 40."""
+
+from conftest import FULL, run_once
+
+from repro.bench import fig15_idealjoin_speedup
+
+
+def test_fig15_idealjoin_speedup(benchmark, record_result):
+    if FULL:
+        result = run_once(benchmark, fig15_idealjoin_speedup.run)
+    else:
+        result = run_once(benchmark, lambda: fig15_idealjoin_speedup.run(
+            card_a=100_000, card_b=10_000,
+            thread_counts=(10, 30, 50, 70, 100)))
+    record_result(result)
+
+    threads = result.x_values
+    at = {t: i for i, t in enumerate(threads)}
+    unskewed = result.get("unskewed")
+
+    # Unskewed: near-linear to 70 threads (slack at reduced size).
+    assert unskewed.values[at[70]] > (55 if FULL else 50)
+
+    # Skewed: the speed-up plateaus at the paper's nmax values.
+    paper_nmax = fig15_idealjoin_speedup.PAPER_NMAX
+    for theta, expected in paper_nmax.items():
+        series = result.get(f"zipf={theta:g}")
+        ceiling = series.ceiling()
+        assert abs(ceiling - expected) / expected < 0.20, \
+            f"zipf={theta}: ceiling {ceiling:.1f} vs paper nmax {expected}"
+        # and the measured per-activation profile agrees with theory
+        profile_nmax = result.notes["profile_nmax"][f"zipf={theta:g}"]
+        assert abs(profile_nmax - expected) / expected < 0.15
+
+    # The ceiling ordering follows the skew ordering.
+    assert (result.get("zipf=1").peak
+            < result.get("zipf=0.6").peak
+            < result.get("zipf=0.4").peak
+            <= unskewed.peak)
+
+    # Past nmax, adding threads does not help the skewed runs.
+    skewed = result.get("zipf=1")
+    assert skewed.values[at[70]] <= skewed.values[at[30]] * 1.10

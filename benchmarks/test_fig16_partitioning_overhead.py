@@ -1,0 +1,35 @@
+"""Figure 16: linear partitioning overhead; AssocJoin's slope ~10x."""
+
+from conftest import FULL, run_once
+
+from repro.bench import fig16_partitioning_overhead
+
+
+def test_fig16_partitioning_overhead(benchmark, record_result):
+    if FULL:
+        result = run_once(benchmark, fig16_partitioning_overhead.run)
+    else:
+        result = run_once(benchmark, lambda: fig16_partitioning_overhead.run(
+            degrees=(20, 250, 500, 1000, 1500)))
+    record_result(result)
+
+    ideal_overhead = result.get("overhead IdealJoin")
+    assoc_overhead = result.get("overhead AssocJoin")
+
+    # Overheads grow with the degree (roughly linear).
+    assert ideal_overhead.values[-1] > ideal_overhead.values[0]
+    assert assoc_overhead.values[-1] > assoc_overhead.values[0]
+
+    # AssocJoin per-degree overhead is roughly an order of magnitude
+    # above IdealJoin's (paper: 4 ms/degree vs 0.45 ms/degree).
+    slope_ideal = result.notes["slope_ideal_ms_per_degree"]
+    slope_assoc = result.notes["slope_assoc_ms_per_degree"]
+    assert slope_assoc > 4 * slope_ideal
+    # Slopes land within a factor ~2 of the paper's values.
+    assert 0.2 <= slope_ideal <= 1.0, f"IdealJoin slope {slope_ideal:.2f} ms/deg"
+    assert 2.0 <= slope_assoc <= 8.0, f"AssocJoin slope {slope_assoc:.2f} ms/deg"
+
+    # Despite the overhead, the nested-loop times themselves fall
+    # dramatically with the degree (the 1/d work scaling).
+    ideal_times = result.get("time IdealJoin")
+    assert ideal_times.values[-1] < ideal_times.values[0] / 10

@@ -1,0 +1,46 @@
+"""Figure 18: skew overhead v(0.6) collapses as the degree grows."""
+
+from conftest import FULL, run_once
+
+from repro.bench import fig18_skew_overhead_degree
+
+
+def test_fig18_skew_overhead_vs_degree(benchmark, record_result):
+    if FULL:
+        result = run_once(benchmark, fig18_skew_overhead_degree.run)
+    else:
+        result = run_once(benchmark, lambda: fig18_skew_overhead_degree.run(
+            degrees=(40, 100, 250, 500, 1000, 1500)))
+    record_result(result)
+
+    nested = result.get("v (nested loop)")
+    indexed = result.get("v (temp index)")
+    vworst = result.get("vworst")
+    degrees = result.x_values
+
+    # v falls sharply with the degree and essentially vanishes.
+    assert nested.values[0] > 0.5
+    assert indexed.values[0] > 0.5
+    for series in (nested, indexed):
+        high_degree = [v for d, v in zip(degrees, series.values) if d >= 500]
+        assert all(v < 0.10 for v in high_degree), \
+            f"{series.label}: high-degree v still {max(high_degree):.3f}"
+
+    # The behaviour is independent of the join algorithm (the paper's
+    # "two curves are almost identical").
+    for n, i in zip(nested.values, indexed.values):
+        assert abs(n - i) < 0.35
+
+    # Measured v stays under the equation (3) bound.
+    for series in (nested, indexed):
+        for v, bound in zip(series.values, vworst.values):
+            assert v <= bound * 1.05 + 0.02
+
+
+def test_fig18_assoc_flatness(benchmark, record_result):
+    """Section 5.6.2: AssocJoin's v(0.6) < 0.03 at any degree."""
+    result = run_once(benchmark, fig18_skew_overhead_degree.run_assoc_flatness)
+    record_result(result)
+    limit = result.notes["paper_limit"]
+    for v in result.get("v").values:
+        assert v < limit + 0.01, f"AssocJoin v(0.6)={v:.3f} exceeds {limit}"

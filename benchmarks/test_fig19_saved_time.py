@@ -1,0 +1,30 @@
+"""Figure 19: time saved by raising the degree under skew."""
+
+from conftest import FULL, run_once
+
+from repro.bench import fig19_saved_time
+
+
+def test_fig19_saved_time(benchmark, record_result):
+    if FULL:
+        result = run_once(benchmark, fig19_saved_time.run)
+    else:
+        result = run_once(benchmark, lambda: fig19_saved_time.run(
+            degrees=(40, 100, 250, 500, 1000, 1500)))
+    record_result(result)
+
+    saved = result.get("saved time")
+    t_skewed = result.get("T(0.6)")
+    t0 = result.notes["t0_at_min_degree"]
+
+    # Raising the degree saves time at every higher degree.
+    assert all(s > 0 for s in saved.values[1:])
+
+    # The saving is substantial relative to the unskewed execution time
+    # (the paper compares the saved time against T0 = 7.34 s).
+    assert max(saved.values) > 0.5 * t0
+
+    # Saved time comes from the skewed execution approaching the
+    # unskewed one: T(0.6) at high degree is far below T(0.6) at the
+    # lowest degree.
+    assert min(t_skewed.values) < t_skewed.values[0] * 0.7

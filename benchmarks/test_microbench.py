@@ -1,0 +1,73 @@
+"""Microbenchmarks of the substrate hot paths (real wall-clock timing).
+
+Unlike the figure benches (which run a deterministic virtual-time
+experiment once), these measure the Python implementation itself:
+partitioning throughput, index builds, engine activation throughput.
+"""
+
+from repro.bench.workloads import make_join_database
+from repro.engine.executor import Executor, QuerySchedule
+from repro.lera.plans import assoc_join_plan, ideal_join_plan
+from repro.machine.machine import Machine
+from repro.storage.indexes import HashIndex, SortedIndex
+from repro.storage.partitioning import HashPartitioner, PartitioningSpec
+from repro.storage.skew import zipf_cardinalities
+from repro.storage.wisconsin import generate_wisconsin
+
+MACHINE = Machine.uniform(processors=16)
+
+
+def test_bench_hash_partitioning(benchmark):
+    relation = generate_wisconsin("W", 20_000, seed=3)
+    partitioner = HashPartitioner(PartitioningSpec.on("unique1", 64))
+    fragments = benchmark(partitioner.partition, relation)
+    assert sum(f.cardinality for f in fragments) == 20_000
+
+
+def test_bench_wisconsin_generation(benchmark):
+    relation = benchmark(generate_wisconsin, "W", 10_000, 1)
+    assert relation.cardinality == 10_000
+
+
+def test_bench_sorted_index_build(benchmark):
+    rows = [(i * 7 % 10_000, i) for i in range(10_000)]
+    index = benchmark(SortedIndex, rows, 0)
+    assert len(index) == 10_000
+
+
+def test_bench_hash_index_probe(benchmark):
+    rows = [(i, i) for i in range(10_000)]
+    index = HashIndex(rows, 0)
+
+    def probe():
+        hits = 0
+        for key in range(0, 10_000, 7):
+            hits += len(index.lookup(key))
+        return hits
+
+    assert benchmark(probe) > 0
+
+
+def test_bench_zipf_cardinalities(benchmark):
+    cards = benchmark(zipf_cardinalities, 1_000_000, 1500, 0.8)
+    assert sum(cards) == 1_000_000
+
+
+def test_bench_engine_triggered_throughput(benchmark):
+    """Wall-clock cost of simulating one triggered join (200 instances)."""
+    database = make_join_database(20_000, 2_000, degree=200, theta=0.0)
+    plan = ideal_join_plan(database.entry_a, database.entry_b, "key", "key")
+    schedule = QuerySchedule.for_plan(plan, 10)
+    executor = Executor(MACHINE)
+    execution = benchmark(executor.execute, plan, schedule)
+    assert execution.result_cardinality == database.expected_matches
+
+
+def test_bench_engine_pipelined_throughput(benchmark):
+    """Wall-clock cost per pipelined tuple activation (2K activations)."""
+    database = make_join_database(20_000, 2_000, degree=50, theta=0.0)
+    plan = assoc_join_plan(database.entry_a, database.entry_b, "key", "key")
+    schedule = QuerySchedule.for_plan(plan, 8)
+    executor = Executor(MACHINE)
+    execution = benchmark(executor.execute, plan, schedule)
+    assert execution.result_cardinality == database.expected_matches

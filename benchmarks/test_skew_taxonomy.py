@@ -1,0 +1,94 @@
+"""The Walton skew taxonomy (Figure 6), as executable signatures.
+
+Each workload of :mod:`repro.bench.skew_taxonomy` exhibits exactly one
+skew class; this bench runs the paper's filter-join pipeline over all
+four and asserts each skew's measurable fingerprint:
+
+* AVS/TPS — per-activation *cost* skew on the join (stored fragments
+  of uneven size);
+* SS — per-filter-instance *output* skew (selectivity varies);
+* RS — per-join-queue *placement* skew (redistribution floods a few
+  instances);
+* JPS — per-activation *output* skew on the join (hot keys multiply
+  matches).
+"""
+
+from conftest import run_once
+
+from repro.bench.skew_taxonomy import (
+    make_avs_workload,
+    make_jps_workload,
+    make_rs_workload,
+    make_ss_workload,
+)
+from repro.engine.executor import Executor, QuerySchedule
+from repro.machine.machine import Machine
+
+MACHINE = Machine.uniform(processors=16)
+
+
+def _run(workload, threads=6):
+    executor = Executor(MACHINE)
+    return executor.execute(workload.plan,
+                            QuerySchedule.for_plan(workload.plan, threads))
+
+
+def _cost_skew(metrics):
+    costs = metrics.activation_costs
+    return max(costs) / (sum(costs) / len(costs))
+
+
+def _output_skew(metrics):
+    outputs = metrics.activation_outputs
+    mean = sum(outputs) / len(outputs)
+    return max(outputs) / mean if mean else 1.0
+
+
+def test_taxonomy_signatures(benchmark, record_result):
+    def run():
+        return {
+            "AVS/TPS": _run(make_avs_workload()),
+            "SS": _run(make_ss_workload()),
+            "RS": _run(make_rs_workload()),
+            "JPS": _run(make_jps_workload()),
+        }
+
+    executions = run_once(benchmark, run)
+
+    from repro.bench.harness import ExperimentResult
+    result = ExperimentResult(
+        experiment_id="skew_taxonomy",
+        title="Walton taxonomy signatures on the filter-join pipeline",
+        x_label="case",
+        x_values=tuple(float(i) for i in range(4)),
+    )
+    kinds = ["AVS/TPS", "SS", "RS", "JPS"]
+    result.add_series("join cost skew", [
+        _cost_skew(executions[k].operation("join")) for k in kinds])
+    result.add_series("filter output skew", [
+        _output_skew(executions[k].operation("filter")) for k in kinds])
+    result.add_series("join queue imbalance", [
+        executions[k].operation("join").queue_imbalance() for k in kinds])
+    result.add_series("join output skew", [
+        _output_skew(executions[k].operation("join")) for k in kinds])
+    result.notes["cases"] = kinds
+    record_result(result)
+
+    avs = executions["AVS/TPS"]
+    ss = executions["SS"]
+    rs = executions["RS"]
+    jps = executions["JPS"]
+
+    # AVS/TPS: join activation costs are heavily skewed; placement is not.
+    assert _cost_skew(avs.operation("join")) > 2.5
+    # SS: the filter instances emit unevenly (half emit nothing).
+    assert _output_skew(ss.operation("filter")) >= 1.8
+    assert _cost_skew(ss.operation("join")) < 1.2
+    # RS: redistribution floods few queues; per-activation cost is flat.
+    assert rs.operation("join").queue_imbalance() > 2.5
+    assert _cost_skew(rs.operation("join")) < 1.2
+    # JPS: some probes emit far more matches than the mean.
+    assert _output_skew(jps.operation("join")) > 10
+    # Cross-checks: each signature is *specific* to its case.
+    assert avs.operation("join").queue_imbalance() < 1.5
+    assert jps.operation("join").queue_imbalance() < 1.5

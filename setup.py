@@ -1,0 +1,5 @@
+"""Legacy setup shim: enables editable installs on environments whose
+setuptools lacks PEP 660 support (no `wheel` package available)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,107 @@
+"""Reproduction of "Adaptive Parallel Query Execution in DBS3" (EDBT 1996).
+
+DBS3 is a shared-memory parallel database system whose execution model
+combines static data partitioning with dynamic processor allocation.
+This library reimplements the whole system — Lera-par dataflow plans,
+the activation-queue engine with Random/LPT consumption, the four-step
+adaptive scheduler, the KSR1 Allcache machine model, the Wisconsin/Zipf
+workloads — on top of a deterministic virtual-time simulator, plus the
+harnesses regenerating every figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import DBS3, generate_wisconsin
+
+    db = DBS3(processors=72)
+    db.create_table(generate_wisconsin("A", 100_000), "unique1", degree=200)
+    db.create_table(generate_wisconsin("B", 10_000), "unique1", degree=200)
+    result = db.query("SELECT * FROM A JOIN B ON A.unique1 = B.unique1",
+                      threads=10)
+    print(result.cardinality, result.response_time)
+"""
+
+from repro.analysis import OperatorProfile, nmax, skew_overhead_bound
+from repro.core import DBS3, QueryResult
+from repro.engine import (
+    ExecutionOptions,
+    Executor,
+    OperationSchedule,
+    QueryExecution,
+    QuerySchedule,
+)
+from repro.errors import (
+    CatalogError,
+    CompilationError,
+    ExecutionError,
+    MachineError,
+    PartitioningError,
+    PlanError,
+    ReproError,
+    SchedulerError,
+    SchemaError,
+)
+from repro.lera import (
+    AggregateExpr,
+    aggregate_plan,
+    assoc_join_plan,
+    attribute_predicate,
+    filter_join_plan,
+    ideal_join_plan,
+    selection_plan,
+    two_phase_join_plan,
+)
+from repro.machine import CostModel, Machine
+from repro.scheduler import AdaptiveScheduler, StaticScheduler
+from repro.storage import (
+    Catalog,
+    Fragment,
+    PartitioningSpec,
+    Relation,
+    Schema,
+    generate_wisconsin,
+    zipf_cardinalities,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveScheduler",
+    "AggregateExpr",
+    "Catalog",
+    "CatalogError",
+    "CompilationError",
+    "CostModel",
+    "DBS3",
+    "ExecutionError",
+    "ExecutionOptions",
+    "Executor",
+    "Fragment",
+    "Machine",
+    "MachineError",
+    "OperationSchedule",
+    "OperatorProfile",
+    "PartitioningError",
+    "PartitioningSpec",
+    "PlanError",
+    "QueryExecution",
+    "QueryResult",
+    "QuerySchedule",
+    "Relation",
+    "ReproError",
+    "SchedulerError",
+    "Schema",
+    "SchemaError",
+    "StaticScheduler",
+    "aggregate_plan",
+    "assoc_join_plan",
+    "attribute_predicate",
+    "filter_join_plan",
+    "generate_wisconsin",
+    "ideal_join_plan",
+    "nmax",
+    "selection_plan",
+    "skew_overhead_bound",
+    "two_phase_join_plan",
+    "zipf_cardinalities",
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""Analytical model of Section 4.1 and speed-up mathematics."""
+
+from repro.analysis.formulas import (
+    OperatorProfile,
+    ideal_time,
+    nmax,
+    nmax_from_costs,
+    overhead_from_times,
+    skew_overhead_bound,
+    worst_time,
+)
+from repro.analysis.predictor import (
+    OperatorPrediction,
+    QueryPrediction,
+    predict,
+)
+from repro.analysis.speedup import (
+    SpeedupCurve,
+    skew_limited_speedup,
+    speedup,
+    theoretical_speedup,
+)
+
+__all__ = [
+    "OperatorPrediction",
+    "OperatorProfile",
+    "QueryPrediction",
+    "SpeedupCurve",
+    "ideal_time",
+    "nmax",
+    "nmax_from_costs",
+    "overhead_from_times",
+    "predict",
+    "skew_limited_speedup",
+    "skew_overhead_bound",
+    "speedup",
+    "theoretical_speedup",
+    "worst_time",
+]

@@ -1,0 +1,61 @@
+"""Experiment harness regenerating every figure of the evaluation."""
+
+from repro.bench import (
+    fig08_remote_access,
+    fig12_assocjoin_skew,
+    fig13_idealjoin_skew,
+    fig14_assocjoin_speedup,
+    fig15_idealjoin_speedup,
+    fig16_partitioning_overhead,
+    fig17_partitioning_index,
+    fig18_skew_overhead_degree,
+    fig19_saved_time,
+)
+from repro.bench.harness import ExperimentResult, Series, crossover_index
+from repro.bench.repeat import Measurement, measure_series, repeat
+from repro.bench.runners import (
+    RESERVED_PROCESSORS,
+    chain_ideal_time,
+    chain_worst_time,
+    default_machine,
+    run_assoc_join,
+    run_ideal_join,
+    sequential_time,
+)
+from repro.bench.workloads import (
+    JOIN_SCHEMA,
+    JoinDatabase,
+    make_join_database,
+    make_selection_table,
+    skewed_fragments,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "JOIN_SCHEMA",
+    "JoinDatabase",
+    "Measurement",
+    "RESERVED_PROCESSORS",
+    "Series",
+    "chain_ideal_time",
+    "chain_worst_time",
+    "crossover_index",
+    "default_machine",
+    "fig08_remote_access",
+    "fig12_assocjoin_skew",
+    "fig13_idealjoin_skew",
+    "fig14_assocjoin_speedup",
+    "fig15_idealjoin_speedup",
+    "fig16_partitioning_overhead",
+    "fig17_partitioning_index",
+    "fig18_skew_overhead_degree",
+    "fig19_saved_time",
+    "make_join_database",
+    "make_selection_table",
+    "measure_series",
+    "repeat",
+    "run_assoc_join",
+    "run_ideal_join",
+    "sequential_time",
+    "skewed_fragments",
+]

@@ -1,0 +1,66 @@
+"""Figure 13: IdealJoin execution time versus skew, Random vs LPT.
+
+Same databases as Figure 12, but the triggered IdealJoin: the number
+of activations equals the number of fragments (200), so consumption
+strategy matters.
+
+Paper shapes to reproduce:
+
+* for low skew (theta < ~0.4) Random and LPT are both near-ideal;
+* with higher skew Random degrades while LPT stays near-ideal up to
+  about theta = 0.8 (the paper reports < 2% overhead);
+* past ~0.8 even LPT rises: the longest activation alone exceeds the
+  ideal time (``Pmax > a*P/n``), pinning the response time.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentResult
+from repro.bench.runners import chain_ideal_time, chain_worst_time, run_ideal_join
+from repro.bench.workloads import make_join_database
+
+PAPER_THETAS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+PAPER_CARD_A = 100_000
+PAPER_CARD_B = 10_000
+PAPER_DEGREE = 200
+PAPER_THREADS = 10
+#: LPT stays within ~2% of ideal up to this skew (Section 5.4).
+PAPER_LPT_FLAT_UNTIL = 0.8
+
+
+def run(card_a: int = PAPER_CARD_A, card_b: int = PAPER_CARD_B,
+        degree: int = PAPER_DEGREE, threads: int = PAPER_THREADS,
+        thetas: tuple[float, ...] = PAPER_THETAS,
+        seed: int = 0) -> ExperimentResult:
+    """Regenerate Figure 13: Random vs LPT vs Tworst, with Pmax."""
+    random_times = []
+    lpt_times = []
+    worst = []
+    ideal = []
+    pmax = []
+    for theta in thetas:
+        database = make_join_database(card_a, card_b, degree, theta)
+        random_run = run_ideal_join(database, threads, strategy="random",
+                                    seed=seed)
+        lpt_run = run_ideal_join(database, threads, strategy="lpt", seed=seed)
+        random_times.append(random_run.response_time)
+        lpt_times.append(lpt_run.response_time)
+        worst.append(chain_worst_time(random_run))
+        ideal.append(chain_ideal_time(random_run))
+        pmax.append(random_run.operation("join").profile().max_cost)
+
+    result = ExperimentResult(
+        experiment_id="fig13",
+        title=(f"IdealJoin execution time vs skew "
+               f"(|A|={card_a}, |B'|={card_b}, degree={degree}, "
+               f"{threads} threads)"),
+        x_label="zipf",
+        x_values=thetas,
+    )
+    result.add_series("Random", random_times)
+    result.add_series("LPT", lpt_times)
+    result.add_series("Tworst", worst)
+    result.add_series("Tideal", ideal)
+    result.add_series("Pmax", pmax)
+    result.notes["paper_lpt_flat_until"] = PAPER_LPT_FLAT_UNTIL
+    return result

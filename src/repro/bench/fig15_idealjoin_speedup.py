@@ -1,0 +1,71 @@
+"""Figure 15: IdealJoin speed-up ceilings under skew.
+
+Same databases as Figure 14 but the triggered IdealJoin: with 200
+activations (one per fragment), the longest activation caps the
+speed-up at ``nmax = a*P / Pmax``.
+
+Paper shapes to reproduce:
+
+* unskewed: near-linear speed-up (> 60 at 70 threads);
+* skewed: the speed-up plateaus at nmax — about **6** for Zipf = 1,
+  **19** for 0.6 and **40** for 0.4 (with 200 fragments these are the
+  inverse normalized Zipf weights of the largest fragment, e.g.
+  H(200) ~= 5.88 for Zipf = 1).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.formulas import nmax_from_costs
+from repro.analysis.speedup import theoretical_speedup
+from repro.bench.harness import ExperimentResult
+from repro.bench.runners import RESERVED_PROCESSORS, run_ideal_join
+from repro.bench.workloads import make_join_database
+
+PAPER_THREAD_COUNTS = (10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+PAPER_CARD_A = 200_000
+PAPER_CARD_B = 20_000
+PAPER_DEGREE = 200
+PAPER_THETAS = (0.0, 0.4, 0.6, 1.0)
+#: Section 5.5: "We obtain nmax = 6 with Zipf = 1, 19 with 0.6 and 40
+#: with 0.4."
+PAPER_NMAX = {1.0: 6, 0.6: 19, 0.4: 40}
+
+
+def run(card_a: int = PAPER_CARD_A, card_b: int = PAPER_CARD_B,
+        degree: int = PAPER_DEGREE,
+        thread_counts: tuple[int, ...] = PAPER_THREAD_COUNTS,
+        thetas: tuple[float, ...] = PAPER_THETAS,
+        processors: int = RESERVED_PROCESSORS,
+        strategy: str = "lpt",
+        seed: int = 0) -> ExperimentResult:
+    """Regenerate Figure 15: speed-up per skew level, nmax in notes."""
+    result = ExperimentResult(
+        experiment_id="fig15",
+        title=(f"IdealJoin speed-up (|A|={card_a}, |B'|={card_b}, "
+               f"degree={degree}, {processors} processors, {strategy})"),
+        x_label="threads",
+        x_values=tuple(float(n) for n in thread_counts),
+    )
+    measured_nmax = {}
+    for theta in thetas:
+        database = make_join_database(card_a, card_b, degree, theta)
+        speedups = []
+        sequential = None
+        profile_nmax = None
+        for threads in thread_counts:
+            execution = run_ideal_join(database, threads, strategy=strategy,
+                                       seed=seed)
+            if sequential is None:
+                sequential = execution.work
+                profile_nmax = nmax_from_costs(
+                    execution.operation("join").activation_costs)
+            speedups.append(sequential / execution.response_time)
+        label = "unskewed" if theta == 0 else f"zipf={theta:g}"
+        result.add_series(label, speedups)
+        measured_nmax[label] = profile_nmax
+    result.add_series("theoretical",
+                      [theoretical_speedup(n, processors)
+                       for n in thread_counts])
+    result.notes["profile_nmax"] = measured_nmax
+    result.notes["paper_nmax"] = PAPER_NMAX
+    return result

@@ -1,0 +1,70 @@
+"""Figure 16: overhead of a high degree of partitioning (no index).
+
+Unskewed relations of 100K and 10K tuples, 20 threads, nested loop;
+the degree of partitioning sweeps 20..1500.  Following the paper's
+method, the *overhead* at degree ``d`` is the measured time minus the
+theoretical time ``Td = T20 * (20 / d)`` (the nested-loop work scales
+as 1/d, so any surplus is queue-machinery cost).
+
+Paper shapes to reproduce:
+
+* both overheads grow roughly linearly with the degree;
+* IdealJoin's slope (~0.45 ms/degree: one triggered queue + one
+  activation per fragment) is roughly an order of magnitude below
+  AssocJoin's (~4 ms/degree: a triggered transmit queue *and* a
+  pipelined join queue per fragment, plus 10K tuple activations).
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentResult
+from repro.bench.runners import run_assoc_join, run_ideal_join
+from repro.bench.workloads import make_join_database
+
+PAPER_DEGREES = (20, 250, 500, 750, 1000, 1250, 1500)
+PAPER_CARD_A = 100_000
+PAPER_CARD_B = 10_000
+PAPER_THREADS = 20
+#: Slopes read off Figure 16, in seconds per degree.
+PAPER_SLOPE_IDEAL = 0.45e-3
+PAPER_SLOPE_ASSOC = 4e-3
+
+
+def run(card_a: int = PAPER_CARD_A, card_b: int = PAPER_CARD_B,
+        degrees: tuple[int, ...] = PAPER_DEGREES,
+        threads: int = PAPER_THREADS, seed: int = 0) -> ExperimentResult:
+    """Regenerate Figure 16: measured overhead per query vs degree."""
+    ideal_times = []
+    assoc_times = []
+    for degree in degrees:
+        database = make_join_database(card_a, card_b, degree, theta=0.0)
+        ideal_times.append(
+            run_ideal_join(database, threads, seed=seed).response_time)
+        assoc_times.append(
+            run_assoc_join(database, threads, seed=seed).response_time)
+
+    base_degree = degrees[0]
+    ideal_overhead = [t - ideal_times[0] * base_degree / d
+                      for t, d in zip(ideal_times, degrees)]
+    assoc_overhead = [t - assoc_times[0] * base_degree / d
+                      for t, d in zip(assoc_times, degrees)]
+
+    result = ExperimentResult(
+        experiment_id="fig16",
+        title=(f"Partitioning overhead, no index (|A|={card_a}, "
+               f"|B'|={card_b}, {threads} threads, nested loop)"),
+        x_label="degree",
+        x_values=tuple(float(d) for d in degrees),
+    )
+    result.add_series("overhead IdealJoin", ideal_overhead)
+    result.add_series("overhead AssocJoin", assoc_overhead)
+    result.add_series("time IdealJoin", ideal_times)
+    result.add_series("time AssocJoin", assoc_times)
+    span = degrees[-1] - degrees[0]
+    result.notes["slope_ideal_ms_per_degree"] = (
+        (ideal_overhead[-1] - ideal_overhead[0]) / span * 1000)
+    result.notes["slope_assoc_ms_per_degree"] = (
+        (assoc_overhead[-1] - assoc_overhead[0]) / span * 1000)
+    result.notes["paper_slope_ideal_ms"] = PAPER_SLOPE_IDEAL * 1000
+    result.notes["paper_slope_assoc_ms"] = PAPER_SLOPE_ASSOC * 1000
+    return result

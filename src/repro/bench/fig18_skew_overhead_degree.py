@@ -1,0 +1,137 @@
+"""Figures 18 & 19: a high degree of partitioning vs skew.
+
+IdealJoin with 20 threads, LPT, Zipf 0.6 against Zipf 0, sweeping the
+degree of partitioning.  The measured skew overhead is
+
+    v(0.6) = T(0.6) / T(0) - 1
+
+(equation 1 solved for v), compared against equation (3)'s bound
+``vworst = (Pmax/P) * (n - 1) / a`` with ``a = degree``.
+
+Paper shapes to reproduce (Figure 18):
+
+* the nested-loop and temp-index curves are nearly identical — the
+  model's skew behaviour does not depend on the join algorithm;
+* v falls sharply as the degree grows (smaller activations let LPT
+  balance), staying under the analytic vworst;
+* pipelined AssocJoin shows v(0.6) < 0.03 at *any* degree
+  (Section 5.6.2) — checked by :func:`run_assoc_flatness`.
+
+Figure 19 plots the *time saved* by raising the degree:
+``saved(d) = T(0.6, d_min) - T(0.6, d)`` for the temp-index IdealJoin,
+to compare against the unskewed execution time T0 (7.34 s in the
+paper).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.formulas import skew_overhead_bound
+from repro.bench.harness import ExperimentResult
+from repro.bench.runners import run_assoc_join, run_ideal_join
+from repro.bench.workloads import make_join_database
+from repro.lera.operators import JOIN_NESTED_LOOP, JOIN_TEMP_INDEX
+
+PAPER_DEGREES = (40, 100, 250, 500, 750, 1000, 1250, 1500)
+PAPER_CARD_A = 100_000
+PAPER_CARD_B = 10_000
+PAPER_THREADS = 20
+PAPER_THETA = 0.6
+#: Section 5.6.2: AssocJoin's v(0.6) stays below 0.03 at any degree.
+PAPER_ASSOC_V_LIMIT = 0.03
+
+
+def _sweep(card_a: int, card_b: int, degrees: tuple[int, ...], threads: int,
+           theta: float, algorithm: str, seed: int) -> dict[float, list[float]]:
+    """IdealJoin response times for theta and 0, per degree."""
+    times: dict[float, list[float]] = {0.0: [], theta: []}
+    for degree in degrees:
+        for t in (0.0, theta):
+            database = make_join_database(card_a, card_b, degree, t)
+            execution = run_ideal_join(database, threads, strategy="lpt",
+                                       algorithm=algorithm, seed=seed)
+            times[t].append(execution.response_time)
+    return times
+
+
+def run(card_a: int = PAPER_CARD_A, card_b: int = PAPER_CARD_B,
+        degrees: tuple[int, ...] = PAPER_DEGREES,
+        threads: int = PAPER_THREADS, theta: float = PAPER_THETA,
+        seed: int = 0) -> ExperimentResult:
+    """Regenerate Figure 18: v(theta) vs degree, both algorithms."""
+    result = ExperimentResult(
+        experiment_id="fig18",
+        title=(f"Skew overhead v({theta:g}) vs degree, IdealJoin "
+               f"(|A|={card_a}, |B'|={card_b}, {threads} threads, LPT)"),
+        x_label="degree",
+        x_values=tuple(float(d) for d in degrees),
+    )
+    raw_times: dict[str, dict[float, list[float]]] = {}
+    for algorithm, label in ((JOIN_NESTED_LOOP, "nested loop"),
+                             (JOIN_TEMP_INDEX, "temp index")):
+        times = _sweep(card_a, card_b, degrees, threads, theta, algorithm,
+                       seed)
+        raw_times[label] = times
+        overheads = [skewed / base - 1.0
+                     for skewed, base in zip(times[theta], times[0.0])]
+        result.add_series(f"v ({label})", overheads)
+
+    vworst = []
+    for degree in degrees:
+        database = make_join_database(card_a, card_b, degree, theta)
+        profile_costs = database.entry_a.statistics.cardinalities
+        mean = sum(profile_costs) / len(profile_costs)
+        vworst.append(skew_overhead_bound(
+            activations=degree, mean_cost=mean,
+            max_cost=max(profile_costs), threads=threads))
+    result.add_series("vworst", vworst)
+    result.notes["raw_times"] = raw_times
+    return result
+
+
+def run_saved_time(card_a: int = PAPER_CARD_A, card_b: int = PAPER_CARD_B,
+                   degrees: tuple[int, ...] = PAPER_DEGREES,
+                   threads: int = PAPER_THREADS, theta: float = PAPER_THETA,
+                   seed: int = 0) -> ExperimentResult:
+    """Regenerate Figure 19: time saved by raising the degree."""
+    times = _sweep(card_a, card_b, degrees, threads, theta, JOIN_TEMP_INDEX,
+                   seed)
+    skewed = times[theta]
+    saved = [skewed[0] - t for t in skewed]
+    result = ExperimentResult(
+        experiment_id="fig19",
+        title=(f"Saved time vs degree, IdealJoin temp index "
+               f"(|A|={card_a}, |B'|={card_b}, {threads} threads, "
+               f"Zipf {theta:g})"),
+        x_label="degree",
+        x_values=tuple(float(d) for d in degrees),
+    )
+    result.add_series("saved time", saved)
+    result.add_series("T(0.6)", skewed)
+    result.add_series("T(0)", times[0.0])
+    result.notes["t0_at_min_degree"] = times[0.0][0]
+    return result
+
+
+def run_assoc_flatness(card_a: int = PAPER_CARD_A, card_b: int = PAPER_CARD_B,
+                       degrees: tuple[int, ...] = (40, 250, 750, 1500),
+                       threads: int = PAPER_THREADS,
+                       theta: float = PAPER_THETA,
+                       seed: int = 0) -> ExperimentResult:
+    """Section 5.6.2's check: AssocJoin's v(0.6) < 0.03 at any degree."""
+    overheads = []
+    for degree in degrees:
+        base = run_assoc_join(make_join_database(card_a, card_b, degree, 0.0),
+                              threads, seed=seed).response_time
+        skewed = run_assoc_join(
+            make_join_database(card_a, card_b, degree, theta),
+            threads, seed=seed).response_time
+        overheads.append(skewed / base - 1.0)
+    result = ExperimentResult(
+        experiment_id="fig18_assoc",
+        title=f"AssocJoin skew overhead v({theta:g}) vs degree",
+        x_label="degree",
+        x_values=tuple(float(d) for d in degrees),
+    )
+    result.add_series("v", overheads)
+    result.notes["paper_limit"] = PAPER_ASSOC_V_LIMIT
+    return result

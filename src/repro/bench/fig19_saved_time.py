@@ -1,0 +1,25 @@
+"""Figure 19: time saved by raising the degree of partitioning.
+
+Thin alias module: Figure 19 is computed from the same sweep as
+Figure 18 (see :mod:`repro.bench.fig18_skew_overhead_degree`); this
+module gives it its own entry point so every figure has one.
+"""
+
+from __future__ import annotations
+
+from repro.bench.fig18_skew_overhead_degree import (
+    PAPER_CARD_A,
+    PAPER_CARD_B,
+    PAPER_DEGREES,
+    PAPER_THETA,
+    PAPER_THREADS,
+    run_saved_time,
+)
+
+#: The paper's reference: unskewed execution time T0 = 7.34 s.
+PAPER_T0 = 7.34
+
+run = run_saved_time
+
+__all__ = ["PAPER_CARD_A", "PAPER_CARD_B", "PAPER_DEGREES", "PAPER_T0",
+           "PAPER_THETA", "PAPER_THREADS", "run"]

@@ -1,0 +1,132 @@
+"""Experiment harness: result series, tables, and shape checks.
+
+Every figure of the paper is regenerated as an
+:class:`ExperimentResult`: a set of named series over a common x-axis,
+renderable as an aligned text table (the library's equivalent of the
+paper's plots) and queryable by the benches' shape assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labelled curve of an experiment."""
+
+    label: str
+    values: tuple[float, ...]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values)
+
+    @property
+    def peak(self) -> float:
+        """Alias of :attr:`maximum` (speed-up curve vocabulary)."""
+        return max(self.values)
+
+    def spread(self) -> float:
+        """(max - min) / min — how flat the curve is (0 = perfectly flat)."""
+        low = self.minimum
+        if low == 0:
+            raise ReproError(f"series {self.label!r} touches zero")
+        return (self.maximum - low) / low
+
+    def argmin(self) -> int:
+        return min(range(len(self.values)), key=self.values.__getitem__)
+
+    def argmax(self) -> int:
+        return max(range(len(self.values)), key=self.values.__getitem__)
+
+    def ceiling(self, tolerance: float = 0.05) -> float:
+        """Plateau value: mean of the points within *tolerance* of the
+        peak — a robust estimate of a saturating curve's level (the
+        nmax plateaus of Figure 15)."""
+        peak = self.maximum
+        plateau = [v for v in self.values if v >= peak * (1 - tolerance)]
+        return sum(plateau) / len(plateau)
+
+
+@dataclass
+class ExperimentResult:
+    """All series of one regenerated figure."""
+
+    experiment_id: str
+    title: str
+    x_label: str
+    x_values: tuple[float, ...]
+    series: list[Series] = field(default_factory=list)
+    notes: dict[str, object] = field(default_factory=dict)
+
+    def add_series(self, label: str, values: Sequence[float]) -> Series:
+        if len(values) != len(self.x_values):
+            raise ReproError(
+                f"series {label!r} has {len(values)} points for "
+                f"{len(self.x_values)} x values")
+        s = Series(label, tuple(float(v) for v in values))
+        self.series.append(s)
+        return s
+
+    def get(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise ReproError(
+            f"no series {label!r} in {self.experiment_id}; "
+            f"have {[s.label for s in self.series]}")
+
+    def x_at(self, index: int) -> float:
+        return self.x_values[index]
+
+    # -- presentation ------------------------------------------------------
+
+    def render(self, precision: int = 3) -> str:
+        """Aligned text table: one row per x value, one column per series."""
+        headers = [self.x_label] + [s.label for s in self.series]
+        rows = []
+        for i, x in enumerate(self.x_values):
+            row = [_format_number(x, precision)]
+            row += [_format_number(s.values[i], precision) for s in self.series]
+            rows.append(row)
+        widths = [max(len(headers[c]), *(len(r[c]) for r in rows))
+                  for c in range(len(headers))]
+        lines = [f"{self.experiment_id}: {self.title}"]
+        lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rows:
+            lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+        for key, value in self.notes.items():
+            lines.append(f"note: {key} = {value}")
+        return "\n".join(lines)
+
+
+def _format_number(value: float, precision: int) -> str:
+    if value == int(value) and abs(value) < 1e9:
+        return str(int(value))
+    return f"{value:.{precision}f}"
+
+
+def crossover_index(series_a: Series, series_b: Series) -> int | None:
+    """First index where ``a`` stops being below ``b`` (None if never).
+
+    Used to locate "X wins until degree d, then Y wins" claims.
+    """
+    was_below = None
+    for i, (a, b) in enumerate(zip(series_a.values, series_b.values)):
+        below = a < b
+        if was_below is True and not below:
+            return i
+        was_below = below if was_below is None else was_below
+    return None

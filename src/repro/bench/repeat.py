@@ -1,0 +1,97 @@
+"""Repeated measurements, as the paper does.
+
+"We repeated each measurement six times and took the average result"
+(Section 5.3).  The engine's Random consumption strategy makes skewed
+executions seed-sensitive, so experiments that quote a single number
+should quote a :class:`Measurement` instead: mean, spread and the raw
+samples over several seeds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import ReproError
+
+#: The paper's repetition count.
+PAPER_REPETITIONS = 6
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Aggregate of repeated runs of one experiment point."""
+
+    samples: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.samples:
+            raise ReproError("a measurement needs at least one sample")
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (0 for a single sample)."""
+        n = len(self.samples)
+        if n < 2:
+            return 0.0
+        mean = self.mean
+        return math.sqrt(sum((s - mean) ** 2 for s in self.samples) / (n - 1))
+
+    @property
+    def relative_spread(self) -> float:
+        """(max - min) / mean — the measurement-noise indicator."""
+        mean = self.mean
+        if mean == 0:
+            return 0.0
+        return (self.maximum - self.minimum) / mean
+
+    def confidence_halfwidth(self, z: float = 1.96) -> float:
+        """Half-width of the ~95% normal confidence interval."""
+        return z * self.std / math.sqrt(len(self.samples))
+
+    def __repr__(self) -> str:
+        return (f"Measurement(mean={self.mean:.4f}, std={self.std:.4f}, "
+                f"n={len(self.samples)})")
+
+
+def repeat(run: Callable[[int], float],
+           repetitions: int = PAPER_REPETITIONS,
+           seeds: Sequence[int] | None = None) -> Measurement:
+    """Run ``run(seed)`` for several seeds and aggregate the results.
+
+    Args:
+        run: Maps an RNG seed to one measured value (typically a
+            response time).
+        repetitions: Number of runs when *seeds* is not given.
+        seeds: Explicit seeds (overrides *repetitions*).
+    """
+    if seeds is None:
+        if repetitions < 1:
+            raise ReproError(f"repetitions must be >= 1, got {repetitions}")
+        seeds = range(repetitions)
+    return Measurement(tuple(float(run(seed)) for seed in seeds))
+
+
+def measure_series(run: Callable[[object, int], float],
+                   x_values: Sequence[object],
+                   repetitions: int = PAPER_REPETITIONS) -> list[Measurement]:
+    """Repeat a parameterized experiment along an x-axis.
+
+    ``run(x, seed)`` is executed *repetitions* times per x value;
+    returns one :class:`Measurement` per point, in order.
+    """
+    return [repeat(lambda seed, _x=x: run(_x, seed), repetitions)
+            for x in x_values]

@@ -1,0 +1,115 @@
+"""Regenerate every figure and archive the series tables.
+
+Usage::
+
+    python -m repro.bench.reporting [--scale small|paper] [--out DIR]
+
+Runs the nine figure experiments (Figures 8/9 and 12-19) and writes
+one text table per figure under ``--out`` (default
+``benchmarks/results``), plus a combined ``all_figures.txt``.  The
+``paper`` scale uses the paper's exact cardinalities and sweeps; the
+``small`` scale is a few-minutes-on-a-laptop variant that preserves
+every qualitative shape.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from typing import Callable
+
+from repro.bench import (
+    fig08_remote_access,
+    fig12_assocjoin_skew,
+    fig13_idealjoin_skew,
+    fig14_assocjoin_speedup,
+    fig15_idealjoin_speedup,
+    fig16_partitioning_overhead,
+    fig17_partitioning_index,
+    fig18_skew_overhead_degree,
+    fig19_saved_time,
+)
+from repro.bench.harness import ExperimentResult
+
+#: (figure id, paper-scale runner, small-scale runner)
+EXPERIMENTS: list[tuple[str, Callable[[], ExperimentResult],
+                        Callable[[], ExperimentResult]]] = [
+    ("fig08_09",
+     fig08_remote_access.run,
+     lambda: fig08_remote_access.run(cardinality=50_000)),
+    ("fig12",
+     fig12_assocjoin_skew.run,
+     lambda: fig12_assocjoin_skew.run(card_a=50_000, card_b=5_000)),
+    ("fig13",
+     fig13_idealjoin_skew.run,
+     lambda: fig13_idealjoin_skew.run(card_a=50_000, card_b=5_000)),
+    ("fig14",
+     fig14_assocjoin_speedup.run,
+     lambda: fig14_assocjoin_speedup.run(card_a=100_000, card_b=10_000,
+                                         thread_counts=(10, 30, 50, 70, 100))),
+    ("fig15",
+     fig15_idealjoin_speedup.run,
+     lambda: fig15_idealjoin_speedup.run(card_a=100_000, card_b=10_000,
+                                         thread_counts=(10, 30, 50, 70, 100))),
+    ("fig16",
+     fig16_partitioning_overhead.run,
+     lambda: fig16_partitioning_overhead.run(degrees=(20, 250, 500, 1000, 1500))),
+    ("fig17",
+     fig17_partitioning_index.run,
+     lambda: fig17_partitioning_index.run(card_a=200_000, card_b=20_000,
+                                          degrees=(40, 250, 500, 1000, 1500))),
+    ("fig18",
+     fig18_skew_overhead_degree.run,
+     lambda: fig18_skew_overhead_degree.run(
+         degrees=(40, 100, 250, 500, 1000, 1500))),
+    ("fig19",
+     fig19_saved_time.run,
+     lambda: fig19_saved_time.run(degrees=(40, 100, 250, 500, 1000, 1500))),
+]
+
+
+def generate_all(scale: str = "small",
+                 out_dir: pathlib.Path | None = None,
+                 stream=sys.stdout) -> list[ExperimentResult]:
+    """Run every experiment at *scale*; write tables; return results."""
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    results = []
+    combined = []
+    for figure_id, paper_run, small_run in EXPERIMENTS:
+        runner = paper_run if scale == "paper" else small_run
+        started = time.time()
+        result = runner()
+        elapsed = time.time() - started
+        results.append(result)
+        table = result.render()
+        combined.append(table)
+        print(f"[{figure_id}] regenerated in {elapsed:.1f}s wall time",
+              file=stream)
+        print(table, file=stream)
+        print(file=stream)
+        if out_dir is not None:
+            (out_dir / f"{result.experiment_id}.txt").write_text(table + "\n")
+    if out_dir is not None:
+        (out_dir / "all_figures.txt").write_text("\n\n".join(combined) + "\n")
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's figures")
+    parser.add_argument("--scale", choices=("small", "paper"),
+                        default="small",
+                        help="workload scale (paper = exact cardinalities)")
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=pathlib.Path("benchmarks/results"),
+                        help="directory for the rendered tables")
+    args = parser.parse_args(argv)
+    generate_all(args.scale, args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,90 @@
+"""Shared experiment runners.
+
+Thin wrappers that build the paper's two plans over a
+:class:`~repro.bench.workloads.JoinDatabase`, schedule them with the
+adaptive scheduler (strategy overridable, as the experiments fix
+Random or LPT explicitly), and execute on a uniform 72-processor
+machine unless told otherwise.
+"""
+
+from __future__ import annotations
+
+from repro.bench.workloads import JoinDatabase
+from repro.engine.executor import ExecutionOptions, Executor, QuerySchedule
+from repro.engine.metrics import QueryExecution
+from repro.lera.operators import JOIN_NESTED_LOOP
+from repro.lera.plans import assoc_join_plan, ideal_join_plan
+from repro.machine.machine import Machine
+from repro.scheduler.adaptive import AdaptiveScheduler
+
+#: The experiments reserve 70 of the KSR1's 72 processors (Section 5.5).
+RESERVED_PROCESSORS = 70
+
+
+def default_machine(processors: int = RESERVED_PROCESSORS) -> Machine:
+    """A uniform shared-memory machine, as the join experiments assume
+    (the Allcache penalty is the subject of Figures 8-9 only)."""
+    return Machine.uniform(processors=processors)
+
+
+def run_ideal_join(database: JoinDatabase, threads: int,
+                   strategy: str | None = None,
+                   algorithm: str = JOIN_NESTED_LOOP,
+                   machine: Machine | None = None,
+                   seed: int = 0) -> QueryExecution:
+    """Execute IdealJoin over *database* with *threads* threads."""
+    machine = machine or default_machine()
+    plan = ideal_join_plan(database.entry_a, database.entry_b, "key", "key",
+                           algorithm=algorithm)
+    schedule = AdaptiveScheduler(machine).schedule(plan, threads)
+    if strategy is not None:
+        schedule = schedule.with_strategy("join", strategy)
+    executor = Executor(machine, ExecutionOptions(seed=seed))
+    return executor.execute(plan, schedule)
+
+
+def run_assoc_join(database: JoinDatabase, threads: int,
+                   strategy: str | None = None,
+                   algorithm: str = JOIN_NESTED_LOOP,
+                   machine: Machine | None = None,
+                   seed: int = 0) -> QueryExecution:
+    """Execute AssocJoin (Transmit + pipelined join) over *database*."""
+    machine = machine or default_machine()
+    plan = assoc_join_plan(database.entry_a, database.entry_b, "key", "key",
+                           algorithm=algorithm)
+    schedule = AdaptiveScheduler(machine).schedule(plan, threads)
+    if strategy is not None:
+        schedule = schedule.with_strategy("join", strategy)
+    executor = Executor(machine, ExecutionOptions(seed=seed))
+    return executor.execute(plan, schedule)
+
+
+def chain_ideal_time(execution: QueryExecution) -> float:
+    """Analytic ``Tideal`` for a (possibly pipelined) chain execution.
+
+    Operations of one chain run concurrently, so the chain cannot
+    finish before its slowest operation's ideal time; start-up is
+    sequential and adds on top (equation 1 applied to the bottleneck).
+    """
+    bottleneck = max(
+        op.profile().ideal_time(op.threads) * execution.dilation
+        for op in execution.operations.values())
+    return execution.startup_time + bottleneck
+
+
+def chain_worst_time(execution: QueryExecution) -> float:
+    """Analytic ``Tworst`` (equation 2) applied to the bottleneck op."""
+    bottleneck = max(
+        op.profile().worst_time(op.threads) * execution.dilation
+        for op in execution.operations.values())
+    return execution.startup_time + bottleneck
+
+
+def sequential_time(execution: QueryExecution) -> float:
+    """The Tseq baseline: total un-dilated activation work.
+
+    A perfectly sequential execution does exactly this work with no
+    queue machinery, idling, or parallel start-up — the reference the
+    paper's speed-up figures divide by.
+    """
+    return execution.work

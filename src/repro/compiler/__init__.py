@@ -1,0 +1,49 @@
+"""Query compiler: SQL subset -> logical algebra -> Lera-par plan."""
+
+from repro.compiler.logical import (
+    Comparison,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalNode,
+    LogicalProject,
+    LogicalScan,
+    base_relations,
+)
+from repro.compiler.optimizer import (
+    EQ_SELECTIVITY,
+    NEQ_SELECTIVITY,
+    RANGE_SELECTIVITY,
+    NormalizedQuery,
+    RelationTerm,
+    default_selectivity,
+    normalize,
+)
+from repro.compiler.parallelizer import CompiledQuery, parallelize
+from repro.compiler.parser import parse
+
+
+def compile_query(sql: str, catalog, algorithm: str = "nested_loop") -> CompiledQuery:
+    """Full pipeline: parse, normalize, parallelize one SQL query."""
+    return parallelize(normalize(parse(sql), catalog), catalog, algorithm)
+
+
+__all__ = [
+    "CompiledQuery",
+    "Comparison",
+    "EQ_SELECTIVITY",
+    "LogicalFilter",
+    "LogicalJoin",
+    "LogicalNode",
+    "LogicalProject",
+    "LogicalScan",
+    "NEQ_SELECTIVITY",
+    "NormalizedQuery",
+    "RANGE_SELECTIVITY",
+    "RelationTerm",
+    "base_relations",
+    "compile_query",
+    "default_selectivity",
+    "normalize",
+    "parallelize",
+    "parse",
+]

@@ -1,0 +1,6 @@
+"""Top-level DBS3 system: database facade and query results."""
+
+from repro.core.database import DBS3
+from repro.core.results import QueryResult
+
+__all__ = ["DBS3", "QueryResult"]

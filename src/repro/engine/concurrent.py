@@ -1,0 +1,159 @@
+"""Multi-query (multi-user) execution.
+
+The paper's scheduler step 1 notes that the single-user thread optimum
+"can then be reduced according to the average processor utilization in
+order to increase the multi-user throughput" [Rahm93].  This module
+provides the substrate to study that trade-off: several queries run
+*concurrently* in one simulation, sharing the machine's processors
+(the dilation follows the combined active thread count), each with its
+own schedule and its own results.
+
+Restriction: concurrent execution supports single-wave plans (no
+materialized dependencies) — which covers every plan shape of the
+paper's evaluation.  Multi-wave plans still run through the ordinary
+:class:`~repro.engine.executor.Executor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.dbfuncs import make_dbfunc
+from repro.engine.executor import (
+    DEFAULT_PIPELINED_CACHE,
+    DEFAULT_TRIGGERED_CACHE,
+    ExecutionOptions,
+    QuerySchedule,
+    _router_for,
+)
+from repro.engine.metrics import OperationMetrics, QueryExecution
+from repro.engine.operation import OperationRuntime
+from repro.engine.simulator import Simulator
+from repro.engine.strategies import make_strategy
+from repro.errors import ExecutionError, PlanError
+from repro.lera.activation import PIPELINED, TRIGGERED
+from repro.lera.graph import PIPELINE, LeraGraph
+from repro.machine.machine import Machine
+
+
+@dataclass(frozen=True)
+class ConcurrentResult:
+    """Outcome of one batch of concurrently executed queries."""
+
+    executions: tuple[QueryExecution, ...]
+    makespan: float
+
+    @property
+    def throughput(self) -> float:
+        """Queries completed per virtual second."""
+        if self.makespan <= 0:
+            raise ExecutionError("zero makespan")
+        return len(self.executions) / self.makespan
+
+    @property
+    def mean_response_time(self) -> float:
+        return (sum(e.response_time for e in self.executions)
+                / len(self.executions))
+
+
+class ConcurrentExecutor:
+    """Runs a batch of single-wave plans in one shared simulation."""
+
+    def __init__(self, machine: Machine | None = None,
+                 options: ExecutionOptions | None = None) -> None:
+        self.machine = machine or Machine.uniform()
+        self.options = options or ExecutionOptions()
+
+    def execute(self, workload: list[tuple[LeraGraph, QuerySchedule]]
+                ) -> ConcurrentResult:
+        """Execute every (plan, schedule) pair concurrently.
+
+        All queries are submitted at time zero; start-up phases are
+        charged sequentially (one initialization thread, as in the
+        single-query executor), then every operation of every query
+        runs in the same simulated wave.  Each query's response time is
+        its own last operation's finish time.
+        """
+        if not workload:
+            raise ExecutionError("empty workload")
+        per_query: list[dict[str, OperationRuntime]] = []
+        startup = 0.0
+        for plan, schedule in workload:
+            plan.validate()
+            if len(plan.chain_waves()) != 1:
+                raise PlanError(
+                    "concurrent execution supports single-wave plans only")
+            runtimes = self._build(plan, schedule)
+            per_query.append(runtimes)
+            for runtime in runtimes.values():
+                startup += (schedule.of(runtime.name).threads
+                            * self.machine.costs.thread_create)
+                per_queue = (self.machine.costs.queue_create_pipelined
+                             if runtime.node.trigger_mode == PIPELINED
+                             else self.machine.costs.queue_create_triggered)
+                startup += runtime.instances * per_queue
+
+        next_thread_id = 0
+        all_operations: list[OperationRuntime] = []
+        for (plan, schedule), runtimes in zip(workload, per_query):
+            for node in plan.nodes:
+                runtime = runtimes[node.name]
+                count = schedule.of(node.name).threads
+                runtime.build_pool(
+                    list(range(next_thread_id, next_thread_id + count)),
+                    startup)
+                next_thread_id += count
+                if node.trigger_mode == TRIGGERED:
+                    runtime.seed_triggers(startup)
+                all_operations.append(runtime)
+
+        simulator = Simulator(self.machine, seed=self.options.seed)
+        makespan = simulator.run_wave(all_operations)
+
+        executions = []
+        for (plan, schedule), runtimes in zip(workload, per_query):
+            finish = max(rt.finished_at for rt in runtimes.values()
+                         if rt.finished_at is not None)
+            rows = []
+            for runtime in runtimes.values():
+                if runtime.consumer is None:
+                    rows.extend(runtime.result_rows)
+            threads = sum(schedule.of(name).threads for name in runtimes)
+            executions.append(QueryExecution(
+                response_time=finish,
+                startup_time=startup,
+                total_threads=threads,
+                dilation=self.machine.dilation(next_thread_id),
+                operations={name: OperationMetrics.of(rt)
+                            for name, rt in runtimes.items()},
+                result_rows=rows,
+            ))
+        return ConcurrentResult(tuple(executions), makespan)
+
+    def _build(self, plan: LeraGraph,
+               schedule: QuerySchedule) -> dict[str, OperationRuntime]:
+        runtimes: dict[str, OperationRuntime] = {}
+        for node in plan.nodes:
+            op_schedule = schedule.of(node.name)
+            cache_size = op_schedule.cache_size
+            if cache_size is None:
+                cache_size = (DEFAULT_PIPELINED_CACHE
+                              if node.trigger_mode == PIPELINED
+                              else DEFAULT_TRIGGERED_CACHE)
+            runtimes[node.name] = OperationRuntime(
+                node=node,
+                dbfunc=make_dbfunc(node.spec, self.machine.costs),
+                strategy=make_strategy(op_schedule.strategy),
+                cache_size=cache_size,
+                queue_capacity=self.options.queue_capacity,
+                allow_secondary=op_schedule.allow_secondary,
+            )
+        for edge in plan.edges:
+            if edge.kind != PIPELINE:
+                continue
+            producer = runtimes[edge.producer]
+            consumer = runtimes[edge.consumer]
+            producer.consumer = consumer
+            producer.router = _router_for(consumer)
+            consumer.producers_remaining += 1
+        return runtimes

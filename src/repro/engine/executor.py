@@ -1,0 +1,257 @@
+"""The query executor.
+
+Builds the extended view (operation runtimes, one queue per instance,
+a thread pool per operation), charges the sequential start-up phase,
+places data segments in local caches, and drives the discrete-event
+simulator wave by wave across the plan's chain DAG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.engine.dbfuncs import make_dbfunc
+from repro.engine.metrics import OperationMetrics, QueryExecution
+from repro.engine.operation import OperationRuntime
+from repro.engine.simulator import Simulator
+from repro.engine.trace import ExecutionTrace
+from repro.engine.strategies import RANDOM, make_strategy
+from repro.errors import ExecutionError, PlanError
+from repro.lera.activation import PIPELINED, TRIGGERED
+from repro.lera.graph import PIPELINE, LeraGraph
+from repro.lera.operators import AggregateSpec, PipelinedJoinSpec, StoreSpec
+from repro.machine.cache import REMOTE_HOME
+from repro.machine.machine import Machine
+from repro.storage.tuples import stable_hash
+
+#: Data placement policies for the Allcache model.
+PLACEMENT_WARM = "warm"    # fragments start in their consumer's local cache
+PLACEMENT_COLD = "cold"    # fragments start remote (Figure 8's "remote" run)
+PLACEMENT_NONE = "none"    # no placement (uniform machines)
+PLACEMENTS = (PLACEMENT_WARM, PLACEMENT_COLD, PLACEMENT_NONE)
+
+#: Internal activation-cache defaults.  Triggered activations are whole
+#: fragments, so batching is pointless.  Pipelined activations default
+#: to single-tuple fetches too: the Section 4.1 analysis (and the
+#: paper's measured skew-insensitivity) assumes the unit of work is one
+#: activation — larger batches coarsen the tail and break the Tworst
+#: bound.  A bigger cache trades that balance for fewer mutex
+#: acquisitions; the ablation bench quantifies the trade.
+DEFAULT_TRIGGERED_CACHE = 1
+DEFAULT_PIPELINED_CACHE = 1
+
+
+@dataclass(frozen=True)
+class OperationSchedule:
+    """Execution parameters of one operation (scheduler output)."""
+
+    threads: int
+    strategy: str = RANDOM
+    cache_size: int | None = None
+    allow_secondary: bool = True
+
+    def __post_init__(self) -> None:
+        if self.threads < 1:
+            raise ExecutionError(f"threads must be >= 1, got {self.threads}")
+
+
+@dataclass(frozen=True)
+class QuerySchedule:
+    """Per-operation schedules for a whole plan."""
+
+    operations: dict[str, OperationSchedule]
+
+    @classmethod
+    def for_plan(cls, plan: LeraGraph, threads: int,
+                 strategy: str = RANDOM) -> "QuerySchedule":
+        """Uniform schedule: every operation gets *threads* threads."""
+        return cls({node.name: OperationSchedule(threads, strategy)
+                    for node in plan.nodes})
+
+    def of(self, name: str) -> OperationSchedule:
+        try:
+            return self.operations[name]
+        except KeyError:
+            raise ExecutionError(f"no schedule for operation {name!r}") from None
+
+    def with_strategy(self, name: str, strategy: str) -> "QuerySchedule":
+        """Copy with one operation's strategy replaced."""
+        updated = dict(self.operations)
+        updated[name] = replace(updated[name], strategy=strategy)
+        return QuerySchedule(updated)
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """Executor knobs orthogonal to the schedule."""
+
+    placement: str = PLACEMENT_WARM
+    queue_capacity: int | None = None
+    seed: int = 0
+    trace: bool = False
+    """Record an :class:`~repro.engine.trace.ExecutionTrace` (one event
+    per activation) exposed as ``QueryExecution.trace``."""
+
+    def __post_init__(self) -> None:
+        if self.placement not in PLACEMENTS:
+            raise ExecutionError(
+                f"unknown placement {self.placement!r}; expected {PLACEMENTS}")
+
+
+class Executor:
+    """Executes Lera-par plans on a machine model."""
+
+    def __init__(self, machine: Machine | None = None,
+                 options: ExecutionOptions | None = None) -> None:
+        self.machine = machine or Machine.uniform()
+        self.options = options or ExecutionOptions()
+
+    # -- public API -------------------------------------------------------------
+
+    def execute(self, plan: LeraGraph, schedule: QuerySchedule) -> QueryExecution:
+        """Run *plan* under *schedule*; returns results plus metrics."""
+        plan.validate()
+        runtimes = self._build_runtimes(plan, schedule)
+        self._wire_pipelines(plan, runtimes)
+        startup = self._startup_time(runtimes, schedule)
+
+        tracer = ExecutionTrace() if self.options.trace else None
+        simulator = Simulator(self.machine, seed=self.options.seed,
+                              tracer=tracer)
+        waves = plan.chain_waves()
+        next_thread_id = 0
+        current_time = startup
+        max_wave_threads = 0
+        max_dilation = 1.0
+        for wave in waves:
+            wave_ops = [runtimes[node.name]
+                        for chain in wave for node in chain.nodes]
+            wave_threads = 0
+            for operation in wave_ops:
+                count = schedule.of(operation.name).threads
+                thread_ids = list(range(next_thread_id, next_thread_id + count))
+                next_thread_id += count
+                wave_threads += count
+                operation.build_pool(thread_ids, current_time)
+                if operation.node.trigger_mode == TRIGGERED:
+                    operation.seed_triggers(current_time)
+                self._place_segments(operation)
+            max_wave_threads = max(max_wave_threads, wave_threads)
+            max_dilation = max(max_dilation, self.machine.dilation(wave_threads))
+            current_time = simulator.run_wave(wave_ops)
+
+        result_rows = []
+        for node in plan.nodes:
+            runtime = runtimes[node.name]
+            if runtime.consumer is None:
+                result_rows.extend(runtime.result_rows)
+        metrics = {name: OperationMetrics.of(rt) for name, rt in runtimes.items()}
+        return QueryExecution(
+            response_time=current_time,
+            startup_time=startup,
+            total_threads=max_wave_threads,
+            dilation=max_dilation,
+            operations=metrics,
+            result_rows=result_rows,
+            trace=tracer,
+        )
+
+    # -- construction helpers ------------------------------------------------------
+
+    def _build_runtimes(self, plan: LeraGraph,
+                        schedule: QuerySchedule) -> dict[str, OperationRuntime]:
+        runtimes: dict[str, OperationRuntime] = {}
+        for node in plan.nodes:
+            op_schedule = schedule.of(node.name)
+            cache_size = op_schedule.cache_size
+            if cache_size is None:
+                cache_size = (DEFAULT_PIPELINED_CACHE
+                              if node.trigger_mode == PIPELINED
+                              else DEFAULT_TRIGGERED_CACHE)
+            runtimes[node.name] = OperationRuntime(
+                node=node,
+                dbfunc=make_dbfunc(node.spec, self.machine.costs),
+                strategy=make_strategy(op_schedule.strategy),
+                cache_size=cache_size,
+                queue_capacity=self.options.queue_capacity,
+                allow_secondary=op_schedule.allow_secondary,
+            )
+        return runtimes
+
+    def _wire_pipelines(self, plan: LeraGraph,
+                        runtimes: dict[str, OperationRuntime]) -> None:
+        for edge in plan.edges:
+            if edge.kind != PIPELINE:
+                continue
+            producer = runtimes[edge.producer]
+            consumer = runtimes[edge.consumer]
+            if producer.consumer is not None:
+                raise PlanError(
+                    f"operation {edge.producer!r} has two pipeline consumers")
+            producer.consumer = consumer
+            producer.router = _router_for(consumer)
+            consumer.producers_remaining += 1
+
+    def _startup_time(self, runtimes: dict[str, OperationRuntime],
+                      schedule: QuerySchedule) -> float:
+        """Sequential initialization: create threads and queues.
+
+        "Before the execution takes place, a sequential initialization
+        step is necessary.  The duration of this step is proportional
+        to the degree of parallelism."  Queue creation is also where
+        the degree-of-partitioning overhead of Figure 16 originates.
+        """
+        costs = self.machine.costs
+        total = 0.0
+        for runtime in runtimes.values():
+            total += schedule.of(runtime.name).threads * costs.thread_create
+            per_queue = (costs.queue_create_pipelined
+                         if runtime.node.trigger_mode == PIPELINED
+                         else costs.queue_create_triggered)
+            total += runtime.instances * per_queue
+        return total
+
+    def _place_segments(self, operation: OperationRuntime) -> None:
+        """Pre-place stored fragments in local caches per the policy."""
+        if not self.machine.models_memory:
+            return
+        placement = self.options.placement
+        if placement == PLACEMENT_NONE:
+            return
+        pool_size = len(operation.threads)
+        for instance in range(operation.instances):
+            if placement == PLACEMENT_WARM:
+                owner = operation.threads[instance % pool_size].thread_id
+            else:
+                owner = REMOTE_HOME
+            for key, size in operation.dbfunc.segments(instance):
+                self.machine.place_segment(key, size, owner)
+
+
+def _router_for(consumer: OperationRuntime):
+    """Row -> consumer-instance routing for a pipeline edge.
+
+    Uses the same stable hash as static partitioning, so a transmitted
+    stream lines up with the statically partitioned stored operand (or
+    the target fragments of a Store, or the group hash of an
+    Aggregate).
+    """
+    spec = consumer.node.spec
+    if isinstance(spec, PipelinedJoinSpec):
+        position = spec.stream_key_position
+    elif isinstance(spec, StoreSpec):
+        position = spec.key_position
+    elif isinstance(spec, AggregateSpec):
+        if spec.group_position is None:
+            return lambda row: 0  # global aggregate: one instance
+        position = spec.group_position
+    else:
+        raise PlanError(
+            f"operation {consumer.name!r} of type {type(spec).__name__} "
+            f"cannot consume a pipeline")
+    degree = spec.instances
+
+    def route(row, _pos=position, _deg=degree) -> int:
+        return stable_hash(row[_pos]) % _deg
+
+    return route

@@ -1,0 +1,176 @@
+"""Operation runtimes — the extended view, instantiated.
+
+This mirrors Figure 4's data structures: an *operation* bundles its
+table of activation queues (``QueueNb`` / ``QueueTbl``), its pool of
+consumer threads (``ThreadNb`` / ``ThreadTbl``), the database function
+(``DBFunc``), the consumption strategy (``StrategyId``) and the
+internal activation cache size (``CacheSize``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable
+
+from repro.engine.queues import ActivationQueue
+from repro.engine.strategies import ConsumptionStrategy
+from repro.engine.threads import WorkerThread
+from repro.errors import ExecutionError
+from repro.lera.activation import TRIGGERED
+from repro.lera.graph import LeraNode
+from repro.storage.tuples import Row
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.engine.dbfuncs import DBFunc
+
+
+class OperationRuntime:
+    """One operator of the plan, ready to execute.
+
+    Attributes:
+        node: The Lera-par node this runtime realizes.
+        dbfunc: Executable operator body.
+        queues: One activation queue per instance.
+        threads: The thread pool (filled by the executor).
+        strategy: Consumption strategy instance.
+        cache_size: Max activations fetched per queue access (the
+            internal activation cache of Figure 4).
+        consumer: Downstream operation fed through a pipeline edge,
+            or ``None`` when this operation produces the query result.
+        router: Maps an emitted row to the consumer instance number.
+        producers_remaining: Pipeline producers still running; the
+            input closes when this reaches zero.  Triggered operations
+            close immediately after their triggers are seeded.
+    """
+
+    def __init__(self, node: LeraNode, dbfunc: "DBFunc",
+                 strategy: ConsumptionStrategy, cache_size: int,
+                 queue_capacity: int | None = None,
+                 allow_secondary: bool = True) -> None:
+        if cache_size < 1:
+            raise ExecutionError(f"cache_size must be >= 1, got {cache_size}")
+        self.node = node
+        self.dbfunc = dbfunc
+        self.strategy = strategy
+        self.cache_size = cache_size
+        #: When False, threads never fall back to secondary queues —
+        #: the static one-thread-per-instance binding of Gamma-style
+        #: engines, used as the paper's implicit baseline.
+        self.allow_secondary = allow_secondary
+        estimates = node.spec.estimated_instance_costs(dbfunc.costs)
+        self.queues = [
+            ActivationQueue(node.name, i, node.trigger_mode,
+                            capacity=queue_capacity, cost_estimate=estimates[i])
+            for i in range(node.instances)
+        ]
+        self.threads: list[WorkerThread] = []
+        self.consumer: OperationRuntime | None = None
+        self.router: Callable[[Row], int] | None = None
+        self.producers_remaining = 0
+        self.input_closed = False
+        self.waiting_threads: deque[WorkerThread] = deque()
+        self.live_threads = 0
+        self.pending_activations = 0
+        self.started_at = 0.0
+        self.finished_at: float | None = None
+        self.activation_costs: list[float] = []
+        self.activation_outputs: list[int] = []
+        self.result_rows: list[Row] = []
+        self.finalized = False
+        self.finalize_cost = 0.0
+        # Counters (ExecutionMetrics picks these up).
+        self.polls = 0
+        self.enqueues = 0
+        self.dequeue_batches = 0
+        self.secondary_accesses = 0
+        self.memory_penalty = 0.0
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def instances(self) -> int:
+        return self.node.instances
+
+    def __repr__(self) -> str:
+        return (f"OperationRuntime({self.name!r}, x{self.instances}, "
+                f"threads={len(self.threads)})")
+
+    # -- pool construction -----------------------------------------------------
+
+    def build_pool(self, thread_ids: list[int], start_time: float) -> None:
+        """Create the thread pool and distribute main queues.
+
+        "All activation queues are equally distributed among the
+        associated threads and are marked as main queues" — queue ``i``
+        is the main queue of thread ``i mod ThreadNb``.
+        """
+        if not thread_ids:
+            raise ExecutionError(f"operation {self.name!r} allocated no threads")
+        self.threads = [WorkerThread(tid, pool_index, self, start_time)
+                        for pool_index, tid in enumerate(thread_ids)]
+        pool_size = len(self.threads)
+        for thread in self.threads:
+            thread.assign_main_queues(
+                [q for i, q in enumerate(self.queues) if i % pool_size == thread.pool_index])
+        self.live_threads = pool_size
+        self.started_at = start_time
+
+    # -- input lifecycle --------------------------------------------------------
+
+    def seed_triggers(self, at_time: float) -> None:
+        """Enqueue the control activation(s) of every instance, close input.
+
+        Classic triggered operators get one activation per queue; a
+        chunked operator (``grain > 1``) gets one activation per
+        fragment slice, so the unit of sequential work shrinks without
+        changing the partitioning.
+        """
+        from repro.lera.activation import chunk_trigger, trigger
+        if self.node.trigger_mode != TRIGGERED:
+            raise ExecutionError(
+                f"seed_triggers on pipelined operation {self.name!r}")
+        per_instance = self.node.spec.activations_per_instance()
+        for i, queue in enumerate(self.queues):
+            if per_instance == 1:
+                queue.enqueue(at_time, trigger(i))
+            else:
+                for chunk in range(per_instance):
+                    queue.enqueue(at_time, chunk_trigger(i, chunk))
+        self.pending_activations += len(self.queues) * per_instance
+        self.input_closed = True
+
+    def close_input(self) -> None:
+        """No more activations will arrive (all producers finished)."""
+        self.input_closed = True
+
+    # -- queue-state helpers ------------------------------------------------------
+
+    def earliest_pending(self) -> float | None:
+        """Smallest ready time among all pending activations, if any."""
+        earliest: float | None = None
+        for queue in self.queues:
+            t = queue.next_ready_time()
+            if t is not None and (earliest is None or t < earliest):
+                earliest = t
+        return earliest
+
+    @property
+    def drained(self) -> bool:
+        """All queues empty and no more input can arrive."""
+        return self.input_closed and self.pending_activations == 0
+
+    @property
+    def complete(self) -> bool:
+        """Every thread of the pool has terminated."""
+        return self.live_threads == 0 and bool(self.threads)
+
+    @property
+    def response_time(self) -> float:
+        """Operation response time (finish - start); 0 if unfinished."""
+        if self.finished_at is None:
+            return 0.0
+        return self.finished_at - self.started_at

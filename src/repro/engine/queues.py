@@ -1,0 +1,109 @@
+"""Activation queues.
+
+"To manage activations, a FIFO queue is associated to each operation
+instance.  There are two kinds of queues, triggered or pipelined."
+(Section 2.)
+
+Queues live in (simulated) shared memory: any thread of the owning
+operation may consume from any of its queues.  Each entry carries a
+*ready time* — the virtual instant its producer made it available —
+so the discrete-event simulator knows when a consumer may pick it up.
+Entries from concurrent producers interleave, so internally the queue
+is a ready-time heap; among entries ready at the same instant, arrival
+order (FIFO) breaks ties.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING
+
+from repro.errors import ExecutionError
+from repro.lera.activation import Activation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.engine.threads import WorkerThread
+
+
+class ActivationQueue:
+    """One operator instance's FIFO activation queue.
+
+    Attributes:
+        operation_name: Owning operation.
+        instance: Operator instance this queue feeds.
+        kind: ``"triggered"`` or ``"pipelined"``.
+        capacity: Soft bound on queued activations; producers finishing
+            an activation while a target queue is at or over capacity
+            block until a consumer drains it (``None`` = unbounded).
+        cost_estimate: Static estimate of one activation's processing
+            cost for this instance — what the LPT strategy ranks
+            queues by (derived from fragment cardinalities).
+    """
+
+    __slots__ = ("operation_name", "instance", "kind", "capacity",
+                 "cost_estimate", "_heap", "_seq", "enqueued", "consumed",
+                 "blocked_producers")
+
+    def __init__(self, operation_name: str, instance: int, kind: str,
+                 capacity: int | None = None, cost_estimate: float = 0.0) -> None:
+        if capacity is not None and capacity < 1:
+            raise ExecutionError(f"queue capacity must be >= 1, got {capacity}")
+        self.operation_name = operation_name
+        self.instance = instance
+        self.kind = kind
+        self.capacity = capacity
+        self.cost_estimate = cost_estimate
+        self._heap: list[tuple[float, int, Activation]] = []
+        self._seq = 0
+        self.enqueued = 0
+        self.consumed = 0
+        self.blocked_producers: list["WorkerThread"] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __repr__(self) -> str:
+        return (f"ActivationQueue({self.operation_name!r}[{self.instance}], "
+                f"{self.kind}, pending={len(self._heap)})")
+
+    # -- producer side -------------------------------------------------------
+
+    def enqueue(self, ready_time: float, activation: Activation) -> None:
+        """Append an activation that becomes consumable at *ready_time*."""
+        heapq.heappush(self._heap, (ready_time, self._seq, activation))
+        self._seq += 1
+        self.enqueued += 1
+
+    @property
+    def over_capacity(self) -> bool:
+        """True when producers must block before their next activation."""
+        return self.capacity is not None and len(self._heap) >= self.capacity
+
+    # -- consumer side -------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._heap
+
+    def has_ready(self, now: float) -> bool:
+        """Is at least one activation consumable at virtual time *now*?"""
+        return bool(self._heap) and self._heap[0][0] <= now
+
+    def next_ready_time(self) -> float | None:
+        """Ready time of the earliest pending activation, if any."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def dequeue_ready(self, now: float, limit: int) -> list[Activation]:
+        """Pop up to *limit* activations ready at *now* (FIFO order).
+
+        This is one batch fetched into a thread's internal activation
+        cache; the caller charges a single mutex acquisition for it.
+        """
+        batch: list[Activation] = []
+        heap = self._heap
+        while heap and len(batch) < limit and heap[0][0] <= now:
+            batch.append(heapq.heappop(heap)[2])
+        self.consumed += len(batch)
+        return batch

@@ -1,0 +1,375 @@
+"""The discrete-event, virtual-time simulator.
+
+This is the reproduction's substitute for real POSIX threads on the
+KSR1 (CPython's GIL forbids true shared-memory CPU parallelism): every
+worker thread is a simulated actor with a private virtual clock, and
+the event loop always advances the thread whose clock is smallest.
+Queue scans, mutex acquisitions, activation processing and pipeline
+enqueues all charge calibrated virtual time, so the load-balancing
+dynamics the paper measures — main/secondary queue discipline,
+Random/LPT consumption, pipelined overlap, skew-induced stragglers —
+play out exactly as they would on the prototype, deterministically.
+
+The real relational work still happens: operators produce actual
+result tuples while their clocks advance.
+
+Processor over-subscription (more threads than processors) is modelled
+as processor sharing: work is dilated by the number of *currently
+active* threads over the processor count.  When over-subscription is
+possible, activations are processed in time slices so that a long
+activation re-samples the dilation as other threads drain — a lone
+straggler finishing the last expensive activation runs at full speed,
+exactly as on the real machine.  With no over-subscription the
+dilation is identically 1 and whole activations are charged in one
+step (fast path).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+
+from repro.engine.dbfuncs import ExecContext, ProcessResult
+from repro.engine.operation import OperationRuntime
+from repro.engine.queues import ActivationQueue
+from repro.engine.threads import (
+    BLOCKED,
+    FINISHED,
+    RUNNABLE,
+    WAITING,
+    WorkerThread,
+)
+from repro.engine.trace import ExecutionTrace
+from repro.errors import ExecutionError
+from repro.lera.activation import DATA, Activation
+from repro.machine.machine import Machine
+
+#: Number of slices a dilated activation is split into; finer slices
+#: track the draining of concurrent threads more precisely.
+DILATION_SLICES = 16
+
+
+class _WorkInProgress:
+    """A partially charged activation (slicing mode only)."""
+
+    __slots__ = ("result", "started_at", "remaining", "slice")
+
+    def __init__(self, result: ProcessResult, started_at: float,
+                 total: float) -> None:
+        self.result = result
+        self.started_at = started_at
+        self.remaining = total
+        self.slice = max(total / DILATION_SLICES, 1e-12)
+
+
+class Simulator:
+    """Runs one *wave* of concurrently executing operations to completion."""
+
+    def __init__(self, machine: Machine, seed: int = 0,
+                 tracer: ExecutionTrace | None = None) -> None:
+        self.machine = machine
+        self.rng = random.Random(seed)
+        self.tracer = tracer
+        self._seq = 0
+        self._active = 0
+        self._sliced = False
+        # Per-thread slicing state, keyed by thread id.
+        self._in_progress: dict[int, _WorkInProgress] = {}
+        self._pending_batch: dict[int, list[Activation]] = {}
+
+    # -- public API -----------------------------------------------------------
+
+    def run_wave(self, operations: list[OperationRuntime]) -> float:
+        """Simulate *operations* until every thread terminates.
+
+        Operations must already have pools built and triggered
+        operations seeded.  Returns the wave's finish time (max
+        operation finish).  Raises :class:`ExecutionError` on deadlock
+        (threads parked forever — indicates a wiring bug).
+        """
+        heap: list[tuple[float, int, WorkerThread]] = []
+        total_threads = 0
+        for operation in operations:
+            for thread in operation.threads:
+                self._push(heap, thread)
+                total_threads += 1
+        self._active = total_threads
+        self._sliced = total_threads > self.machine.processors
+        while heap:
+            _, _, thread = heapq.heappop(heap)
+            if thread.state != RUNNABLE:
+                continue
+            if self._sliced and thread.thread_id in self._in_progress:
+                self._advance_slice(thread, heap)
+            else:
+                self._step(thread, heap)
+        stuck = [op.name for op in operations if not op.complete]
+        if stuck:
+            raise ExecutionError(
+                f"deadlock: operations {stuck} have parked threads and no "
+                f"runnable work")
+        return max(op.finished_at for op in operations
+                   if op.finished_at is not None)
+
+    # -- scheduling internals ---------------------------------------------------
+
+    def _push(self, heap: list, thread: WorkerThread) -> None:
+        heapq.heappush(heap, (thread.clock, self._seq, thread))
+        self._seq += 1
+
+    def _dilation(self) -> float:
+        return self.machine.dilation(self._active)
+
+    def _wake_one(self, operation: OperationRuntime, heap: list) -> None:
+        """Signal one waiting consumer thread (condition-variable style)."""
+        thread = operation.waiting_threads.popleft()
+        thread.state = RUNNABLE
+        self._active += 1
+        self._push(heap, thread)
+
+    def _wake_all(self, operation: OperationRuntime, heap: list) -> None:
+        """Broadcast: input closed, every parked thread must re-check."""
+        while operation.waiting_threads:
+            self._wake_one(operation, heap)
+
+    def _wake_blocked(self, queue: ActivationQueue, at_time: float,
+                      heap: list) -> None:
+        """Un-block producers once *queue* dropped below capacity."""
+        for producer in queue.blocked_producers:
+            producer.state = RUNNABLE
+            self._active += 1
+            producer.wait_until(at_time)
+            self._push(heap, producer)
+        queue.blocked_producers.clear()
+
+    # -- one thread step ---------------------------------------------------------
+
+    def _step(self, thread: WorkerThread, heap: list) -> None:
+        operation = thread.operation
+        costs = self.machine.costs
+        dilation = self._dilation()
+        now = thread.clock
+
+        # Scan main queues first; fall back to secondary queues.  The
+        # earliest future ready time is tracked during the same scan so
+        # an idle thread knows when to re-check.
+        ready: list[ActivationQueue] = []
+        polls = 0
+        future: float | None = None
+        for queue in thread.main_queues:
+            if queue.has_ready(now):
+                ready.append(queue)
+            else:
+                polls += 1
+                t = queue.next_ready_time()
+                if t is not None and (future is None or t < future):
+                    future = t
+        used_secondary = False
+        if not ready and operation.allow_secondary:
+            main_set = thread.main_queue_set
+            for queue in operation.queues:
+                if queue.instance in main_set:
+                    continue
+                if queue.has_ready(now):
+                    ready.append(queue)
+                else:
+                    polls += 1
+                    t = queue.next_ready_time()
+                    if t is not None and (future is None or t < future):
+                        future = t
+            used_secondary = True
+
+        if polls:
+            operation.polls += polls
+            thread.advance(polls * costs.poll_empty * dilation, busy=True)
+
+        if not ready:
+            if future is not None:
+                thread.wait_until(future)
+                self._push(heap, thread)
+            elif not operation.input_closed:
+                thread.state = WAITING
+                self._active -= 1
+                operation.waiting_threads.append(thread)
+            else:
+                self._finish_thread(thread, heap)
+            return
+
+        queue = operation.strategy.choose(self.rng, ready)
+        batch = queue.dequeue_ready(thread.clock, operation.cache_size)
+        operation.pending_activations -= len(batch)
+        operation.dequeue_batches += 1
+        access_cost = costs.dequeue_batch
+        if used_secondary or queue.instance not in thread.main_queue_set:
+            access_cost += costs.secondary_access
+            operation.secondary_accesses += 1
+        thread.advance(access_cost * dilation, busy=True)
+        if queue.blocked_producers and not queue.over_capacity:
+            self._wake_blocked(queue, thread.clock, heap)
+
+        if self._sliced:
+            # Start the first activation; the rest of the batch (and
+            # the back-pressure check) continue in _advance_slice.
+            self._pending_batch[thread.thread_id] = list(batch)
+            self._begin_activation(thread)
+            self._push(heap, thread)
+            return
+
+        filled: set[int] = set()
+        for activation in batch:
+            self._charge_whole(thread, activation, heap, filled)
+        self._after_batch(thread, heap, filled)
+
+    def _after_batch(self, thread: WorkerThread, heap: list,
+                     filled: set[int]) -> None:
+        """Back-pressure check once a batch is fully processed."""
+        consumer = thread.operation.consumer
+        if consumer is not None:
+            for instance in filled:
+                target = consumer.queues[instance]
+                if target.over_capacity:
+                    thread.state = BLOCKED
+                    self._active -= 1
+                    target.blocked_producers.append(thread)
+                    return
+        self._push(heap, thread)
+
+    # -- whole-activation path (no over-subscription) ------------------------------
+
+    def _charge_whole(self, thread: WorkerThread, activation: Activation,
+                      heap: list, filled: set[int]) -> None:
+        result = self._run_dbfunc(thread, activation)
+        start = thread.clock
+        thread.advance(self._total_cost(thread.operation, result), busy=True)
+        if self.tracer is not None:
+            self.tracer.record(thread.thread_id, thread.operation.name,
+                               "activation", start, thread.clock)
+        self._deliver(thread, result, start, heap, filled)
+
+    # -- sliced path (over-subscription possible) ------------------------------------
+
+    def _begin_activation(self, thread: WorkerThread) -> None:
+        batch = self._pending_batch.get(thread.thread_id)
+        if not batch:
+            return
+        activation = batch.pop(0)
+        result = self._run_dbfunc(thread, activation)
+        total = self._total_cost(thread.operation, result)
+        self._in_progress[thread.thread_id] = _WorkInProgress(
+            result, thread.clock, total)
+
+    def _advance_slice(self, thread: WorkerThread, heap: list) -> None:
+        work = self._in_progress[thread.thread_id]
+        slice_cost = min(work.remaining, work.slice)
+        thread.advance(slice_cost * self._dilation(), busy=True)
+        work.remaining -= slice_cost
+        if work.remaining > 1e-15:
+            self._push(heap, thread)
+            return
+        del self._in_progress[thread.thread_id]
+        if self.tracer is not None:
+            self.tracer.record(thread.thread_id, thread.operation.name,
+                               "activation", work.started_at, thread.clock)
+        filled: set[int] = set()
+        self._deliver(thread, work.result, work.started_at, heap, filled)
+        if self._pending_batch.get(thread.thread_id):
+            # Back-pressure is only checked between batches, matching
+            # the whole-activation path.
+            self._begin_activation(thread)
+            self._push(heap, thread)
+            return
+        self._pending_batch.pop(thread.thread_id, None)
+        self._after_batch(thread, heap, filled)
+
+    # -- shared activation machinery ----------------------------------------------
+
+    def _finalize_operation(self, thread: WorkerThread, heap: list) -> None:
+        """End-of-input emission, executed once by the last live thread."""
+        operation = thread.operation
+        operation.finalized = True
+        filled: set[int] = set()
+        for instance in range(operation.instances):
+            ctx = ExecContext(self.machine, thread.thread_id)
+            result = operation.dbfunc.finalize(instance, ctx)
+            if result is None:
+                continue
+            operation.memory_penalty += ctx.penalty
+            operation.finalize_cost += result.cost
+            started_at = thread.clock
+            thread.advance(result.cost * self._dilation(), busy=True)
+            if self.tracer is not None:
+                self.tracer.record(thread.thread_id, operation.name,
+                                   "finalize", started_at, thread.clock)
+            self._deliver(thread, result, started_at, heap, filled)
+
+    def _run_dbfunc(self, thread: WorkerThread,
+                    activation: Activation) -> ProcessResult:
+        operation = thread.operation
+        ctx = ExecContext(self.machine, thread.thread_id)
+        result = operation.dbfunc.process(activation.instance, activation, ctx)
+        operation.activation_costs.append(result.cost)
+        operation.activation_outputs.append(len(result.emitted))
+        operation.memory_penalty += ctx.penalty
+        return result
+
+    def _total_cost(self, operation: OperationRuntime,
+                    result: ProcessResult) -> float:
+        cost = result.cost
+        if operation.consumer is not None and result.emitted:
+            cost += len(result.emitted) * self.machine.costs.enqueue
+        return cost
+
+    def _deliver(self, thread: WorkerThread, result: ProcessResult,
+                 started_at: float, heap: list, filled: set[int]) -> None:
+        """Route (or collect) an activation's output rows.
+
+        Tuples become visible progressively across the activation's
+        realized duration, which is what lets a consumer overlap with
+        its producer (pipelined execution).
+        """
+        operation = thread.operation
+        emitted = result.emitted
+        if not emitted:
+            return
+        consumer = operation.consumer
+        if consumer is None:
+            operation.result_rows.extend(emitted)
+            return
+        router = operation.router
+        if router is None:
+            raise ExecutionError(
+                f"operation {operation.name!r} has a consumer but no router")
+        duration = thread.clock - started_at
+        count = len(emitted)
+        for i, row in enumerate(emitted):
+            instance = router(row)
+            ready_time = started_at + duration * (i + 1) / count
+            consumer.queues[instance].enqueue(
+                ready_time, Activation(DATA, instance, row))
+            consumer.pending_activations += 1
+            operation.enqueues += 1
+            filled.add(instance)
+            if consumer.waiting_threads:
+                self._wake_one(consumer, heap)
+
+    def _finish_thread(self, thread: WorkerThread, heap: list) -> None:
+        operation = thread.operation
+        if operation.live_threads == 1 and not operation.finalized:
+            # Last thread standing: run the operator's end-of-input
+            # behaviour (aggregate emission) before terminating.
+            self._finalize_operation(thread, heap)
+        thread.state = FINISHED
+        thread.finished_at = thread.clock
+        self._active -= 1
+        operation.live_threads -= 1
+        if operation.live_threads > 0:
+            return
+        operation.finished_at = max(
+            t.finished_at for t in operation.threads
+            if t.finished_at is not None)
+        consumer = operation.consumer
+        if consumer is not None:
+            consumer.producers_remaining -= 1
+            if consumer.producers_remaining <= 0:
+                consumer.close_input()
+                self._wake_all(consumer, heap)

@@ -1,0 +1,131 @@
+"""Execution traces and the ASCII Gantt renderer.
+
+When tracing is enabled (``ExecutionOptions(trace=True)``), the
+simulator records one event per processed activation — which thread,
+which operation, which virtual-time interval.  The trace renders as a
+Gantt chart (one row per thread, one glyph per operation), which makes
+the paper's load-balancing stories directly *visible*: a skewed
+triggered join under static binding shows one long straggler row; the
+same join with shared queues shows the tail spread across the pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+#: Glyphs assigned to operations, in first-seen order.
+_GLYPHS = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One busy interval of one thread."""
+
+    thread_id: int
+    operation: str
+    kind: str              # "activation" or "finalize"
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class ExecutionTrace:
+    """All busy intervals of one execution."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(self, thread_id: int, operation: str, kind: str,
+               start: float, end: float) -> None:
+        self.events.append(TraceEvent(thread_id, operation, kind, start, end))
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def span(self) -> tuple[float, float]:
+        """(first start, last end) over all events."""
+        if not self.events:
+            raise ReproError("empty trace")
+        return (min(e.start for e in self.events),
+                max(e.end for e in self.events))
+
+    def thread_ids(self) -> list[int]:
+        return sorted({e.thread_id for e in self.events})
+
+    def operations(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for event in self.events:
+            seen.setdefault(event.operation, None)
+        return list(seen)
+
+    def events_of(self, thread_id: int) -> list[TraceEvent]:
+        return sorted((e for e in self.events if e.thread_id == thread_id),
+                      key=lambda e: e.start)
+
+    def busy_time(self, thread_id: int) -> float:
+        return sum(e.duration for e in self.events
+                   if e.thread_id == thread_id)
+
+    def active_threads(self, instant: float) -> int:
+        """How many threads are busy at a virtual instant."""
+        return sum(1 for e in self.events if e.start <= instant < e.end)
+
+    def utilization_timeline(self, bins: int = 20) -> list[float]:
+        """Mean busy-thread count per time bin across the span."""
+        start, end = self.span
+        if end <= start:
+            return [0.0] * bins
+        width = (end - start) / bins
+        timeline = []
+        threads = max(len(self.thread_ids()), 1)
+        for i in range(bins):
+            lo = start + i * width
+            hi = lo + width
+            busy = 0.0
+            for event in self.events:
+                overlap = min(event.end, hi) - max(event.start, lo)
+                if overlap > 0:
+                    busy += overlap
+            timeline.append(busy / (width * threads))
+        return timeline
+
+    # -- rendering ------------------------------------------------------------
+
+    def gantt(self, width: int = 80) -> str:
+        """ASCII Gantt chart: one row per thread, one glyph per operation.
+
+        ``·`` marks idle time; the legend maps glyphs to operations.
+        """
+        if not self.events:
+            raise ReproError("empty trace")
+        start, end = self.span
+        scale = (end - start) / width if end > start else 1.0
+        glyph_of = {name: _GLYPHS[i % len(_GLYPHS)]
+                    for i, name in enumerate(self.operations())}
+        lines = [f"virtual time {start:.3f}s .. {end:.3f}s "
+                 f"({scale:.4f}s per column)"]
+        for thread_id in self.thread_ids():
+            row = ["·"] * width
+            for event in self.events_of(thread_id):
+                lo = int((event.start - start) / scale) if scale else 0
+                hi = int((event.end - start) / scale) if scale else 0
+                lo = min(lo, width - 1)
+                hi = min(max(hi, lo + 1), width)
+                glyph = glyph_of[event.operation]
+                if event.kind == "finalize":
+                    glyph = glyph.upper()
+                for column in range(lo, hi):
+                    row[column] = glyph
+            lines.append(f"t{thread_id:>3} |{''.join(row)}|")
+        legend = ", ".join(f"{glyph_of[name]}={name}"
+                           for name in self.operations())
+        lines.append(f"legend: {legend} (uppercase = finalize), · = idle")
+        return "\n".join(lines)

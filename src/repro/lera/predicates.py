@@ -1,0 +1,92 @@
+"""Selection predicates with cardinality estimates.
+
+A :class:`Predicate` wraps a row-level boolean function together with
+a human-readable description and an optional selectivity estimate used
+by the scheduler's complexity estimation.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import CompilationError
+from repro.storage.schema import Schema
+from repro.storage.tuples import Row
+
+_COMPARATORS: dict[str, Callable[[object, object], bool]] = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "=": operator.eq,
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<>": operator.ne,
+}
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A row-level filter with metadata.
+
+    Attributes:
+        description: Display form, e.g. ``"unique1 < 1000"``.
+        fn: The compiled row -> bool function.
+        selectivity: Estimated fraction of rows passing, in [0, 1];
+            ``None`` when unknown (the scheduler then assumes 1.0 for
+            complexity and output-size purposes).
+    """
+
+    description: str
+    fn: Callable[[Row], bool] = field(compare=False)
+    selectivity: float | None = None
+
+    def __call__(self, row: Row) -> bool:
+        return self.fn(row)
+
+
+#: Accepts every row — scanning without filtering.
+TRUE = Predicate("true", lambda row: True, selectivity=1.0)
+
+
+def attribute_predicate(schema: Schema, attribute: str, op: str,
+                        value: object, selectivity: float | None = None) -> Predicate:
+    """Compile ``attribute OP constant`` into a fast closure.
+
+    The attribute is resolved to a tuple position once, so evaluation
+    is a single indexed comparison per row.
+    """
+    comparator = _COMPARATORS.get(op)
+    if comparator is None:
+        raise CompilationError(
+            f"unknown comparison operator {op!r}; expected one of "
+            f"{sorted(_COMPARATORS)}")
+    position = schema.position(attribute)
+
+    def evaluate(row: Row, _pos: int = position, _cmp=comparator, _v=value) -> bool:
+        return _cmp(row[_pos], _v)
+
+    return Predicate(f"{attribute} {op} {value!r}", evaluate, selectivity)
+
+
+def conjunction(*predicates: Predicate) -> Predicate:
+    """AND-combine predicates; selectivities multiply when all known."""
+    if not predicates:
+        return TRUE
+    if len(predicates) == 1:
+        return predicates[0]
+    selectivity: float | None = 1.0
+    for p in predicates:
+        if p.selectivity is None:
+            selectivity = None
+            break
+        selectivity *= p.selectivity
+    fns = tuple(p.fn for p in predicates)
+
+    def evaluate(row: Row, _fns=fns) -> bool:
+        return all(fn(row) for fn in _fns)
+
+    description = " AND ".join(p.description for p in predicates)
+    return Predicate(description, evaluate, selectivity)

@@ -1,0 +1,28 @@
+"""Machine models: cost model, local caches, KSR1 Allcache directory."""
+
+from repro.machine.cache import (
+    REMOTE_HOME,
+    AllcacheDirectory,
+    CacheStats,
+    LocalCache,
+)
+from repro.machine.costs import DEFAULT_COSTS, CostModel
+from repro.machine.machine import (
+    DATA_CACHE_FRACTION,
+    KSR1_LOCAL_CACHE_BYTES,
+    KSR1_PROCESSORS,
+    Machine,
+)
+
+__all__ = [
+    "AllcacheDirectory",
+    "CacheStats",
+    "CostModel",
+    "DATA_CACHE_FRACTION",
+    "DEFAULT_COSTS",
+    "KSR1_LOCAL_CACHE_BYTES",
+    "KSR1_PROCESSORS",
+    "LocalCache",
+    "Machine",
+    "REMOTE_HOME",
+]

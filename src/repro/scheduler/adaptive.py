@@ -1,0 +1,104 @@
+"""The adaptive scheduler — steps 1-4 assembled — plus baselines.
+
+:class:`AdaptiveScheduler` is the paper's contribution: the degree of
+parallelism is chosen per query (decoupled from the degree of
+partitioning), distributed top-down over chains and operators, and
+each operator gets the consumption strategy its data distribution
+calls for.
+
+:class:`StaticScheduler` is the classic static-partitioning baseline
+(Gamma/Bubba style): one thread per operator instance, bound to its
+own queue — the degree of parallelism *is* the degree of partitioning
+and no dynamic balancing happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.executor import OperationSchedule, QuerySchedule
+from repro.lera.graph import LeraGraph
+from repro.machine.machine import Machine
+from repro.scheduler.allocation import (
+    allocate_to_chains,
+    allocate_to_operations,
+    choose_thread_count,
+)
+from repro.scheduler.complexity import query_complexity
+from repro.scheduler.strategy_selection import (
+    DEFAULT_SKEW_THRESHOLD,
+    select_strategy,
+)
+
+
+@dataclass
+class AdaptiveScheduler:
+    """DBS3's four-step top-down scheduler.
+
+    Attributes:
+        machine: Target machine model (processors + cost model).
+        skew_threshold: Pmax/P ratio beyond which LPT is selected.
+        multi_user_factor: Damping of the single-user thread optimum
+            for multi-user throughput ([Rahm93] hook); 1.0 = single
+            user.
+    """
+
+    machine: Machine
+    skew_threshold: float = DEFAULT_SKEW_THRESHOLD
+    multi_user_factor: float = 1.0
+
+    def schedule(self, plan: LeraGraph,
+                 total_threads: int | None = None) -> QuerySchedule:
+        """Produce a :class:`QuerySchedule` for *plan*.
+
+        Args:
+            plan: A validated Lera-par plan.
+            total_threads: Fix the query's degree of parallelism
+                explicitly (as the paper's experiments do); ``None``
+                lets step 1 choose it from the estimated complexity.
+        """
+        plan.validate()
+        costs = self.machine.costs
+        if total_threads is None:
+            total_threads = choose_thread_count(
+                query_complexity(plan, costs), self.machine,
+                multi_user_factor=self.multi_user_factor)
+        chain_allocation = allocate_to_chains(plan, total_threads, costs)
+        operations: dict[str, OperationSchedule] = {}
+        for chain in plan.chains():
+            per_operation = allocate_to_operations(
+                chain, chain_allocation[chain.chain_id], costs)
+            for node in chain.nodes:
+                operations[node.name] = OperationSchedule(
+                    threads=per_operation[node.name],
+                    strategy=select_strategy(node, costs, self.skew_threshold),
+                )
+        return QuerySchedule(operations)
+
+
+@dataclass
+class StaticScheduler:
+    """Baseline: one thread per instance, statically bound to its queue.
+
+    This is the thread-allocation strategy DBS3 replaces: "the typical
+    thread allocation strategy would assign a single thread per
+    operation instance" (Section 3).  Threads never help on other
+    instances' queues, so skewed fragments directly become stragglers.
+    """
+
+    machine: Machine
+
+    def schedule(self, plan: LeraGraph,
+                 total_threads: int | None = None) -> QuerySchedule:
+        """One thread per instance; *total_threads* is ignored (the
+        degree of parallelism is dictated by the partitioning)."""
+        plan.validate()
+        operations = {
+            node.name: OperationSchedule(
+                threads=node.instances,
+                strategy="random",
+                allow_secondary=False,
+            )
+            for node in plan.nodes
+        }
+        return QuerySchedule(operations)

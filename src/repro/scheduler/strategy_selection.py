@@ -1,0 +1,45 @@
+"""Consumption-strategy selection — scheduler step 4.
+
+"The LPT heuristic should be used in the presence of data skew"
+(Section 3).  Skew is detected from static fragment-size information:
+the ratio of the most expensive estimated instance to the mean.  For
+pipelined operators with many activations the analysis (equation 3)
+shows the strategy barely matters, so Random is kept unless the
+operator is triggered with few, skewed activations.
+"""
+
+from __future__ import annotations
+
+from repro.engine.strategies import LPT, RANDOM
+from repro.lera.activation import TRIGGERED
+from repro.lera.graph import LeraNode
+from repro.machine.costs import CostModel
+
+#: Default Pmax/P ratio beyond which an operator counts as skewed.
+DEFAULT_SKEW_THRESHOLD = 1.5
+
+
+def instance_skew(node: LeraNode, costs: CostModel) -> float:
+    """Estimated ``Pmax / P`` over the operator's instances."""
+    estimates = node.spec.estimated_instance_costs(costs)
+    if not estimates:
+        return 1.0
+    mean = sum(estimates) / len(estimates)
+    if mean <= 0:
+        return 1.0
+    return max(estimates) / mean
+
+
+def select_strategy(node: LeraNode, costs: CostModel,
+                    skew_threshold: float = DEFAULT_SKEW_THRESHOLD) -> str:
+    """Pick Random or LPT for one operator.
+
+    LPT is selected for triggered operators whose estimated
+    per-instance costs are skewed beyond *skew_threshold*; everything
+    else keeps the Random default.
+    """
+    if node.trigger_mode != TRIGGERED:
+        return RANDOM
+    if instance_skew(node, costs) > skew_threshold:
+        return LPT
+    return RANDOM

@@ -1,0 +1,62 @@
+"""Fragments: the unit of static partitioning.
+
+A fragment is one horizontal slice of a partitioned relation.  In
+Lera-par each operator whose input is a partitioned relation gets one
+*instance per fragment*, so fragments are also the unit of
+intra-operator parallelism and — for triggered operators — the unit of
+sequential work.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.storage.schema import Schema
+from repro.storage.tuples import Row, row_size_bytes
+
+
+class Fragment:
+    """One fragment of a partitioned relation.
+
+    Attributes:
+        relation_name: Name of the relation this fragment belongs to.
+        index: Fragment number within the partitioning (0-based).
+        schema: Schema shared with the parent relation.
+        rows: The fragment's rows.
+        disk: Identifier of the (simulated) disk holding the fragment,
+            assigned round-robin by the placement policy; ``None`` for
+            transient fragments produced at run time.
+    """
+
+    __slots__ = ("relation_name", "index", "schema", "rows", "disk")
+
+    def __init__(self, relation_name: str, index: int, schema: Schema,
+                 rows: Iterable[Row] = (), disk: int | None = None) -> None:
+        self.relation_name = relation_name
+        self.index = index
+        self.schema = schema
+        self.rows: list[Row] = list(rows)
+        self.disk = disk
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __repr__(self) -> str:
+        return (f"Fragment({self.relation_name!r}[{self.index}], "
+                f"|rows|={len(self.rows)}, disk={self.disk})")
+
+    @property
+    def cardinality(self) -> int:
+        """Number of rows in the fragment."""
+        return len(self.rows)
+
+    def size_bytes(self) -> int:
+        """Approximate footprint of the fragment, in bytes."""
+        return sum(row_size_bytes(row) for row in self.rows)
+
+    def append(self, row: Row) -> None:
+        """Add one row (used when building fragments incrementally)."""
+        self.rows.append(row)

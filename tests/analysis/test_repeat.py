@@ -1,0 +1,78 @@
+"""Measurement repetition utilities (paper: six runs, averaged)."""
+
+import pytest
+
+from repro.bench.repeat import Measurement, measure_series, repeat
+from repro.errors import ReproError
+
+
+class TestMeasurement:
+    def test_mean_min_max(self):
+        m = Measurement((1.0, 2.0, 3.0))
+        assert m.mean == 2.0
+        assert m.minimum == 1.0
+        assert m.maximum == 3.0
+
+    def test_std(self):
+        m = Measurement((2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0))
+        assert m.std == pytest.approx(2.138, rel=1e-3)
+
+    def test_single_sample_std_zero(self):
+        assert Measurement((5.0,)).std == 0.0
+
+    def test_relative_spread(self):
+        assert Measurement((9.0, 11.0)).relative_spread == pytest.approx(0.2)
+
+    def test_confidence_halfwidth(self):
+        m = Measurement((1.0, 2.0, 3.0, 4.0))
+        assert m.confidence_halfwidth() == pytest.approx(
+            1.96 * m.std / 2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            Measurement(())
+
+
+class TestRepeat:
+    def test_default_paper_repetitions(self):
+        calls = []
+        m = repeat(lambda seed: calls.append(seed) or float(seed))
+        assert calls == [0, 1, 2, 3, 4, 5]
+        assert len(m.samples) == 6
+
+    def test_explicit_seeds(self):
+        m = repeat(lambda seed: float(seed), seeds=(7, 9))
+        assert m.samples == (7.0, 9.0)
+
+    def test_bad_repetitions(self):
+        with pytest.raises(ReproError):
+            repeat(lambda seed: 1.0, repetitions=0)
+
+    def test_engine_seed_variation_bounded(self):
+        """Repeated skewed Random executions vary, but modestly."""
+        from repro.bench.workloads import make_join_database
+        from repro.engine.executor import ExecutionOptions, Executor, QuerySchedule
+        from repro.lera.plans import ideal_join_plan
+        from repro.machine.machine import Machine
+        database = make_join_database(2000, 200, degree=20, theta=0.8)
+        plan = ideal_join_plan(database.entry_a, database.entry_b,
+                               "key", "key")
+        machine = Machine.uniform(processors=8)
+
+        def run(seed):
+            executor = Executor(machine, ExecutionOptions(seed=seed))
+            return executor.execute(
+                plan, QuerySchedule.for_plan(plan, 4)).response_time
+
+        m = repeat(run)
+        assert m.std >= 0.0
+        assert m.relative_spread < 0.5
+
+
+class TestMeasureSeries:
+    def test_one_measurement_per_point(self):
+        series = measure_series(lambda x, seed: x * 10.0 + seed,
+                                x_values=(1, 2, 3), repetitions=2)
+        assert len(series) == 3
+        assert series[0].samples == (10.0, 11.0)
+        assert series[2].samples == (30.0, 31.0)

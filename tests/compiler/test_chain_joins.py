@@ -1,0 +1,108 @@
+"""N-way left-deep join chains through SQL."""
+
+import pytest
+
+from repro.bench.workloads import skewed_fragments
+from repro.core.database import DBS3
+from repro.errors import CompilationError
+from repro.storage.partitioning import PartitioningSpec
+
+
+@pytest.fixture
+def db():
+    database = DBS3(processors=16)
+    for name, card, degree in (("A", 800, 10), ("B", 200, 10),
+                               ("C", 300, 8), ("D", 150, 6)):
+        relation, fragments = skewed_fragments(name, card, degree, 0.0)
+        database.catalog.register_fragments(
+            relation, PartitioningSpec.on("key", degree), fragments)
+    return database
+
+
+def _reference(db, names):
+    result = db.table(names[0]).relation
+    for name in names[1:]:
+        result = result.join(db.table(name).relation, "key", "key")
+    return sorted(result.rows)
+
+
+class TestChainCompilation:
+    def test_three_way_plan_shape(self, db):
+        compiled = db.compile(
+            "SELECT * FROM A JOIN B ON A.key = B.key "
+            "JOIN C ON A.key = C.key")
+        assert "ChainJoin" in compiled.description
+        assert "2 phases" in compiled.description
+        names = {node.name for node in compiled.plan.nodes}
+        assert names == {"join1", "store1", "join2"}
+
+    def test_four_way_has_three_phases(self, db):
+        compiled = db.compile(
+            "SELECT * FROM A JOIN B ON A.key = B.key "
+            "JOIN C ON A.key = C.key JOIN D ON C.key = D.key")
+        assert "3 phases" in compiled.description
+        assert len(compiled.plan.chain_waves()) == 3
+
+    def test_on_clause_order_is_flexible(self, db):
+        compiled = db.compile(
+            "SELECT * FROM A JOIN B ON A.key = B.key "
+            "JOIN C ON C.key = B.key")
+        assert "ChainJoin" in compiled.description
+
+    def test_step_must_reference_earlier_relation(self, db):
+        with pytest.raises(CompilationError, match="earlier relation"):
+            db.compile("SELECT * FROM A JOIN B ON A.key = B.key "
+                       "JOIN C ON C.key = C.payload")
+
+    def test_duplicate_relation_rejected(self, db):
+        with pytest.raises(CompilationError, match="twice"):
+            db.compile("SELECT * FROM A JOIN B ON A.key = B.key "
+                       "JOIN B ON A.key = B.key")
+
+    def test_where_on_chain_rejected(self, db):
+        with pytest.raises(CompilationError, match="WHERE"):
+            db.compile("SELECT * FROM A JOIN B ON A.key = B.key "
+                       "JOIN C ON A.key = C.key WHERE A.payload < 5")
+
+    def test_first_pair_must_be_copartitioned(self, db):
+        relation, fragments = skewed_fragments("E", 100, 4, 0.0)
+        db.catalog.register_fragments(relation,
+                                      PartitioningSpec.on("payload", 4),
+                                      fragments)
+        with pytest.raises(CompilationError, match="co-partitioned"):
+            db.compile("SELECT * FROM A JOIN E ON A.key = E.key "
+                       "JOIN C ON A.key = C.key")
+
+
+class TestChainExecution:
+    def test_three_way_matches_reference(self, db):
+        result = db.query("SELECT * FROM A JOIN B ON A.key = B.key "
+                          "JOIN C ON A.key = C.key", threads=8)
+        assert sorted(result.rows) == _reference(db, ["A", "B", "C"])
+
+    def test_four_way_matches_reference(self, db):
+        result = db.query(
+            "SELECT * FROM A JOIN B ON A.key = B.key "
+            "JOIN C ON A.key = C.key JOIN D ON C.key = D.key", threads=8)
+        assert sorted(result.rows) == _reference(db, ["A", "B", "C", "D"])
+
+    def test_projection_across_chain(self, db):
+        result = db.query(
+            "SELECT A.payload, D.payload FROM A JOIN B ON A.key = B.key "
+            "JOIN C ON A.key = C.key JOIN D ON C.key = D.key", threads=6)
+        reference = {(row[1], row[7]) for row in
+                     _reference(db, ["A", "B", "C", "D"])}
+        assert set(result.rows) == reference
+
+    def test_phases_run_in_waves(self, db):
+        result = db.query("SELECT * FROM A JOIN B ON A.key = B.key "
+                          "JOIN C ON A.key = C.key", threads=6)
+        execution = result.execution
+        assert (execution.operation("join2").started_at
+                >= execution.operation("store1").finished_at)
+
+    def test_temp_index_algorithm(self, db):
+        result = db.query("SELECT * FROM A JOIN B ON A.key = B.key "
+                          "JOIN C ON A.key = C.key", threads=6,
+                          algorithm="temp_index")
+        assert sorted(result.rows) == _reference(db, ["A", "B", "C"])

@@ -1,0 +1,91 @@
+"""Name resolution, filter pushdown, selectivity defaults."""
+
+import pytest
+
+from repro.bench.workloads import make_join_database
+from repro.compiler.optimizer import (
+    EQ_SELECTIVITY,
+    NEQ_SELECTIVITY,
+    RANGE_SELECTIVITY,
+    default_selectivity,
+    normalize,
+)
+from repro.compiler.parser import parse
+from repro.errors import CompilationError
+from repro.storage.catalog import Catalog
+
+
+@pytest.fixture
+def cat():
+    catalog = Catalog()
+    make_join_database(400, 40, degree=8, theta=0.0, catalog=catalog)
+    return catalog
+
+
+class TestSelectivities:
+    def test_defaults(self):
+        assert default_selectivity("=") == EQ_SELECTIVITY
+        assert default_selectivity("!=") == NEQ_SELECTIVITY
+        assert default_selectivity("<") == RANGE_SELECTIVITY
+
+
+class TestSelectionNormalization:
+    def test_plain_scan(self, cat):
+        query = normalize(parse("SELECT * FROM A"), cat)
+        assert query.left.name == "A"
+        assert not query.is_join
+        assert not query.left.filtered
+
+    def test_filter_pushed_to_scan(self, cat):
+        query = normalize(parse("SELECT * FROM A WHERE key < 5"), cat)
+        assert query.left.comparisons[0].attribute == "key"
+
+    def test_unknown_relation_rejected(self, cat):
+        with pytest.raises(CompilationError):
+            normalize(parse("SELECT * FROM Ghost"), cat)
+
+    def test_unknown_attribute_rejected(self, cat):
+        with pytest.raises(CompilationError, match="not found"):
+            normalize(parse("SELECT * FROM A WHERE ghost = 1"), cat)
+
+    def test_combined_selectivity(self, cat):
+        query = normalize(parse("SELECT * FROM A WHERE key < 5 AND payload = 1"),
+                          cat)
+        assert query.left.selectivity() == pytest.approx(
+            RANGE_SELECTIVITY * EQ_SELECTIVITY)
+
+
+class TestJoinNormalization:
+    def test_keys_resolved_per_side(self, cat):
+        query = normalize(parse("SELECT * FROM A JOIN B ON A.key = B.key"), cat)
+        assert query.left.name == "A"
+        assert query.right.name == "B"
+        assert query.left_key == "key"
+        assert query.right_key == "key"
+
+    def test_backwards_on_clause_swapped(self, cat):
+        query = normalize(parse("SELECT * FROM A JOIN B ON B.key = A.key"), cat)
+        assert query.left.name == "A"
+        assert query.left_key == "key"
+        assert query.right_key == "key"
+
+    def test_filters_routed_by_owner(self, cat):
+        query = normalize(parse(
+            "SELECT * FROM A JOIN B ON A.key = B.key "
+            "WHERE A.payload < 5 AND B.payload > 1"), cat)
+        assert query.left.comparisons[0].attribute == "payload"
+        assert query.right.comparisons[0].attribute == "payload"
+
+    def test_ambiguous_bare_attribute_rejected(self, cat):
+        with pytest.raises(CompilationError, match="ambiguous"):
+            normalize(parse(
+                "SELECT * FROM A JOIN B ON A.key = B.key WHERE payload < 5"),
+                cat)
+
+    def test_keys_same_relation_rejected(self, cat):
+        with pytest.raises(CompilationError):
+            normalize(parse("SELECT * FROM A JOIN B ON A.key = A.payload"), cat)
+
+    def test_qualifier_not_in_from_rejected(self, cat):
+        with pytest.raises(CompilationError, match="not in FROM"):
+            normalize(parse("SELECT * FROM A JOIN B ON C.key = B.key"), cat)

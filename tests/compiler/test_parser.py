@@ -1,0 +1,159 @@
+"""SQL subset parser."""
+
+import pytest
+
+from repro.compiler.logical import (
+    LogicalFilter,
+    LogicalJoin,
+    LogicalProject,
+    LogicalScan,
+)
+from repro.compiler.parser import parse
+from repro.errors import CompilationError
+
+
+class TestSelect:
+    def test_select_star(self):
+        tree = parse("SELECT * FROM A")
+        assert isinstance(tree, LogicalProject)
+        assert tree.columns == ()
+        assert tree.child == LogicalScan("A")
+
+    def test_select_columns(self):
+        tree = parse("SELECT x, y FROM A")
+        assert tree.columns == ("x", "y")
+
+    def test_qualified_columns(self):
+        tree = parse("SELECT A.x, B.y FROM A JOIN B ON A.k = B.j")
+        assert tree.columns == ("A.x", "B.y")
+
+    def test_case_insensitive_keywords(self):
+        tree = parse("select * from A where x < 5")
+        assert isinstance(tree.child, LogicalFilter)
+
+
+class TestWhere:
+    def test_single_comparison(self):
+        tree = parse("SELECT * FROM A WHERE x < 5")
+        comparison = tree.child.comparisons[0]
+        assert (comparison.attribute, comparison.op, comparison.value) == ("x", "<", 5)
+
+    def test_conjunction(self):
+        tree = parse("SELECT * FROM A WHERE x < 5 AND y = 3")
+        assert len(tree.child.comparisons) == 2
+
+    def test_float_constant(self):
+        tree = parse("SELECT * FROM A WHERE x >= 1.5")
+        assert tree.child.comparisons[0].value == 1.5
+
+    def test_string_constant(self):
+        tree = parse("SELECT * FROM A WHERE name = 'paris'")
+        assert tree.child.comparisons[0].value == "paris"
+
+    def test_negative_number(self):
+        tree = parse("SELECT * FROM A WHERE x > -3")
+        assert tree.child.comparisons[0].value == -3
+
+    @pytest.mark.parametrize("op", ["<", "<=", ">", ">=", "=", "!=", "<>"])
+    def test_all_operators(self, op):
+        tree = parse(f"SELECT * FROM A WHERE x {op} 1")
+        assert tree.child.comparisons[0].op == op
+
+
+class TestJoin:
+    def test_join_structure(self):
+        tree = parse("SELECT * FROM A JOIN B ON A.k = B.j")
+        join = tree.child
+        assert isinstance(join, LogicalJoin)
+        assert join.left == LogicalScan("A")
+        assert join.right == LogicalScan("B")
+        assert join.left_key == "A.k"
+        assert join.right_key == "B.j"
+
+    def test_join_with_where(self):
+        tree = parse("SELECT * FROM A JOIN B ON A.k = B.j WHERE A.x < 5")
+        assert isinstance(tree.child, LogicalFilter)
+        assert isinstance(tree.child.child, LogicalJoin)
+
+    def test_unqualified_join_keys(self):
+        tree = parse("SELECT * FROM A JOIN B ON k = j")
+        assert tree.child.left_key == "k"
+
+
+class TestAggregates:
+    def test_count_star(self):
+        from repro.compiler.logical import LogicalAggregate
+        tree = parse("SELECT COUNT(*) FROM A")
+        assert isinstance(tree, LogicalAggregate)
+        assert tree.group_by is None
+        assert tree.aggregates[0].function == "count"
+        assert tree.aggregates[0].attribute is None
+
+    def test_group_by(self):
+        tree = parse("SELECT g, COUNT(*), SUM(x) FROM A GROUP BY g")
+        assert tree.group_by == "g"
+        assert [a.function for a in tree.aggregates] == ["count", "sum"]
+        assert tree.select_items[0] == "g"
+
+    def test_aggregate_with_where(self):
+        from repro.compiler.logical import LogicalFilter
+        tree = parse("SELECT AVG(x) FROM A WHERE y > 2")
+        assert isinstance(tree.child, LogicalFilter)
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(CompilationError, match="COUNT"):
+            parse("SELECT SUM(*) FROM A")
+
+    def test_missing_close_paren(self):
+        with pytest.raises(CompilationError, match=r"\)"):
+            parse("SELECT SUM(x FROM A")
+
+    def test_column_named_like_function(self):
+        from repro.compiler.logical import LogicalProject
+        tree = parse("SELECT count FROM A")
+        assert isinstance(tree, LogicalProject)
+        assert tree.columns == ("count",)
+
+    def test_non_group_column_rejected(self):
+        with pytest.raises(CompilationError, match="GROUP BY attribute"):
+            parse("SELECT y, COUNT(*) FROM A GROUP BY g")
+
+    def test_group_by_without_aggregates_rejected(self):
+        with pytest.raises(CompilationError, match="without aggregates"):
+            parse("SELECT g FROM A GROUP BY g")
+
+
+class TestErrors:
+    def test_missing_select(self):
+        with pytest.raises(CompilationError):
+            parse("FROM A")
+
+    def test_missing_from(self):
+        with pytest.raises(CompilationError):
+            parse("SELECT *")
+
+    def test_join_requires_equality(self):
+        with pytest.raises(CompilationError, match="'='"):
+            parse("SELECT * FROM A JOIN B ON A.k < B.j")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(CompilationError, match="trailing"):
+            parse("SELECT * FROM A ORDER")
+
+    def test_group_without_by_rejected(self):
+        with pytest.raises(CompilationError):
+            parse("SELECT COUNT(*) FROM A GROUP")
+        with pytest.raises(CompilationError, match="BY"):
+            parse("SELECT COUNT(*) FROM A GROUP key")
+
+    def test_bad_comparison_value(self):
+        with pytest.raises(CompilationError):
+            parse("SELECT * FROM A WHERE x <")
+
+    def test_untokenizable_input(self):
+        with pytest.raises(CompilationError):
+            parse("SELECT * FROM A WHERE x < #!")
+
+    def test_empty_query(self):
+        with pytest.raises(CompilationError):
+            parse("")

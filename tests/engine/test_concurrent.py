@@ -1,0 +1,104 @@
+"""Multi-user concurrent execution."""
+
+import pytest
+
+from repro.bench.workloads import make_join_database, skewed_fragments
+from repro.engine.concurrent import ConcurrentExecutor
+from repro.engine.executor import Executor, QuerySchedule
+from repro.errors import ExecutionError, PlanError
+from repro.lera.plans import assoc_join_plan, ideal_join_plan
+from repro.machine.machine import Machine
+from repro.scheduler.adaptive import AdaptiveScheduler
+
+MACHINE = Machine.uniform(processors=16)
+
+
+def _workload(count=3, threads=4, theta=0.0, card_a=2000, card_b=200):
+    workload = []
+    expected = []
+    for i in range(count):
+        database = make_join_database(card_a, card_b, degree=10, theta=theta,
+                                      name_a=f"A{i}", name_b=f"B{i}")
+        plan = (ideal_join_plan if i % 2 == 0 else assoc_join_plan)(
+            database.entry_a, database.entry_b, "key", "key")
+        workload.append((plan, QuerySchedule.for_plan(plan, threads)))
+        expected.append(database.expected_matches)
+    return workload, expected
+
+
+class TestConcurrentExecution:
+    def test_results_per_query(self):
+        workload, expected = _workload()
+        result = ConcurrentExecutor(MACHINE).execute(workload)
+        assert [e.result_cardinality for e in result.executions] == expected
+
+    def test_makespan_covers_every_query(self):
+        workload, _ = _workload()
+        result = ConcurrentExecutor(MACHINE).execute(workload)
+        assert result.makespan == pytest.approx(
+            max(e.response_time for e in result.executions))
+
+    def test_throughput_beats_serial_with_spare_processors(self):
+        workload, _ = _workload(count=4, threads=4)
+        concurrent = ConcurrentExecutor(MACHINE).execute(workload)
+        serial = sum(Executor(MACHINE).execute(plan, schedule).response_time
+                     for plan, schedule in workload)
+        assert concurrent.makespan < serial
+
+    def test_contention_slows_individual_queries(self):
+        """Over-subscribing the machine dilates everyone."""
+        small_machine = Machine.uniform(processors=4)
+        workload, _ = _workload(count=4, threads=4)
+        alone = Executor(small_machine).execute(*workload[0]).response_time
+        shared = ConcurrentExecutor(small_machine).execute(workload)
+        assert shared.executions[0].response_time > alone
+
+    def test_mean_response_time(self):
+        workload, _ = _workload(count=2)
+        result = ConcurrentExecutor(MACHINE).execute(workload)
+        expected = sum(e.response_time for e in result.executions) / 2
+        assert result.mean_response_time == pytest.approx(expected)
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ExecutionError):
+            ConcurrentExecutor(MACHINE).execute([])
+
+    def test_multi_wave_plan_rejected(self):
+        from repro.lera.plans import two_phase_join_plan
+        from repro.storage.catalog import Catalog
+        from repro.storage.partitioning import PartitioningSpec
+        database = make_join_database(500, 50, degree=5, theta=0.0)
+        relation_c, fragments_c = skewed_fragments("C", 100, 4, 0.0)
+        entry_c = Catalog().register_fragments(
+            relation_c, PartitioningSpec.on("key", 4), fragments_c)
+        plan = two_phase_join_plan(database.entry_a, database.entry_b,
+                                   "key", "key", entry_c, "key", "key")
+        with pytest.raises(PlanError, match="single-wave"):
+            ConcurrentExecutor(MACHINE).execute(
+                [(plan, QuerySchedule.for_plan(plan, 2))])
+
+    def test_multi_user_factor_raises_throughput_under_contention(self):
+        """The [Rahm93] hook: damping per-query parallelism leaves
+        processors for the other queries."""
+        machine = Machine.uniform(processors=8)
+        scheduler_full = AdaptiveScheduler(machine, multi_user_factor=1.0)
+        scheduler_damped = AdaptiveScheduler(machine, multi_user_factor=0.4)
+
+        def batch(scheduler):
+            workload = []
+            for i in range(4):
+                database = make_join_database(
+                    4000, 400, degree=10, theta=0.0,
+                    name_a=f"X{i}", name_b=f"Y{i}")
+                plan = ideal_join_plan(database.entry_a, database.entry_b,
+                                       "key", "key")
+                workload.append((plan, scheduler.schedule(plan)))
+            return ConcurrentExecutor(machine).execute(workload)
+
+        full = batch(scheduler_full)
+        damped = batch(scheduler_damped)
+        # The damped batch allocates fewer threads in total ...
+        assert (sum(e.total_threads for e in damped.executions)
+                < sum(e.total_threads for e in full.executions))
+        # ... without losing much makespan (the machine was saturated).
+        assert damped.makespan < full.makespan * 1.25

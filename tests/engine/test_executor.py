@@ -1,0 +1,156 @@
+"""Executor: schedules, startup accounting, placement, waves."""
+
+import pytest
+
+from repro.bench.workloads import make_join_database
+from repro.engine.executor import (
+    ExecutionOptions,
+    Executor,
+    OperationSchedule,
+    PLACEMENT_COLD,
+    PLACEMENT_WARM,
+    QuerySchedule,
+)
+from repro.errors import ExecutionError
+from repro.lera.plans import (
+    assoc_join_plan,
+    ideal_join_plan,
+    materialized,
+    selection_plan,
+)
+from repro.lera.predicates import TRUE
+from repro.machine.costs import DEFAULT_COSTS
+from repro.machine.machine import Machine
+from repro.storage.partitioning import PartitioningSpec
+
+
+class TestSchedules:
+    def test_for_plan_uniform(self, join_db):
+        plan = assoc_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        schedule = QuerySchedule.for_plan(plan, 3)
+        assert schedule.of("transmit").threads == 3
+        assert schedule.of("join").threads == 3
+
+    def test_missing_operation_rejected(self, join_db):
+        plan = assoc_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        schedule = QuerySchedule({"transmit": OperationSchedule(1)})
+        with pytest.raises(ExecutionError, match="no schedule"):
+            Executor(Machine.uniform()).execute(plan, schedule)
+
+    def test_with_strategy_replaces(self, join_db):
+        plan = ideal_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        schedule = QuerySchedule.for_plan(plan, 2).with_strategy("join", "lpt")
+        assert schedule.of("join").strategy == "lpt"
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ExecutionError):
+            OperationSchedule(0)
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(ExecutionError):
+            ExecutionOptions(placement="everywhere")
+
+
+class TestStartup:
+    def test_startup_counts_threads_and_queues(self, join_db):
+        plan = ideal_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        execution = Executor(Machine.uniform()).execute(
+            plan, QuerySchedule.for_plan(plan, 4))
+        expected = (4 * DEFAULT_COSTS.thread_create
+                    + join_db.degree * DEFAULT_COSTS.queue_create_triggered)
+        assert execution.startup_time == pytest.approx(expected)
+
+    def test_pipelined_queues_cost_more(self, join_db):
+        ideal = ideal_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        assoc = assoc_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        executor = Executor(Machine.uniform())
+        t_ideal = executor.execute(
+            ideal, QuerySchedule.for_plan(ideal, 2)).startup_time
+        t_assoc = executor.execute(
+            assoc, QuerySchedule.for_plan(assoc, 1)).startup_time
+        assert t_assoc > t_ideal
+
+    def test_startup_grows_with_degree(self):
+        small = make_join_database(400, 40, degree=4, theta=0.0)
+        large = make_join_database(400, 40, degree=40, theta=0.0)
+        executor = Executor(Machine.uniform())
+        plan_s = ideal_join_plan(small.entry_a, small.entry_b, "key", "key")
+        plan_l = ideal_join_plan(large.entry_a, large.entry_b, "key", "key")
+        s = executor.execute(plan_s, QuerySchedule.for_plan(plan_s, 2))
+        l = executor.execute(plan_l, QuerySchedule.for_plan(plan_l, 2))
+        assert l.startup_time > s.startup_time
+
+
+class TestPlacement:
+    def test_cold_slower_than_warm(self, catalog, small_relation):
+        entry = catalog.register(small_relation, PartitioningSpec.on("key", 8))
+        plan = selection_plan(entry, TRUE)
+        schedule = QuerySchedule.for_plan(plan, 2)
+        warm = Executor(Machine.ksr1(processors=8),
+                        ExecutionOptions(placement=PLACEMENT_WARM)).execute(
+            plan, schedule)
+        cold = Executor(Machine.ksr1(processors=8),
+                        ExecutionOptions(placement=PLACEMENT_COLD)).execute(
+            plan, schedule)
+        assert cold.response_time > warm.response_time
+        assert cold.operation("filter").memory_penalty > 0
+        assert warm.operation("filter").memory_penalty == pytest.approx(0.0)
+
+    def test_uniform_machine_ignores_placement(self, catalog, small_relation):
+        entry = catalog.register(small_relation, PartitioningSpec.on("key", 8))
+        plan = selection_plan(entry, TRUE)
+        schedule = QuerySchedule.for_plan(plan, 2)
+        warm = Executor(Machine.uniform(),
+                        ExecutionOptions(placement=PLACEMENT_WARM)).execute(
+            plan, schedule)
+        cold = Executor(Machine.uniform(),
+                        ExecutionOptions(placement=PLACEMENT_COLD)).execute(
+            plan, schedule)
+        assert warm.response_time == pytest.approx(cold.response_time)
+
+
+class TestWaves:
+    def test_materialized_chains_run_sequentially(self, join_db, catalog,
+                                                  small_relation):
+        entry = catalog.register(small_relation, PartitioningSpec.on("key", 4))
+        producer = selection_plan(entry, TRUE, node_name="pre")
+        consumer = ideal_join_plan(join_db.entry_a, join_db.entry_b,
+                                   "key", "key")
+        merged = materialized(producer, consumer, "pre", "join")
+        execution = Executor(Machine.uniform()).execute(
+            merged, QuerySchedule.for_plan(merged, 2))
+        pre = execution.operation("pre")
+        join = execution.operation("join")
+        assert join.started_at >= pre.finished_at
+
+    def test_results_from_both_terminal_ops(self, join_db, catalog,
+                                            small_relation):
+        entry = catalog.register(small_relation, PartitioningSpec.on("key", 4))
+        producer = selection_plan(entry, TRUE, node_name="pre")
+        consumer = ideal_join_plan(join_db.entry_a, join_db.entry_b,
+                                   "key", "key")
+        merged = materialized(producer, consumer, "pre", "join")
+        execution = Executor(Machine.uniform()).execute(
+            merged, QuerySchedule.for_plan(merged, 2))
+        expected = small_relation.cardinality + join_db.expected_matches
+        assert execution.result_cardinality == expected
+
+
+class TestSecondaryQueues:
+    def test_static_binding_never_steals(self, skewed_join_db):
+        plan = ideal_join_plan(skewed_join_db.entry_a, skewed_join_db.entry_b,
+                               "key", "key")
+        schedule = QuerySchedule({"join": OperationSchedule(
+            4, allow_secondary=False)})
+        execution = Executor(Machine.uniform()).execute(plan, schedule)
+        assert execution.operation("join").secondary_accesses == 0
+
+    def test_dynamic_balancing_beats_static_under_skew(self, skewed_join_db):
+        plan = ideal_join_plan(skewed_join_db.entry_a, skewed_join_db.entry_b,
+                               "key", "key")
+        executor = Executor(Machine.uniform())
+        dynamic = executor.execute(plan, QuerySchedule(
+            {"join": OperationSchedule(4, allow_secondary=True)}))
+        static = executor.execute(plan, QuerySchedule(
+            {"join": OperationSchedule(4, allow_secondary=False)}))
+        assert dynamic.response_time <= static.response_time + 1e-9

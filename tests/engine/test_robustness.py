@@ -1,0 +1,117 @@
+"""Failure injection and engine edge cases."""
+
+import pytest
+
+from repro.bench.workloads import make_join_database
+from repro.engine.dbfuncs import make_dbfunc
+from repro.engine.executor import Executor, QuerySchedule
+from repro.engine.operation import OperationRuntime
+from repro.engine.simulator import Simulator
+from repro.engine.strategies import make_strategy
+from repro.errors import ExecutionError
+from repro.lera.graph import LeraNode
+from repro.lera.operators import PipelinedJoinSpec
+from repro.lera.plans import assoc_join_plan, ideal_join_plan
+from repro.machine.machine import Machine
+from repro.storage.fragment import Fragment
+from repro.storage.schema import Schema
+
+SCHEMA = Schema.of_ints("key", "payload")
+
+
+class TestDeadlockDetection:
+    def test_pipelined_op_with_no_producer_deadlocks(self):
+        """A mis-wired pipelined operation (producers never close it)
+        is detected instead of hanging."""
+        fragments = [Fragment("A", 0, SCHEMA, [(0, 0)])]
+        node = LeraNode("orphan", PipelinedJoinSpec(
+            fragments, "key", SCHEMA, "key", stream_cardinality=1))
+        machine = Machine.uniform(processors=4)
+        runtime = OperationRuntime(node, make_dbfunc(node.spec, machine.costs),
+                                   make_strategy("random"), cache_size=1)
+        runtime.producers_remaining = 1      # a producer that never comes
+        runtime.build_pool([0], start_time=0.0)
+        with pytest.raises(ExecutionError, match="deadlock"):
+            Simulator(machine).run_wave([runtime])
+
+
+class TestRouterWiring:
+    def test_consumer_without_router_raises(self, join_db):
+        plan = assoc_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        executor = Executor(Machine.uniform(processors=4))
+        # sabotage: executor wires the router; remove it post-build by
+        # running a custom build path
+        runtimes = executor._build_runtimes(
+            plan, QuerySchedule.for_plan(plan, 2))
+        executor._wire_pipelines(plan, runtimes)
+        runtimes["transmit"].router = None
+        for name, runtime in runtimes.items():
+            runtime.build_pool([0, 1] if name == "transmit" else [2, 3], 0.0)
+            if runtime.node.trigger_mode == "triggered":
+                runtime.seed_triggers(0.0)
+        with pytest.raises(ExecutionError, match="router"):
+            Simulator(executor.machine).run_wave(list(runtimes.values()))
+
+
+class TestSlicedModeEquivalence:
+    """The sliced (over-subscribed) path must agree with the whole-
+    activation path on everything but timing."""
+
+    def test_results_identical(self):
+        database = make_join_database(2000, 200, degree=10, theta=0.7)
+        plan = ideal_join_plan(database.entry_a, database.entry_b,
+                               "key", "key")
+        schedule = QuerySchedule.for_plan(plan, 8)
+        whole = Executor(Machine.uniform(processors=8)).execute(
+            plan, schedule)      # threads == processors: whole path
+        sliced = Executor(Machine.uniform(processors=4)).execute(
+            plan, schedule)      # threads > processors: sliced path
+        assert sorted(whole.result_rows) == sorted(sliced.result_rows)
+        assert whole.total_activations == sliced.total_activations
+
+    def test_sliced_never_faster(self):
+        database = make_join_database(2000, 200, degree=10, theta=0.0)
+        plan = ideal_join_plan(database.entry_a, database.entry_b,
+                               "key", "key")
+        schedule = QuerySchedule.for_plan(plan, 8)
+        whole = Executor(Machine.uniform(processors=8)).execute(
+            plan, schedule).response_time
+        sliced = Executor(Machine.uniform(processors=4)).execute(
+            plan, schedule).response_time
+        assert sliced >= whole
+
+    def test_work_is_undilated_in_both_modes(self):
+        database = make_join_database(1000, 100, degree=5, theta=0.0)
+        plan = ideal_join_plan(database.entry_a, database.entry_b,
+                               "key", "key")
+        schedule = QuerySchedule.for_plan(plan, 4)
+        whole = Executor(Machine.uniform(processors=8)).execute(plan, schedule)
+        sliced = Executor(Machine.uniform(processors=2)).execute(plan, schedule)
+        assert whole.work == pytest.approx(sliced.work)
+
+
+class TestDegenerateShapes:
+    def test_single_fragment_single_thread(self):
+        database = make_join_database(100, 10, degree=1, theta=0.0)
+        plan = ideal_join_plan(database.entry_a, database.entry_b,
+                               "key", "key")
+        execution = Executor(Machine.uniform(processors=1)).execute(
+            plan, QuerySchedule.for_plan(plan, 1))
+        assert execution.result_cardinality == database.expected_matches
+
+    def test_empty_join_operands(self):
+        database = make_join_database(0, 0, degree=4, theta=0.0)
+        plan = ideal_join_plan(database.entry_a, database.entry_b,
+                               "key", "key")
+        execution = Executor(Machine.uniform(processors=4)).execute(
+            plan, QuerySchedule.for_plan(plan, 2))
+        assert execution.result_cardinality == 0
+
+    def test_one_processor_machine(self):
+        database = make_join_database(500, 50, degree=5, theta=0.5)
+        plan = assoc_join_plan(database.entry_a, database.entry_b,
+                               "key", "key")
+        execution = Executor(Machine.uniform(processors=1)).execute(
+            plan, QuerySchedule.for_plan(plan, 2))
+        assert execution.result_cardinality == database.expected_matches
+        assert execution.dilation > 1.0

@@ -1,0 +1,154 @@
+"""Virtual-time simulator: scheduling, pipelining, termination."""
+
+import pytest
+
+from repro.bench.workloads import make_join_database
+from repro.engine.executor import (
+    ExecutionOptions,
+    Executor,
+    OperationSchedule,
+    QuerySchedule,
+)
+from repro.lera.plans import assoc_join_plan, ideal_join_plan, selection_plan
+from repro.lera.predicates import TRUE
+from repro.machine.machine import Machine
+from repro.storage.catalog import Catalog
+from repro.storage.partitioning import PartitioningSpec
+
+
+def _executor(processors=16, **options):
+    return Executor(Machine.uniform(processors=processors),
+                    ExecutionOptions(**options))
+
+
+class TestTermination:
+    def test_all_threads_finish(self, join_db):
+        plan = ideal_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        execution = _executor().execute(plan, QuerySchedule.for_plan(plan, 4))
+        join = execution.operation("join")
+        assert join.finished_at > join.started_at
+
+    def test_more_threads_than_activations(self, join_db):
+        """Extra threads terminate immediately without deadlock."""
+        plan = ideal_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        execution = _executor(processors=64).execute(
+            plan, QuerySchedule.for_plan(plan, 40))
+        assert execution.operation("join").activations == join_db.degree
+
+    def test_empty_relation_selection(self, catalog, small_schema):
+        from repro.storage.relation import Relation
+        relation = Relation("E", small_schema, [])
+        entry = catalog.register(relation, PartitioningSpec.on("key", 4))
+        plan = selection_plan(entry, TRUE)
+        execution = _executor().execute(plan, QuerySchedule.for_plan(plan, 2))
+        assert execution.result_cardinality == 0
+
+
+class TestVirtualTime:
+    def test_response_time_monotone_in_work(self):
+        small = make_join_database(500, 50, degree=10, theta=0.0)
+        large = make_join_database(2000, 200, degree=10, theta=0.0)
+        plan_small = ideal_join_plan(small.entry_a, small.entry_b, "key", "key")
+        plan_large = ideal_join_plan(large.entry_a, large.entry_b, "key", "key")
+        t_small = _executor().execute(
+            plan_small, QuerySchedule.for_plan(plan_small, 4)).response_time
+        t_large = _executor().execute(
+            plan_large, QuerySchedule.for_plan(plan_large, 4)).response_time
+        assert t_large > t_small
+
+    def test_more_threads_is_faster(self, join_db):
+        plan = ideal_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        t2 = _executor().execute(plan, QuerySchedule.for_plan(plan, 2)).response_time
+        t8 = _executor().execute(plan, QuerySchedule.for_plan(plan, 8)).response_time
+        assert t8 < t2
+
+    def test_response_at_least_ideal(self, join_db):
+        plan = ideal_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        execution = _executor().execute(plan, QuerySchedule.for_plan(plan, 4))
+        profile = execution.operation("join").profile()
+        assert execution.response_time >= profile.ideal_time(4)
+
+    def test_deterministic_for_seed(self, join_db):
+        plan = ideal_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        times = {_executor(seed=3).execute(
+            plan, QuerySchedule.for_plan(plan, 4)).response_time
+            for _ in range(3)}
+        assert len(times) == 1
+
+    def test_different_seeds_may_differ_slightly(self, skewed_join_db):
+        plan = ideal_join_plan(skewed_join_db.entry_a, skewed_join_db.entry_b,
+                               "key", "key")
+        t_a = _executor(seed=1).execute(
+            plan, QuerySchedule.for_plan(plan, 4)).response_time
+        t_b = _executor(seed=2).execute(
+            plan, QuerySchedule.for_plan(plan, 4)).response_time
+        # Random strategy: both valid executions of the same work
+        assert abs(t_a - t_b) / t_a < 0.5
+
+
+class TestPipelining:
+    def test_consumer_overlaps_producer(self, join_db):
+        """In AssocJoin the join starts before the transmit finishes —
+        the essence of pipelined execution."""
+        plan = assoc_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        schedule = QuerySchedule({
+            "transmit": OperationSchedule(2),
+            "join": OperationSchedule(2),
+        })
+        execution = _executor().execute(plan, schedule)
+        transmit = execution.operation("transmit")
+        join = execution.operation("join")
+        assert join.finished_at >= transmit.finished_at
+        # Join consumed activations while transmit was still running:
+        # its busy time exceeds what fits after the transmit finished.
+        post_transmit = (join.finished_at - transmit.finished_at) * join.threads
+        assert join.busy_time > post_transmit
+
+    def test_pipeline_results_complete(self, join_db):
+        plan = assoc_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        execution = _executor().execute(plan, QuerySchedule.for_plan(plan, 2))
+        assert execution.result_cardinality == join_db.expected_matches
+
+
+class TestBackpressure:
+    def test_bounded_queues_still_complete(self, join_db):
+        plan = assoc_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        execution = _executor(queue_capacity=4).execute(
+            plan, QuerySchedule.for_plan(plan, 2))
+        assert execution.result_cardinality == join_db.expected_matches
+
+    def test_backpressure_slows_or_equals(self, join_db):
+        plan = assoc_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        free = _executor().execute(
+            plan, QuerySchedule.for_plan(plan, 2)).response_time
+        tight = _executor(queue_capacity=1).execute(
+            plan, QuerySchedule.for_plan(plan, 2)).response_time
+        assert tight >= free - 1e-9
+
+
+class TestOversubscription:
+    def test_dilation_slows_execution(self, join_db):
+        plan = ideal_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        few_procs = Executor(Machine.uniform(processors=2)).execute(
+            plan, QuerySchedule.for_plan(plan, 8))
+        many_procs = Executor(Machine.uniform(processors=16)).execute(
+            plan, QuerySchedule.for_plan(plan, 8))
+        assert few_procs.response_time > many_procs.response_time
+
+    def test_sliced_mode_preserves_results(self, join_db):
+        plan = assoc_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        execution = Executor(Machine.uniform(processors=2)).execute(
+            plan, QuerySchedule.for_plan(plan, 4))
+        assert execution.result_cardinality == join_db.expected_matches
+
+    def test_straggler_runs_undilated(self, skewed_join_db):
+        """Once other threads drain, the last activation proceeds at
+        full speed: response stays near Pmax, not Pmax * dilation."""
+        plan = ideal_join_plan(skewed_join_db.entry_a, skewed_join_db.entry_b,
+                               "key", "key")
+        execution = Executor(Machine.uniform(processors=8)).execute(
+            plan, QuerySchedule.for_plan(plan, 16, strategy="lpt"))
+        profile = execution.operation("join").profile()
+        # generous bound: well under Pmax * full dilation
+        dilation = Machine.uniform(processors=8).dilation(16)
+        assert execution.response_time < profile.worst_time(8) * dilation

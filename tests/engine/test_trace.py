@@ -1,0 +1,127 @@
+"""Execution tracing and the Gantt renderer."""
+
+import pytest
+
+from repro.bench.workloads import make_join_database
+from repro.engine.executor import ExecutionOptions, Executor, QuerySchedule
+from repro.engine.trace import ExecutionTrace
+from repro.errors import ReproError
+from repro.lera.plans import assoc_join_plan, ideal_join_plan
+from repro.machine.machine import Machine
+
+
+def _traced(plan, threads=4, strategy="random"):
+    executor = Executor(Machine.uniform(processors=8),
+                        ExecutionOptions(trace=True))
+    return executor.execute(plan,
+                            QuerySchedule.for_plan(plan, threads, strategy))
+
+
+class TestTraceCollection:
+    def test_one_event_per_activation(self, join_db):
+        plan = ideal_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        execution = _traced(plan)
+        assert execution.trace is not None
+        assert len(execution.trace) == join_db.degree
+
+    def test_pipeline_traces_both_operations(self, join_db):
+        plan = assoc_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        execution = _traced(plan, threads=2)
+        trace = execution.trace
+        assert set(trace.operations()) == {"transmit", "join"}
+        join_events = [e for e in trace.events if e.operation == "join"]
+        assert len(join_events) == join_db.entry_b.cardinality
+
+    def test_tracing_off_by_default(self, join_db):
+        plan = ideal_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        executor = Executor(Machine.uniform(processors=8))
+        execution = executor.execute(plan, QuerySchedule.for_plan(plan, 2))
+        assert execution.trace is None
+
+    def test_events_have_positive_duration(self, join_db):
+        plan = ideal_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        for event in _traced(plan).trace.events:
+            assert event.duration > 0
+
+    def test_events_within_response_time(self, join_db):
+        plan = assoc_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        execution = _traced(plan, threads=2)
+        start, end = execution.trace.span
+        assert start >= execution.startup_time - 1e-9
+        assert end <= execution.response_time + 1e-9
+
+    def test_busy_time_matches_metrics(self, join_db):
+        plan = ideal_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        execution = _traced(plan, threads=2)
+        traced_busy = sum(execution.trace.busy_time(t)
+                          for t in execution.trace.thread_ids())
+        metric_busy = execution.operation("join").busy_time
+        # trace records activation intervals; metrics also count queue
+        # machinery, so trace <= metrics, within a small margin.
+        assert traced_busy <= metric_busy + 1e-9
+        assert traced_busy > metric_busy * 0.95
+
+    def test_finalize_events_marked(self):
+        from repro.lera.aggregates import AggregateExpr
+        from repro.lera.plans import aggregate_plan
+        from repro.storage.catalog import Catalog
+        from repro.storage.partitioning import PartitioningSpec
+        from repro.storage.relation import Relation
+        from repro.storage.schema import Schema
+        schema = Schema.of_ints("key", "grp")
+        entry = Catalog().register(
+            Relation("R", schema, [(i, i % 3) for i in range(60)]),
+            PartitioningSpec.on("key", 4))
+        plan = aggregate_plan(entry, (AggregateExpr("count"),),
+                              group_by="grp")
+        execution = _traced(plan, threads=2)
+        kinds = {e.kind for e in execution.trace.events}
+        assert "finalize" in kinds
+
+
+class TestTraceQueries:
+    def test_empty_trace_raises(self):
+        with pytest.raises(ReproError):
+            ExecutionTrace().span
+        with pytest.raises(ReproError):
+            ExecutionTrace().gantt()
+
+    def test_active_threads(self):
+        trace = ExecutionTrace()
+        trace.record(0, "op", "activation", 0.0, 2.0)
+        trace.record(1, "op", "activation", 1.0, 3.0)
+        assert trace.active_threads(0.5) == 1
+        assert trace.active_threads(1.5) == 2
+        assert trace.active_threads(2.5) == 1
+
+    def test_utilization_timeline(self):
+        trace = ExecutionTrace()
+        trace.record(0, "op", "activation", 0.0, 1.0)
+        trace.record(1, "op", "activation", 0.0, 2.0)
+        timeline = trace.utilization_timeline(bins=2)
+        assert timeline[0] == pytest.approx(1.0)   # both busy
+        assert timeline[1] == pytest.approx(0.5)   # one busy
+
+
+class TestGantt:
+    def test_renders_rows_and_legend(self, join_db):
+        plan = assoc_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        execution = _traced(plan, threads=2)
+        chart = execution.trace.gantt(width=40)
+        lines = chart.splitlines()
+        # header + one row per thread + legend
+        assert len(lines) == 1 + 4 + 1
+        assert "legend:" in lines[-1]
+        assert "transmit" in lines[-1]
+        assert all("|" in line for line in lines[1:-1])
+
+    def test_skew_straggler_visible(self, skewed_join_db):
+        """The Gantt makes the Pmax straggler literally visible: one
+        thread's row is busy long after the others idle."""
+        plan = ideal_join_plan(skewed_join_db.entry_a, skewed_join_db.entry_b,
+                               "key", "key")
+        execution = _traced(plan, threads=8, strategy="lpt")
+        trace = execution.trace
+        ends = [max((e.end for e in trace.events_of(t)), default=0.0)
+                for t in trace.thread_ids()]
+        assert max(ends) > 1.5 * sorted(ends)[len(ends) // 2]

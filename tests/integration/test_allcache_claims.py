@@ -1,0 +1,63 @@
+"""Section 5.2's qualitative Allcache claims beyond Figures 8/9."""
+
+import pytest
+
+from repro.bench.workloads import make_join_database
+from repro.engine.executor import (
+    PLACEMENT_COLD,
+    PLACEMENT_WARM,
+    ExecutionOptions,
+    Executor,
+    QuerySchedule,
+)
+from repro.lera.plans import ideal_join_plan, selection_plan
+from repro.lera.predicates import TRUE
+from repro.machine.machine import Machine
+from repro.storage.catalog import Catalog
+from repro.storage.partitioning import PartitioningSpec
+from repro.storage.wisconsin import generate_wisconsin
+
+
+def _relative_penalty(plan, threads):
+    times = {}
+    for placement in (PLACEMENT_WARM, PLACEMENT_COLD):
+        machine = Machine.ksr1(processors=16)
+        executor = Executor(machine, ExecutionOptions(placement=placement))
+        times[placement] = executor.execute(
+            plan, QuerySchedule.for_plan(plan, threads)).response_time
+    return (times[PLACEMENT_COLD] - times[PLACEMENT_WARM]) / times[PLACEMENT_COLD]
+
+
+class TestJoinsSufferLessThanScans:
+    def test_remote_fraction_smaller_for_joins(self):
+        """"For more complex queries (e.g. join), this overhead would
+        become even smaller" — the join does far more CPU work per
+        byte shipped, so the remote fraction shrinks."""
+        catalog = Catalog()
+        relation = generate_wisconsin("W", 5000, seed=3)
+        entry = catalog.register(relation, PartitioningSpec.on("unique1", 20))
+        scan_fraction = _relative_penalty(selection_plan(entry, TRUE), 4)
+
+        database = make_join_database(5000, 500, degree=20, theta=0.0)
+        join_plan = ideal_join_plan(database.entry_a, database.entry_b,
+                                    "key", "key")
+        join_fraction = _relative_penalty(join_plan, 4)
+
+        assert scan_fraction > 0
+        assert join_fraction < scan_fraction
+
+    def test_second_query_runs_local(self):
+        """Once caches are filled, "all accesses get local": re-running
+        the same plan on the same machine pays no further penalty."""
+        catalog = Catalog()
+        relation = generate_wisconsin("W", 2000, seed=3)
+        entry = catalog.register(relation, PartitioningSpec.on("unique1", 8))
+        plan = selection_plan(entry, TRUE)
+        machine = Machine.ksr1(processors=8)
+        executor = Executor(machine, ExecutionOptions(placement=PLACEMENT_COLD))
+        first = executor.execute(plan, QuerySchedule.for_plan(plan, 4))
+        second = executor.execute(plan, QuerySchedule.for_plan(plan, 4))
+        assert first.operation("filter").memory_penalty > 0
+        assert second.operation("filter").memory_penalty == pytest.approx(
+            0.0, abs=first.operation("filter").memory_penalty * 0.2)
+        assert second.response_time < first.response_time

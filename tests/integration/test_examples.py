@@ -1,0 +1,25 @@
+"""Smoke-run every example script (they must stay executable)."""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+@pytest.mark.parametrize("script", [
+    "quickstart.py",
+    "skew_handling.py",
+    "partitioning_tuning.py",
+    "adaptive_scheduling.py",
+    "allcache_memory.py",
+    "multi_chain_queries.py",
+    "model_validation.py",
+])
+def test_example_runs(script, capsys, monkeypatch):
+    path = EXAMPLES / script
+    assert path.exists(), f"missing example {script}"
+    runpy.run_path(str(path), run_name="__main__")
+    output = capsys.readouterr().out
+    assert len(output) > 100, f"{script} produced no meaningful output"

@@ -1,0 +1,138 @@
+"""Small-scale versions of the paper's headline claims.
+
+The full-size regenerations (paper cardinalities, full sweeps) live in
+benchmarks/; these integration tests check the same *shapes* at sizes
+that run in a couple of seconds, so the claims are guarded by the
+plain test suite too.
+"""
+
+import pytest
+
+from repro.analysis.formulas import nmax_from_costs
+from repro.bench.runners import (
+    chain_worst_time,
+    run_assoc_join,
+    run_ideal_join,
+)
+from repro.bench.workloads import make_join_database
+from repro.machine.machine import Machine
+
+
+@pytest.fixture(scope="module")
+def databases():
+    """Shared small databases across skew levels (A=20K, B'=2K, d=100)."""
+    return {theta: make_join_database(20_000, 2000, degree=100, theta=theta)
+            for theta in (0.0, 0.6, 1.0)}
+
+
+MACHINE = Machine.uniform(processors=16)
+
+
+class TestPipelinedSkewInsensitivity:
+    """Figure 12: AssocJoin's time is flat in the skew factor."""
+
+    def test_flat_across_skew(self, databases):
+        times = [run_assoc_join(databases[theta], 10,
+                                machine=MACHINE).response_time
+                 for theta in (0.0, 0.6, 1.0)]
+        spread = (max(times) - min(times)) / min(times)
+        assert spread < 0.05
+
+    def test_under_worst_bound(self, databases):
+        execution = run_assoc_join(databases[1.0], 10, machine=MACHINE)
+        assert execution.response_time <= chain_worst_time(execution) * 1.05
+
+
+class TestTriggeredSkewSensitivity:
+    """Figure 13: triggered joins suffer; LPT helps; Pmax pins the tail."""
+
+    def test_random_degrades_with_skew(self, databases):
+        flat = run_ideal_join(databases[0.0], 10, strategy="random",
+                              machine=MACHINE).response_time
+        skewed = run_ideal_join(databases[1.0], 10, strategy="random",
+                                machine=MACHINE).response_time
+        assert skewed > flat * 1.3
+
+    def test_lpt_beats_random_under_high_skew(self, databases):
+        random_time = run_ideal_join(databases[1.0], 10, strategy="random",
+                                     machine=MACHINE).response_time
+        lpt_time = run_ideal_join(databases[1.0], 10, strategy="lpt",
+                                  machine=MACHINE).response_time
+        assert lpt_time <= random_time
+
+    def test_pmax_lower_bounds_response(self, databases):
+        execution = run_ideal_join(databases[1.0], 10, strategy="lpt",
+                                   machine=MACHINE)
+        pmax = execution.operation("join").profile().max_cost
+        assert execution.response_time >= pmax
+
+
+class TestSpeedupCeiling:
+    """Figure 15: speed-up of a skewed triggered join plateaus at nmax."""
+
+    def test_ceiling_near_nmax(self, databases):
+        execution_small = run_ideal_join(databases[1.0], 2, strategy="lpt",
+                                         machine=MACHINE)
+        sequential = execution_small.work
+        profile_nmax = nmax_from_costs(
+            execution_small.operation("join").activation_costs)
+        t = run_ideal_join(databases[1.0], 16, strategy="lpt",
+                           machine=MACHINE).response_time
+        speedup = sequential / t
+        # plateau within ~15% of the analytic ceiling and never above it
+        assert speedup <= profile_nmax + 0.1
+        assert speedup >= profile_nmax * 0.8
+
+    def test_unskewed_scales_linearly(self, databases):
+        execution = run_ideal_join(databases[0.0], 8, machine=MACHINE)
+        speedup = execution.work / execution.response_time
+        assert speedup > 6.5
+
+
+class TestPartitioningDecoupling:
+    """Section 5.6: raising the degree rescues skewed triggered joins,
+    at a modest overhead for unskewed ones."""
+
+    def test_high_degree_reduces_skew_overhead(self):
+        coarse = make_join_database(20_000, 2000, degree=20, theta=0.6)
+        fine = make_join_database(20_000, 2000, degree=400, theta=0.6)
+        coarse_base = make_join_database(20_000, 2000, degree=20, theta=0.0)
+        fine_base = make_join_database(20_000, 2000, degree=400, theta=0.0)
+        v_coarse = (run_ideal_join(coarse, 10, strategy="lpt",
+                                   machine=MACHINE).response_time
+                    / run_ideal_join(coarse_base, 10, strategy="lpt",
+                                     machine=MACHINE).response_time) - 1
+        v_fine = (run_ideal_join(fine, 10, strategy="lpt",
+                                 machine=MACHINE).response_time
+                  / run_ideal_join(fine_base, 10, strategy="lpt",
+                                   machine=MACHINE).response_time) - 1
+        assert v_fine < v_coarse
+        assert v_fine < 0.1
+
+    def test_assoc_join_flat_in_degree_skew(self):
+        """Section 5.6.2: v(0.6) < 0.03 for AssocJoin at any degree."""
+        for degree in (20, 200):
+            base = make_join_database(10_000, 1000, degree=degree, theta=0.0)
+            skewed = make_join_database(10_000, 1000, degree=degree, theta=0.6)
+            v = (run_assoc_join(skewed, 10, machine=MACHINE).response_time
+                 / run_assoc_join(base, 10, machine=MACHINE).response_time) - 1
+            assert v < 0.03
+
+
+class TestAdaptiveVsStatic:
+    """The motivating comparison: DBS3's decoupled pools vs the static
+    one-thread-per-instance baseline under skew."""
+
+    def test_adaptive_wins_under_skew(self, databases):
+        from repro.engine.executor import Executor
+        from repro.lera.plans import ideal_join_plan
+        from repro.scheduler.adaptive import AdaptiveScheduler, StaticScheduler
+        database = databases[1.0]
+        plan = ideal_join_plan(database.entry_a, database.entry_b,
+                               "key", "key")
+        machine = Machine.uniform(processors=16)
+        executor = Executor(machine)
+        adaptive = executor.execute(
+            plan, AdaptiveScheduler(machine).schedule(plan, total_threads=16))
+        static = executor.execute(plan, StaticScheduler(machine).schedule(plan))
+        assert adaptive.response_time < static.response_time

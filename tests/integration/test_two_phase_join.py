@@ -1,0 +1,120 @@
+"""Multi-chain (Figure 5 style) execution: store + second-phase join."""
+
+import pytest
+
+from repro.bench.workloads import make_join_database, skewed_fragments
+from repro.engine.executor import Executor, QuerySchedule
+from repro.errors import PlanError
+from repro.lera.plans import two_phase_join_plan
+from repro.machine.machine import Machine
+from repro.scheduler.adaptive import AdaptiveScheduler
+from repro.storage.catalog import Catalog
+from repro.storage.partitioning import PartitioningSpec
+
+
+@pytest.fixture
+def setup():
+    """A,B co-partitioned (d=10); C partitioned on key (d=8)."""
+    database = make_join_database(1000, 100, degree=10, theta=0.0)
+    relation_c, fragments_c = skewed_fragments("C", 300, 8, 0.0)
+    catalog = Catalog()
+    entry_c = catalog.register_fragments(relation_c,
+                                         PartitioningSpec.on("key", 8),
+                                         fragments_c)
+    return database, entry_c
+
+
+def _reference(database, entry_c):
+    t1 = database.entry_a.relation.join(database.entry_b.relation,
+                                        "key", "key")
+    return sorted(t1.join(entry_c.relation, "key", "key").rows)
+
+
+class TestPlanShape:
+    def test_two_chains(self, setup):
+        database, entry_c = setup
+        plan = two_phase_join_plan(database.entry_a, database.entry_b,
+                                   "key", "key", entry_c, "key", "key")
+        waves = plan.chain_waves()
+        assert len(waves) == 2
+        assert [n.name for n in waves[0][0].nodes] == ["join1", "store1"]
+        assert [n.name for n in waves[1][0].nodes] == ["join2"]
+
+    def test_intermediate_degree_matches_second_operand(self, setup):
+        database, entry_c = setup
+        plan = two_phase_join_plan(database.entry_a, database.entry_b,
+                                   "key", "key", entry_c, "key", "key")
+        assert plan.node("store1").instances == entry_c.degree
+        assert plan.node("join2").instances == entry_c.degree
+
+    def test_bad_intermediate_key_rejected(self, setup):
+        database, entry_c = setup
+        from repro.errors import SchemaError
+        with pytest.raises(SchemaError):
+            two_phase_join_plan(database.entry_a, database.entry_b,
+                                "key", "key", entry_c, "ghost", "key")
+
+    def test_second_operand_partitioning_checked(self, setup):
+        database, entry_c = setup
+        with pytest.raises(PlanError, match="partitioned on"):
+            two_phase_join_plan(database.entry_a, database.entry_b,
+                                "key", "key", entry_c, "key", "payload")
+
+
+class TestExecution:
+    def test_three_way_join_correct(self, setup):
+        database, entry_c = setup
+        plan = two_phase_join_plan(database.entry_a, database.entry_b,
+                                   "key", "key", entry_c, "key", "key")
+        machine = Machine.uniform(processors=16)
+        schedule = AdaptiveScheduler(machine).schedule(plan, 8)
+        execution = Executor(machine).execute(plan, schedule)
+        assert sorted(execution.result_rows) == _reference(database, entry_c)
+
+    def test_intermediate_materialized_before_second_join(self, setup):
+        database, entry_c = setup
+        plan = two_phase_join_plan(database.entry_a, database.entry_b,
+                                   "key", "key", entry_c, "key", "key")
+        execution = Executor(Machine.uniform()).execute(
+            plan, QuerySchedule.for_plan(plan, 4))
+        store = execution.operation("store1")
+        join2 = execution.operation("join2")
+        assert join2.started_at >= store.finished_at
+        # the store consumed exactly the first join's output
+        join1 = execution.operation("join1")
+        assert store.activations == join1.enqueues
+
+    def test_intermediate_fragments_are_hash_partitioned(self, setup):
+        database, entry_c = setup
+        plan = two_phase_join_plan(database.entry_a, database.entry_b,
+                                   "key", "key", entry_c, "key", "key")
+        Executor(Machine.uniform()).execute(plan,
+                                            QuerySchedule.for_plan(plan, 4))
+        from repro.storage.tuples import stable_hash
+        spec = plan.node("store1").spec
+        for fragment in spec.target_fragments:
+            for row in fragment.rows:
+                assert stable_hash(row[spec.key_position]) % 8 == fragment.index
+
+    def test_expected_cardinality_feeds_estimates(self, setup):
+        database, entry_c = setup
+        plan = two_phase_join_plan(database.entry_a, database.entry_b,
+                                   "key", "key", entry_c, "key", "key",
+                                   expected_intermediate=100)
+        from repro.machine.costs import DEFAULT_COSTS
+        spec = plan.node("join2").spec
+        # fragments are empty at plan time, yet estimates are non-zero
+        assert spec.total_complexity(DEFAULT_COSTS) > 0
+
+    def test_skewed_first_phase_still_correct(self):
+        database = make_join_database(1000, 100, degree=10, theta=1.0)
+        relation_c, fragments_c = skewed_fragments("C", 300, 8, 0.0)
+        catalog = Catalog()
+        entry_c = catalog.register_fragments(relation_c,
+                                             PartitioningSpec.on("key", 8),
+                                             fragments_c)
+        plan = two_phase_join_plan(database.entry_a, database.entry_b,
+                                   "key", "key", entry_c, "key", "key")
+        execution = Executor(Machine.uniform()).execute(
+            plan, QuerySchedule.for_plan(plan, 6))
+        assert sorted(execution.result_rows) == _reference(database, entry_c)

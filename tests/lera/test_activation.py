@@ -1,0 +1,34 @@
+"""Activations and trigger factories."""
+
+from repro.lera.activation import (
+    CONTROL,
+    DATA,
+    Activation,
+    trigger,
+    tuple_activation,
+)
+
+
+class TestActivation:
+    def test_trigger_is_control(self):
+        activation = trigger(3)
+        assert activation.kind == CONTROL
+        assert activation.is_control
+        assert not activation.is_data
+        assert activation.instance == 3
+        assert activation.row is None
+
+    def test_tuple_activation_carries_row(self):
+        activation = tuple_activation(1, (10, 20))
+        assert activation.kind == DATA
+        assert activation.is_data
+        assert activation.row == (10, 20)
+
+    def test_frozen(self):
+        activation = trigger(0)
+        try:
+            activation.instance = 5
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised

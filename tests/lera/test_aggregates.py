@@ -1,0 +1,128 @@
+"""Aggregate expressions, accumulators, and the AggregateSpec."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.lera.aggregates import (
+    AggregateExpr,
+    Accumulator,
+    aggregate_output_schema,
+)
+from repro.lera.operators import AggregateSpec
+from repro.machine.costs import DEFAULT_COSTS
+from repro.storage.schema import Schema
+
+SCHEMA = Schema.of_ints("key", "grp", "val")
+
+
+class TestAggregateExpr:
+    def test_count_star(self):
+        expr = AggregateExpr("count")
+        assert expr.attribute is None
+        assert expr.column_name == "count"
+
+    def test_sum_names_column(self):
+        assert AggregateExpr("sum", "val").column_name == "sum_val"
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(PlanError):
+            AggregateExpr("median", "val")
+
+    def test_non_count_requires_attribute(self):
+        with pytest.raises(PlanError):
+            AggregateExpr("sum")
+
+
+class TestAccumulator:
+    def test_count(self):
+        acc = Accumulator("count")
+        for _ in range(5):
+            acc.add(1)
+        assert acc.result() == 5
+
+    def test_sum(self):
+        acc = Accumulator("sum")
+        for v in (1, 2, 3):
+            acc.add(v)
+        assert acc.result() == 6.0
+
+    def test_min_max(self):
+        low, high = Accumulator("min"), Accumulator("max")
+        for v in (5, 2, 9):
+            low.add(v)
+            high.add(v)
+        assert low.result() == 2
+        assert high.result() == 9
+
+    def test_avg(self):
+        acc = Accumulator("avg")
+        for v in (2, 4):
+            acc.add(v)
+        assert acc.result() == 3.0
+
+    def test_avg_of_nothing_is_none(self):
+        assert Accumulator("avg").result() is None
+
+    def test_count_of_nothing_is_zero(self):
+        assert Accumulator("count").result() == 0
+
+
+class TestOutputSchema:
+    def test_grouped(self):
+        schema = aggregate_output_schema(
+            "grp", (AggregateExpr("count"), AggregateExpr("sum", "val")))
+        assert schema.names == ("grp", "count", "sum_val")
+
+    def test_global(self):
+        schema = aggregate_output_schema(None, (AggregateExpr("count"),))
+        assert schema.names == ("count",)
+
+    def test_duplicate_aggregates_suffixed(self):
+        schema = aggregate_output_schema(
+            None, (AggregateExpr("count"), AggregateExpr("count")))
+        assert schema.names == ("count", "count_2")
+
+
+class TestAggregateSpec:
+    def _spec(self, group_by="grp", degree=4):
+        return AggregateSpec(
+            stream_schema=SCHEMA,
+            group_by=group_by,
+            aggregates=(AggregateExpr("count"), AggregateExpr("sum", "val")),
+            degree=degree,
+            stream_cardinality=100,
+        )
+
+    def test_pipelined_with_degree(self):
+        spec = self._spec()
+        assert spec.trigger_mode == "pipelined"
+        assert spec.instances == 4
+        assert spec.group_position == SCHEMA.position("grp")
+
+    def test_global_single_instance(self):
+        spec = self._spec(group_by=None, degree=1)
+        assert spec.group_position is None
+
+    def test_global_rejects_multiple_instances(self):
+        with pytest.raises(PlanError):
+            self._spec(group_by=None, degree=2)
+
+    def test_value_positions(self):
+        assert self._spec().value_positions() == [None, SCHEMA.position("val")]
+
+    def test_bad_group_attribute(self):
+        from repro.errors import SchemaError
+        with pytest.raises(SchemaError):
+            AggregateSpec(SCHEMA, "ghost", (AggregateExpr("count"),), 1, 10)
+
+    def test_needs_aggregates(self):
+        with pytest.raises(PlanError):
+            AggregateSpec(SCHEMA, "grp", (), 1, 10)
+
+    def test_estimates(self):
+        spec = self._spec()
+        per_activation = spec.estimated_instance_costs(DEFAULT_COSTS)[0]
+        assert per_activation > 0
+        assert spec.total_complexity(DEFAULT_COSTS) == pytest.approx(
+            100 * per_activation)
+        assert spec.estimated_activations() == 100

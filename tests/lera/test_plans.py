@@ -1,0 +1,104 @@
+"""Plan builders: IdealJoin, AssocJoin, selection, filter-join, glue."""
+
+import pytest
+
+from repro.bench.workloads import make_join_database
+from repro.errors import PlanError
+from repro.lera.activation import PIPELINED, TRIGGERED
+from repro.lera.graph import MATERIALIZED
+from repro.lera.plans import (
+    assoc_join_plan,
+    filter_join_plan,
+    ideal_join_plan,
+    materialized,
+    selection_plan,
+)
+from repro.lera.predicates import TRUE, attribute_predicate
+from repro.storage.catalog import Catalog
+from repro.storage.partitioning import PartitioningSpec
+
+
+@pytest.fixture
+def db():
+    return make_join_database(400, 40, degree=8, theta=0.0)
+
+
+class TestSelectionPlan:
+    def test_builds_one_triggered_node(self, catalog, small_relation):
+        entry = catalog.register(small_relation, PartitioningSpec.on("key", 4))
+        plan = selection_plan(entry, TRUE)
+        node = plan.node("filter")
+        assert node.trigger_mode == TRIGGERED
+        assert node.instances == 4
+
+
+class TestIdealJoinPlan:
+    def test_builds_single_join_node(self, db):
+        plan = ideal_join_plan(db.entry_a, db.entry_b, "key", "key")
+        node = plan.node("join")
+        assert node.trigger_mode == TRIGGERED
+        assert node.instances == 8
+
+    def test_rejects_incompatible_degrees(self, db):
+        other = make_join_database(400, 40, degree=16, theta=0.0)
+        with pytest.raises(PlanError, match="compatible"):
+            ideal_join_plan(db.entry_a, other.entry_b, "key", "key")
+
+    def test_rejects_non_partition_key(self, db):
+        with pytest.raises(PlanError, match="partitioned on the join"):
+            ideal_join_plan(db.entry_a, db.entry_b, "payload", "key")
+
+
+class TestAssocJoinPlan:
+    def test_builds_transmit_and_pipelined_join(self, db):
+        plan = assoc_join_plan(db.entry_a, db.entry_b, "key", "key")
+        assert plan.node("transmit").trigger_mode == TRIGGERED
+        assert plan.node("join").trigger_mode == PIPELINED
+        assert plan.pipeline_consumer("transmit") == "join"
+
+    def test_stream_cardinality_recorded(self, db):
+        plan = assoc_join_plan(db.entry_a, db.entry_b, "key", "key")
+        assert plan.node("join").spec.stream_cardinality == 40
+
+    def test_rejects_unpartitioned_stored_side(self, db):
+        with pytest.raises(PlanError, match="stored operand"):
+            assoc_join_plan(db.entry_a, db.entry_b, "payload", "key")
+
+    def test_transmit_targets_stored_degree(self, db):
+        plan = assoc_join_plan(db.entry_a, db.entry_b, "key", "key")
+        assert plan.node("transmit").spec.target_degree == db.entry_a.degree
+
+
+class TestFilterJoinPlan:
+    def test_figure_one_shape(self, db):
+        predicate = attribute_predicate(db.entry_b.relation.schema,
+                                        "key", "<", 20, selectivity=0.5)
+        plan = filter_join_plan(db.entry_b, db.entry_a, predicate,
+                                "key", "key")
+        assert plan.node("filter").trigger_mode == TRIGGERED
+        assert plan.node("join").trigger_mode == PIPELINED
+        assert plan.pipeline_consumer("filter") == "join"
+
+    def test_stream_estimate_uses_selectivity(self, db):
+        predicate = attribute_predicate(db.entry_b.relation.schema,
+                                        "key", "<", 20, selectivity=0.5)
+        plan = filter_join_plan(db.entry_b, db.entry_a, predicate,
+                                "key", "key")
+        assert plan.node("join").spec.stream_cardinality == 20
+
+
+class TestMaterialized:
+    def test_merges_with_dependency(self, db, catalog, small_relation):
+        entry = catalog.register(small_relation, PartitioningSpec.on("key", 4))
+        producer = selection_plan(entry, TRUE, node_name="pre_filter")
+        consumer = ideal_join_plan(db.entry_a, db.entry_b, "key", "key")
+        merged = materialized(producer, consumer, "pre_filter", "join")
+        kinds = {(e.producer, e.consumer): e.kind for e in merged.edges}
+        assert kinds[("pre_filter", "join")] == MATERIALIZED
+        assert len(merged.chain_waves()) == 2
+
+    def test_name_collision_rejected(self, db):
+        plan_a = ideal_join_plan(db.entry_a, db.entry_b, "key", "key")
+        plan_b = ideal_join_plan(db.entry_a, db.entry_b, "key", "key")
+        with pytest.raises(PlanError, match="collision"):
+            materialized(plan_a, plan_b, "join", "join")

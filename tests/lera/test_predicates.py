@@ -1,0 +1,73 @@
+"""Predicate compilation and combination."""
+
+import pytest
+
+from repro.errors import CompilationError
+from repro.lera.predicates import TRUE, attribute_predicate, conjunction
+from repro.storage.schema import Schema
+
+SCHEMA = Schema.of_ints("a", "b")
+
+
+class TestAttributePredicate:
+    @pytest.mark.parametrize("op,value,expected", [
+        ("<", 5, True), ("<=", 3, True), (">", 3, False), (">=", 3, True),
+        ("=", 3, True), ("==", 3, True), ("!=", 3, False), ("<>", 3, False),
+    ])
+    def test_operators(self, op, value, expected):
+        predicate = attribute_predicate(SCHEMA, "a", op, value)
+        assert predicate((3, 0)) is expected
+
+    def test_resolves_position_once(self):
+        predicate = attribute_predicate(SCHEMA, "b", "=", 7)
+        assert predicate((0, 7))
+        assert not predicate((7, 0))
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(CompilationError):
+            attribute_predicate(SCHEMA, "a", "~", 1)
+
+    def test_unknown_attribute_rejected(self):
+        from repro.errors import SchemaError
+        with pytest.raises(SchemaError):
+            attribute_predicate(SCHEMA, "zz", "=", 1)
+
+    def test_description(self):
+        predicate = attribute_predicate(SCHEMA, "a", "<", 10)
+        assert predicate.description == "a < 10"
+
+    def test_selectivity_stored(self):
+        predicate = attribute_predicate(SCHEMA, "a", "<", 10, selectivity=0.5)
+        assert predicate.selectivity == 0.5
+
+
+class TestConjunction:
+    def test_empty_is_true(self):
+        assert conjunction() is TRUE
+
+    def test_single_passthrough(self):
+        predicate = attribute_predicate(SCHEMA, "a", "<", 10)
+        assert conjunction(predicate) is predicate
+
+    def test_and_semantics(self):
+        both = conjunction(attribute_predicate(SCHEMA, "a", "<", 10),
+                           attribute_predicate(SCHEMA, "b", ">", 5))
+        assert both((3, 9))
+        assert not both((3, 1))
+        assert not both((20, 9))
+
+    def test_selectivities_multiply(self):
+        both = conjunction(
+            attribute_predicate(SCHEMA, "a", "<", 10, selectivity=0.5),
+            attribute_predicate(SCHEMA, "b", ">", 5, selectivity=0.2))
+        assert both.selectivity == pytest.approx(0.1)
+
+    def test_unknown_selectivity_propagates(self):
+        both = conjunction(
+            attribute_predicate(SCHEMA, "a", "<", 10, selectivity=0.5),
+            attribute_predicate(SCHEMA, "b", ">", 5))
+        assert both.selectivity is None
+
+    def test_true_accepts_everything(self):
+        assert TRUE((1, 2))
+        assert TRUE.selectivity == 1.0

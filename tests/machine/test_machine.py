@@ -1,0 +1,67 @@
+"""Machine models: dilation and memory integration."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.machine import KSR1_PROCESSORS, Machine
+
+
+class TestConstruction:
+    def test_defaults(self):
+        machine = Machine()
+        assert machine.processors == KSR1_PROCESSORS
+        assert machine.directory is None
+
+    def test_ksr1_models_memory(self):
+        machine = Machine.ksr1()
+        assert machine.models_memory
+        assert machine.directory is not None
+
+    def test_uniform_does_not(self):
+        machine = Machine.uniform()
+        assert not machine.models_memory
+
+    def test_rejects_zero_processors(self):
+        with pytest.raises(MachineError):
+            Machine(processors=0)
+
+
+class TestDilation:
+    def test_no_dilation_at_or_under_processors(self):
+        machine = Machine.uniform(processors=70)
+        assert machine.dilation(1) == 1.0
+        assert machine.dilation(70) == 1.0
+
+    def test_dilation_grows_past_processors(self):
+        machine = Machine.uniform(processors=70)
+        assert machine.dilation(71) > 1.0
+        assert machine.dilation(140) > machine.dilation(100)
+
+    def test_dilation_includes_switch_tax(self):
+        machine = Machine.uniform(processors=10)
+        ratio = 20 / 10
+        expected = ratio * (1 + machine.costs.context_switch_tax * (ratio - 1))
+        assert machine.dilation(20) == pytest.approx(expected)
+
+
+class TestMemoryIntegration:
+    def test_uniform_memory_access_free(self):
+        machine = Machine.uniform()
+        assert machine.memory_access(1, "seg", 1000) == 0.0
+
+    def test_uniform_place_is_noop(self):
+        machine = Machine.uniform()
+        machine.place_segment("seg", 1000, owner=1)  # must not raise
+
+    def test_ksr1_remote_then_local(self):
+        machine = Machine.ksr1(processors=4)
+        machine.place_segment("seg", 4096, owner=-1)
+        first = machine.memory_access(0, "seg")
+        second = machine.memory_access(0, "seg")
+        assert first > 0.0
+        assert second == 0.0
+
+    def test_ksr1_warm_placement_free(self):
+        machine = Machine.ksr1(processors=4)
+        machine.place_segment("seg", 4096, owner=2)
+        assert machine.memory_access(2, "seg") == 0.0

@@ -1,0 +1,81 @@
+"""Property-based tests: aggregation against a sequential reference."""
+
+import collections
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.executor import Executor, QuerySchedule
+from repro.lera.aggregates import AggregateExpr
+from repro.lera.plans import aggregate_plan
+from repro.machine.machine import Machine
+from repro.storage.catalog import Catalog
+from repro.storage.partitioning import PartitioningSpec
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+SCHEMA = Schema.of_ints("key", "grp", "val")
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=10_000),
+              st.integers(min_value=0, max_value=9),
+              st.integers(min_value=-1000, max_value=1000)),
+    min_size=0, max_size=300)
+
+functions = st.sampled_from(["count", "sum", "min", "max", "avg"])
+
+
+def _execute(rows, aggregates, group_by, threads=3, degree=5):
+    catalog = Catalog()
+    entry = catalog.register(Relation("R", SCHEMA, rows),
+                             PartitioningSpec.on("key", degree))
+    plan = aggregate_plan(entry, aggregates, group_by=group_by)
+    executor = Executor(Machine.uniform(processors=8))
+    return executor.execute(plan, QuerySchedule.for_plan(plan, threads))
+
+
+def _reference_value(function, values):
+    if function == "count":
+        return len(values)
+    if function == "sum":
+        return float(sum(values))
+    if function == "min":
+        return min(values)
+    if function == "max":
+        return max(values)
+    return sum(values) / len(values)
+
+
+class TestAggregationProperties:
+    @given(rows=rows_strategy, function=functions)
+    @settings(max_examples=40, deadline=None)
+    def test_grouped_matches_reference(self, rows, function):
+        execution = _execute(rows, (AggregateExpr(function, "val"),), "grp")
+        groups = collections.defaultdict(list)
+        for _, grp, val in rows:
+            groups[grp].append(val)
+        produced = {row[0]: row[1] for row in execution.result_rows}
+        assert set(produced) == set(groups)
+        for grp, values in groups.items():
+            expected = _reference_value(function, values)
+            if function == "avg":
+                assert abs(produced[grp] - expected) < 1e-9
+            else:
+                assert produced[grp] == expected
+
+    @given(rows=rows_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_global_count_is_cardinality(self, rows):
+        execution = _execute(rows, (AggregateExpr("count"),), None)
+        assert execution.result_rows == [(len(rows),)]
+
+    @given(rows=rows_strategy,
+           threads=st.integers(min_value=1, max_value=8),
+           degree=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=30, deadline=None)
+    def test_result_independent_of_parallelism(self, rows, threads, degree):
+        a = _execute(rows, (AggregateExpr("sum", "val"),), "grp",
+                     threads=threads, degree=degree)
+        b = _execute(rows, (AggregateExpr("sum", "val"),), "grp",
+                     threads=1, degree=1)
+        assert sorted(a.result_rows) == sorted(b.result_rows)

@@ -1,0 +1,58 @@
+"""Property-based tests of the Section 4.1 analytical model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.formulas import OperatorProfile
+
+cost_lists = st.lists(
+    st.floats(min_value=1e-6, max_value=1e3, allow_nan=False,
+              allow_infinity=False),
+    min_size=1, max_size=100)
+thread_counts = st.integers(min_value=1, max_value=128)
+
+
+class TestModelProperties:
+    @given(costs=cost_lists, threads=thread_counts)
+    @settings(max_examples=120, deadline=None)
+    def test_worst_at_least_ideal(self, costs, threads):
+        profile = OperatorProfile.of(costs)
+        assert profile.worst_time(threads) >= profile.ideal_time(threads) - 1e-9
+
+    @given(costs=cost_lists, threads=thread_counts)
+    @settings(max_examples=120, deadline=None)
+    def test_worst_bound_consistent_with_v_bound(self, costs, threads):
+        """Equations (2) and (3) describe the same bound:
+        Tworst <= (1 + v) * Tideal."""
+        profile = OperatorProfile.of(costs)
+        lhs = profile.worst_time(threads)
+        rhs = (1 + profile.v_bound(threads)) * profile.ideal_time(threads)
+        assert lhs <= rhs * (1 + 1e-9)
+
+    @given(costs=cost_lists)
+    @settings(max_examples=120, deadline=None)
+    def test_nmax_between_one_and_activations(self, costs):
+        profile = OperatorProfile.of(costs)
+        assert 1.0 - 1e-9 <= profile.nmax <= len(costs) + 1e-9
+
+    @given(costs=cost_lists, threads=thread_counts)
+    @settings(max_examples=120, deadline=None)
+    def test_lower_bound_below_worst(self, costs, threads):
+        profile = OperatorProfile.of(costs)
+        assert profile.lower_bound_time(threads) <= profile.worst_time(threads) + 1e-9
+
+    @given(costs=cost_lists)
+    @settings(max_examples=120, deadline=None)
+    def test_ideal_scales_inversely_with_threads(self, costs):
+        profile = OperatorProfile.of(costs)
+        assert profile.ideal_time(2) <= profile.ideal_time(1) / 2 + 1e-9 \
+            or abs(profile.ideal_time(2) - profile.ideal_time(1) / 2) < 1e-9
+
+    @given(costs=cost_lists, threads=thread_counts)
+    @settings(max_examples=120, deadline=None)
+    def test_uniform_costs_have_zero_skew_factor_margin(self, costs, threads):
+        uniform = OperatorProfile.of([costs[0]] * len(costs))
+        assert abs(uniform.skew_factor - 1.0) < 1e-9
+        # v bound reduces to (n-1)/a for uniform activations
+        expected = (threads - 1) / len(costs)
+        assert abs(uniform.v_bound(threads) - expected) < 1e-9

@@ -1,0 +1,48 @@
+"""Parser robustness: arbitrary input never crashes uncontrolled."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.logical import (
+    LogicalAggregate,
+    LogicalProject,
+)
+from repro.compiler.parser import parse
+from repro.errors import CompilationError
+
+identifiers = st.from_regex(r"[A-Za-z_][A-Za-z_0-9]{0,8}", fullmatch=True)
+
+
+class TestParserRobustness:
+    @given(text=st.text(max_size=80))
+    @settings(max_examples=150, deadline=None)
+    def test_arbitrary_text_raises_compilation_error_or_parses(self, text):
+        """No input crashes with anything but CompilationError."""
+        try:
+            tree = parse(text)
+        except CompilationError:
+            return
+        assert isinstance(tree, (LogicalProject, LogicalAggregate))
+
+    @given(table=identifiers, column=identifiers,
+           value=st.integers(min_value=-10**6, max_value=10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_wellformed_selection_always_parses(self, table, column, value):
+        keywords = {"select", "from", "join", "on", "where", "and",
+                    "group", "by"}
+        if table.lower() in keywords or column.lower() in keywords:
+            return
+        tree = parse(f"SELECT * FROM {table} WHERE {column} < {value}")
+        assert isinstance(tree, LogicalProject)
+        comparison = tree.child.comparisons[0]
+        assert comparison.attribute == column
+        assert comparison.value == value
+
+    @given(string_value=st.text(
+        alphabet=st.characters(blacklist_characters="'\\\r\n",
+                               blacklist_categories=("Cs",)),
+        max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_string_constants_round_trip(self, string_value):
+        tree = parse(f"SELECT * FROM A WHERE city = '{string_value}'")
+        assert tree.child.comparisons[0].value == string_value

@@ -1,0 +1,82 @@
+"""Property-based tests: partitioning and skew invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.partitioning import HashPartitioner, PartitioningSpec
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+from repro.storage.skew import zipf_cardinalities, zipf_weights
+from repro.storage.tuples import stable_hash
+
+SCHEMA = Schema.of_ints("key", "payload")
+
+keys = st.one_of(st.integers(min_value=-10**9, max_value=10**9),
+                 st.text(max_size=12))
+int_rows = st.lists(
+    st.tuples(st.integers(min_value=-10**9, max_value=10**9), st.integers()),
+    max_size=200)
+str_rows = st.lists(st.tuples(st.text(max_size=12), st.integers()),
+                    max_size=200)
+# One key type per relation, as a typed schema implies.
+rows = st.one_of(int_rows, str_rows)
+degrees = st.integers(min_value=1, max_value=40)
+
+
+class TestHashPartitioningProperties:
+    @given(rows=rows, degree=degrees)
+    @settings(max_examples=60, deadline=None)
+    def test_partition_is_exact_cover(self, rows, degree):
+        """Fragments are a disjoint, complete cover of the relation."""
+        relation = Relation("R", SCHEMA, rows)
+        fragments = HashPartitioner(
+            PartitioningSpec.on("key", degree)).partition(relation)
+        assert len(fragments) == degree
+        recombined = sorted(row for f in fragments for row in f.rows)
+        assert recombined == sorted(rows)
+
+    @given(rows=rows, degree=degrees)
+    @settings(max_examples=60, deadline=None)
+    def test_placement_is_deterministic_function_of_key(self, rows, degree):
+        """Equal keys always land in the same fragment (co-location)."""
+        relation = Relation("R", SCHEMA, rows)
+        fragments = HashPartitioner(
+            PartitioningSpec.on("key", degree)).partition(relation)
+        location = {}
+        for fragment in fragments:
+            for row in fragment.rows:
+                assert location.setdefault(row[0], fragment.index) == fragment.index
+
+    @given(value=keys, degree=degrees)
+    @settings(max_examples=100, deadline=None)
+    def test_stable_hash_bucket_in_range(self, value, degree):
+        assert 0 <= stable_hash(value) % degree < degree
+
+
+class TestZipfProperties:
+    @given(total=st.integers(min_value=0, max_value=100_000),
+           degree=st.integers(min_value=1, max_value=300),
+           theta=st.floats(min_value=0.0, max_value=1.0,
+                           allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_cardinalities_sum_exactly(self, total, degree, theta):
+        cards = zipf_cardinalities(total, degree, theta)
+        assert sum(cards) == total
+        assert len(cards) == degree
+        assert all(c >= 0 for c in cards)
+
+    @given(degree=st.integers(min_value=1, max_value=300),
+           theta=st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_weights_normalized_and_sorted(self, degree, theta):
+        weights = zipf_weights(degree, theta)
+        assert abs(sum(weights) - 1.0) < 1e-9
+        assert all(a >= b - 1e-12 for a, b in zip(weights, weights[1:]))
+
+    @given(total=st.integers(min_value=100, max_value=50_000),
+           degree=st.integers(min_value=2, max_value=200))
+    @settings(max_examples=50, deadline=None)
+    def test_more_skew_bigger_largest_fragment(self, total, degree):
+        flat = zipf_cardinalities(total, degree, 0.0)
+        steep = zipf_cardinalities(total, degree, 1.0)
+        assert max(steep) >= max(flat)

@@ -1,0 +1,137 @@
+"""Property-based tests: scheduler allocation invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lera.graph import MATERIALIZED, LeraGraph
+from repro.lera.operators import ScanFilterSpec
+from repro.lera.predicates import TRUE
+from repro.machine.costs import DEFAULT_COSTS
+from repro.machine.machine import Machine
+from repro.scheduler.allocation import (
+    allocate_to_chains,
+    allocate_to_operations,
+    choose_thread_count,
+    estimated_response_time,
+)
+from repro.storage.fragment import Fragment
+from repro.storage.schema import Schema
+
+SCHEMA = Schema.of_ints("key")
+
+
+def _node(name: str, cardinality: int) -> ScanFilterSpec:
+    fragments = [Fragment(name, i, SCHEMA,
+                          [(j,) for j in range(max(cardinality // 2, 1))])
+                 for i in range(2)]
+    return ScanFilterSpec(fragments, TRUE, SCHEMA)
+
+
+def _linear_dag(cardinalities):
+    """chain_0 <- chain_1 <- ... (each depends on the next)."""
+    graph = LeraGraph()
+    names = [f"c{i}" for i in range(len(cardinalities))]
+    for name, cardinality in zip(names, cardinalities):
+        graph.add_node(name, _node(name, cardinality))
+    for upstream, downstream in zip(names[1:], names):
+        graph.add_edge(upstream, downstream, MATERIALIZED)
+    graph.validate()
+    return graph, names
+
+
+cardinality_lists = st.lists(st.integers(min_value=2, max_value=5000),
+                             min_size=1, max_size=6)
+budgets = st.integers(min_value=1, max_value=64)
+
+
+class TestChainAllocationProperties:
+    @given(cardinalities=cardinality_lists, budget=budgets)
+    @settings(max_examples=60, deadline=None)
+    def test_every_chain_allocated_at_least_one(self, cardinalities, budget):
+        graph, names = _linear_dag(cardinalities)
+        allocation = allocate_to_chains(graph, budget, DEFAULT_COSTS)
+        assert len(allocation) == len(names)
+        assert all(threads >= 1 for threads in allocation.values())
+
+    @given(cardinalities=cardinality_lists, budget=budgets)
+    @settings(max_examples=60, deadline=None)
+    def test_linear_dag_gives_full_budget_everywhere(self, cardinalities,
+                                                     budget):
+        """In a linear dependency chain each wave holds one chain, so
+        every chain inherits the whole budget (single-child split)."""
+        graph, names = _linear_dag(cardinalities)
+        allocation = allocate_to_chains(graph, budget, DEFAULT_COSTS)
+        chains = graph.chains()
+        by_head = {c.head.name: c.chain_id for c in chains}
+        for name in names:
+            assert allocation[by_head[name]] == max(budget, 1)
+
+    @given(weights=st.lists(st.integers(min_value=1, max_value=100),
+                            min_size=2, max_size=5),
+           budget=st.integers(min_value=2, max_value=64))
+    @settings(max_examples=60, deadline=None)
+    def test_sibling_split_sums_to_parent(self, weights, budget):
+        graph = LeraGraph()
+        graph.add_node("sink", _node("sink", 2))
+        for i, weight in enumerate(weights):
+            graph.add_node(f"p{i}", _node(f"p{i}", weight * 10))
+            graph.add_edge(f"p{i}", "sink", MATERIALIZED)
+        graph.validate()
+        allocation = allocate_to_chains(graph, budget, DEFAULT_COSTS)
+        chains = graph.chains()
+        by_head = {c.head.name: c.chain_id for c in chains}
+        children_total = sum(allocation[by_head[f"p{i}"]]
+                             for i in range(len(weights)))
+        # children split the sink's budget; minimum-1 floors may push
+        # the sum above small budgets, never below
+        assert children_total >= allocation[by_head["sink"]]
+        assert children_total >= max(budget, len(weights))
+
+
+class TestOperationAllocationProperties:
+    @given(cardinalities=st.lists(st.integers(min_value=1, max_value=2000),
+                                  min_size=1, max_size=4),
+           budget=st.integers(min_value=1, max_value=32))
+    @settings(max_examples=60, deadline=None)
+    def test_split_covers_chain_budget(self, cardinalities, budget):
+        from repro.lera.graph import PIPELINE
+        from repro.lera.operators import PipelinedJoinSpec
+        # build one chain: filter head + optional pipelined join tail
+        graph = LeraGraph()
+        graph.add_node("head", _node("head", cardinalities[0]))
+        chain_nodes = 1
+        if len(cardinalities) > 1:
+            fragments = [Fragment("S", i, SCHEMA, [(i,)]) for i in range(2)]
+            graph.add_node("tail", PipelinedJoinSpec(
+                fragments, "key", SCHEMA, "key",
+                stream_cardinality=cardinalities[1]))
+            graph.add_edge("head", "tail", PIPELINE)
+            chain_nodes = 2
+        graph.validate()
+        chain = graph.chains()[0]
+        allocation = allocate_to_operations(chain, budget, DEFAULT_COSTS)
+        assert sum(allocation.values()) == max(budget, chain_nodes)
+        assert all(threads >= 1 for threads in allocation.values())
+
+
+class TestStepOneProperties:
+    @given(work=st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+           processors=st.integers(min_value=1, max_value=128))
+    @settings(max_examples=80, deadline=None)
+    def test_chosen_count_is_argmin(self, work, processors):
+        machine = Machine.uniform(processors=processors)
+        chosen = choose_thread_count(work, machine)
+        best = estimated_response_time(work, chosen, machine)
+        for candidate in (1, processors, max(1, chosen - 1), chosen + 1):
+            if candidate < 1 or candidate > 2 * processors:
+                continue
+            assert best <= estimated_response_time(work, candidate,
+                                                   machine) + 1e-9
+
+    @given(work=st.floats(min_value=0.001, max_value=1e5, allow_nan=False),
+           processors=st.integers(min_value=1, max_value=128))
+    @settings(max_examples=80, deadline=None)
+    def test_count_within_bounds(self, work, processors):
+        machine = Machine.uniform(processors=processors)
+        chosen = choose_thread_count(work, machine)
+        assert 1 <= chosen <= 2 * processors

@@ -1,0 +1,102 @@
+"""Adaptive scheduler end-to-end, strategy selection, baselines."""
+
+import pytest
+
+from repro.bench.workloads import make_join_database
+from repro.engine.strategies import LPT, RANDOM
+from repro.lera.plans import assoc_join_plan, ideal_join_plan
+from repro.machine.costs import DEFAULT_COSTS
+from repro.machine.machine import Machine
+from repro.scheduler.adaptive import AdaptiveScheduler, StaticScheduler
+from repro.scheduler.strategy_selection import instance_skew, select_strategy
+
+
+@pytest.fixture
+def machine():
+    return Machine.uniform(processors=16)
+
+
+class TestStrategySelection:
+    def test_uniform_triggered_gets_random(self, join_db, machine):
+        plan = ideal_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        assert select_strategy(plan.node("join"), DEFAULT_COSTS) == RANDOM
+
+    def test_skewed_triggered_gets_lpt(self, skewed_join_db, machine):
+        plan = ideal_join_plan(skewed_join_db.entry_a, skewed_join_db.entry_b,
+                               "key", "key")
+        assert select_strategy(plan.node("join"), DEFAULT_COSTS) == LPT
+
+    def test_pipelined_always_random(self, skewed_join_db):
+        plan = assoc_join_plan(skewed_join_db.entry_a, skewed_join_db.entry_b,
+                               "key", "key")
+        assert select_strategy(plan.node("join"), DEFAULT_COSTS) == RANDOM
+
+    def test_instance_skew_values(self, join_db, skewed_join_db):
+        uniform_plan = ideal_join_plan(join_db.entry_a, join_db.entry_b,
+                                       "key", "key")
+        skewed_plan = ideal_join_plan(skewed_join_db.entry_a,
+                                      skewed_join_db.entry_b, "key", "key")
+        assert instance_skew(uniform_plan.node("join"), DEFAULT_COSTS) < 1.3
+        assert instance_skew(skewed_plan.node("join"), DEFAULT_COSTS) > 2.0
+
+    def test_threshold_configurable(self, skewed_join_db):
+        plan = ideal_join_plan(skewed_join_db.entry_a, skewed_join_db.entry_b,
+                               "key", "key")
+        node = plan.node("join")
+        assert select_strategy(node, DEFAULT_COSTS, skew_threshold=100.0) == RANDOM
+
+
+class TestAdaptiveScheduler:
+    def test_explicit_threads_distributed(self, join_db, machine):
+        plan = assoc_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        schedule = AdaptiveScheduler(machine).schedule(plan, total_threads=8)
+        total = sum(s.threads for s in schedule.operations.values())
+        assert total == 8
+
+    def test_auto_threads_from_complexity(self, join_db, machine):
+        plan = ideal_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        schedule = AdaptiveScheduler(machine).schedule(plan)
+        assert schedule.of("join").threads >= 1
+
+    def test_bigger_query_gets_more_threads(self, machine):
+        small = make_join_database(200, 20, degree=10, theta=0.0)
+        large = make_join_database(20_000, 2000, degree=10, theta=0.0)
+        plan_s = ideal_join_plan(small.entry_a, small.entry_b, "key", "key")
+        plan_l = ideal_join_plan(large.entry_a, large.entry_b, "key", "key")
+        scheduler = AdaptiveScheduler(machine)
+        threads_s = scheduler.schedule(plan_s).of("join").threads
+        threads_l = scheduler.schedule(plan_l).of("join").threads
+        assert threads_l >= threads_s
+
+    def test_skew_triggers_lpt(self, skewed_join_db, machine):
+        plan = ideal_join_plan(skewed_join_db.entry_a, skewed_join_db.entry_b,
+                               "key", "key")
+        schedule = AdaptiveScheduler(machine).schedule(plan, total_threads=4)
+        assert schedule.of("join").strategy == LPT
+
+    def test_parallelism_decoupled_from_partitioning(self, machine):
+        """The paper's headline property: the same 50-fragment database
+        can run with any thread count."""
+        database = make_join_database(500, 50, degree=50, theta=0.0)
+        plan = ideal_join_plan(database.entry_a, database.entry_b,
+                               "key", "key")
+        for threads in (1, 3, 7, 50):
+            schedule = AdaptiveScheduler(machine).schedule(plan, threads)
+            assert schedule.of("join").threads == threads
+
+
+class TestStaticScheduler:
+    def test_one_thread_per_instance(self, join_db, machine):
+        plan = ideal_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        schedule = StaticScheduler(machine).schedule(plan)
+        assert schedule.of("join").threads == join_db.degree
+
+    def test_secondary_disabled(self, join_db, machine):
+        plan = ideal_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        schedule = StaticScheduler(machine).schedule(plan)
+        assert schedule.of("join").allow_secondary is False
+
+    def test_total_threads_ignored(self, join_db, machine):
+        plan = ideal_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        schedule = StaticScheduler(machine).schedule(plan, total_threads=3)
+        assert schedule.of("join").threads == join_db.degree

@@ -1,0 +1,74 @@
+"""Complexity estimation used by the scheduler."""
+
+import pytest
+
+from repro.bench.workloads import make_join_database
+from repro.lera.plans import assoc_join_plan, ideal_join_plan, materialized, selection_plan
+from repro.lera.predicates import TRUE
+from repro.machine.costs import DEFAULT_COSTS
+from repro.scheduler.complexity import (
+    chain_complexity,
+    estimate_chains,
+    operator_complexity,
+    query_complexity,
+)
+from repro.storage.partitioning import PartitioningSpec
+
+
+class TestComplexity:
+    def test_operator_complexity_matches_spec(self, join_db):
+        plan = ideal_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        spec = plan.node("join").spec
+        assert operator_complexity(spec, DEFAULT_COSTS) == pytest.approx(
+            spec.total_complexity(DEFAULT_COSTS))
+
+    def test_chain_complexity_sums_nodes(self, join_db):
+        plan = assoc_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        chain = plan.chains()[0]
+        total = chain_complexity(chain, DEFAULT_COSTS)
+        parts = sum(operator_complexity(node.spec, DEFAULT_COSTS)
+                    for node in chain.nodes)
+        assert total == pytest.approx(parts)
+
+    def test_query_complexity_covers_all_chains(self, join_db, catalog,
+                                                small_relation):
+        entry = catalog.register(small_relation, PartitioningSpec.on("key", 4))
+        producer = selection_plan(entry, TRUE, node_name="pre")
+        consumer = ideal_join_plan(join_db.entry_a, join_db.entry_b,
+                                   "key", "key")
+        merged = materialized(producer, consumer, "pre", "join")
+        total = query_complexity(merged, DEFAULT_COSTS)
+        chains = merged.chains()
+        assert total == pytest.approx(sum(
+            chain_complexity(c, DEFAULT_COSTS) for c in chains))
+
+    def test_larger_database_larger_complexity(self):
+        small = make_join_database(200, 20, degree=10, theta=0.0)
+        large = make_join_database(2000, 200, degree=10, theta=0.0)
+        plan_s = ideal_join_plan(small.entry_a, small.entry_b, "key", "key")
+        plan_l = ideal_join_plan(large.entry_a, large.entry_b, "key", "key")
+        assert (query_complexity(plan_l, DEFAULT_COSTS)
+                > query_complexity(plan_s, DEFAULT_COSTS))
+
+
+class TestSubtreeEstimates:
+    def test_subtree_adds_dependencies(self, join_db, catalog,
+                                       small_relation):
+        entry = catalog.register(small_relation, PartitioningSpec.on("key", 4))
+        producer = selection_plan(entry, TRUE, node_name="pre")
+        consumer = ideal_join_plan(join_db.entry_a, join_db.entry_b,
+                                   "key", "key")
+        merged = materialized(producer, consumer, "pre", "join")
+        estimates = estimate_chains(merged, DEFAULT_COSTS)
+        chains = merged.chains()
+        by_head = {c.head.name: c.chain_id for c in chains}
+        pre = estimates[by_head["pre"]]
+        join = estimates[by_head["join"]]
+        assert pre.subtree == pytest.approx(pre.own)
+        assert join.subtree == pytest.approx(join.own + pre.own)
+
+    def test_independent_chain_subtree_is_own(self, join_db):
+        plan = assoc_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        estimates = estimate_chains(plan, DEFAULT_COSTS)
+        only = next(iter(estimates.values()))
+        assert only.subtree == pytest.approx(only.own)

@@ -1,0 +1,103 @@
+"""The paper's Figure 5 worked example: five subqueries, step-2 equations.
+
+Section 3 sets up the tree ``Sq5 <- {Sq3, Sq4}``, ``Sq3 <- {Sq1, Sq2}``
+and derives::
+
+    N5 = N
+    N3 + N4 = N5        (T1+T2+T3)/N3 = T4/N4
+    N1 + N2 = N3        T1/N1 = T2/N2
+
+This test builds exactly that chain DAG with controlled complexities
+and checks the scheduler's allocation solves the equation system (up
+to integer rounding).
+"""
+
+import pytest
+
+from repro.lera.graph import MATERIALIZED, LeraGraph
+from repro.lera.operators import ScanFilterSpec
+from repro.lera.predicates import TRUE
+from repro.machine.costs import DEFAULT_COSTS
+from repro.scheduler.allocation import allocate_to_chains
+from repro.storage.fragment import Fragment
+from repro.storage.schema import Schema
+
+SCHEMA = Schema.of_ints("key")
+
+
+def _chain_node(name: str, cardinality: int) -> ScanFilterSpec:
+    """A single-operator chain whose complexity tracks *cardinality*."""
+    fragments = [Fragment(name, i, SCHEMA,
+                          [(j,) for j in range(cardinality // 2)])
+                 for i in range(2)]
+    return ScanFilterSpec(fragments, TRUE, SCHEMA)
+
+
+@pytest.fixture
+def figure5():
+    """The Figure 5 DAG with T1..T5 proportional to 100/300/200/600/400."""
+    graph = LeraGraph()
+    cardinalities = {"Sq1": 100, "Sq2": 300, "Sq3": 200, "Sq4": 600,
+                     "Sq5": 400}
+    for name, cardinality in cardinalities.items():
+        graph.add_node(name, _chain_node(name, cardinality))
+    graph.add_edge("Sq3", "Sq5", MATERIALIZED)
+    graph.add_edge("Sq4", "Sq5", MATERIALIZED)
+    graph.add_edge("Sq1", "Sq3", MATERIALIZED)
+    graph.add_edge("Sq2", "Sq3", MATERIALIZED)
+    graph.validate()
+    return graph
+
+
+def _allocation_by_name(graph, total):
+    chains = graph.chains()
+    by_head = {chain.head.name: chain.chain_id for chain in chains}
+    allocation = allocate_to_chains(graph, total, DEFAULT_COSTS)
+    return {name: allocation[chain_id] for name, chain_id in by_head.items()}
+
+
+class TestFigure5Equations:
+    def test_root_gets_full_budget(self, figure5):
+        allocation = _allocation_by_name(figure5, 12)
+        assert allocation["Sq5"] == 12
+
+    def test_n3_plus_n4_equals_n5(self, figure5):
+        allocation = _allocation_by_name(figure5, 12)
+        assert allocation["Sq3"] + allocation["Sq4"] == allocation["Sq5"]
+
+    def test_n1_plus_n2_equals_n3(self, figure5):
+        allocation = _allocation_by_name(figure5, 12)
+        assert allocation["Sq1"] + allocation["Sq2"] == allocation["Sq3"]
+
+    def test_sq3_sq4_proportionality(self, figure5):
+        """(T1+T2+T3)/N3 = T4/N4: subtree(Sq3) = 100+300+200 = 600,
+        subtree(Sq4) = 600 — equal shares."""
+        allocation = _allocation_by_name(figure5, 12)
+        assert allocation["Sq3"] == allocation["Sq4"] == 6
+
+    def test_sq1_sq2_proportionality(self, figure5):
+        """T1/N1 = T2/N2 with T1:T2 = 1:3 over N3=6 -> N1=1.5 -> 1 or 2."""
+        allocation = _allocation_by_name(figure5, 12)
+        assert allocation["Sq1"] in (1, 2)
+        assert allocation["Sq2"] == 6 - allocation["Sq1"]
+        assert allocation["Sq2"] > allocation["Sq1"]
+
+    def test_waves_follow_dependencies(self, figure5):
+        waves = figure5.chain_waves()
+        order = {chain.head.name: level
+                 for level, wave in enumerate(waves) for chain in wave}
+        assert order["Sq1"] == order["Sq2"] == 0
+        assert order["Sq3"] == 1
+        assert order["Sq4"] == 0     # no dependencies of its own
+        assert order["Sq5"] == 2
+
+    def test_end_to_end_execution(self, figure5):
+        """The whole Figure 5 plan executes under the derived schedule."""
+        from repro.engine.executor import Executor
+        from repro.machine.machine import Machine
+        from repro.scheduler.adaptive import AdaptiveScheduler
+        machine = Machine.uniform(processors=16)
+        schedule = AdaptiveScheduler(machine).schedule(figure5, 12)
+        execution = Executor(machine).execute(figure5, schedule)
+        total_rows = sum(card for card in (100, 300, 200, 600, 400))
+        assert execution.result_cardinality == total_rows
