@@ -1,0 +1,29 @@
+# Developer entry points.  Everything assumes the source layout install
+# (PYTHONPATH=src), no packages beyond the dev extras.
+
+PYTHON ?= python
+PYTHONPATH := src
+
+export PYTHONPATH
+
+.PHONY: test bench perf perf-full perf-baseline
+
+## Tier-1: the fast deterministic test suite (what CI gates on).
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Figure benchmarks (virtual-time experiments; writes benchmarks/results/).
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+## Wall-clock perf-regression smoke: quick matrix vs committed baseline.
+perf:
+	$(PYTHON) -m pytest benchmarks/test_perf_baseline.py -m perf -q -s
+
+## Full perf matrix against the committed baseline (slower, quieter box).
+perf-full:
+	$(PYTHON) -m repro.bench.perf_baseline --check BENCH_engine.json
+
+## Print a fresh full matrix (use when re-recording BENCH_engine.json).
+perf-baseline:
+	$(PYTHON) -m repro.bench.perf_baseline

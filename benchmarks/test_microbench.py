@@ -71,3 +71,41 @@ def test_bench_engine_pipelined_throughput(benchmark):
     executor = Executor(MACHINE)
     execution = benchmark(executor.execute, plan, schedule)
     assert execution.result_cardinality == database.expected_matches
+
+
+def _run_event_loop(mode, degree):
+    """One event-loop throughput cell of the degree sweep.
+
+    Degree 20 exercises the linear-scan selection path, degree 1500
+    the ready index (READY_INDEX_MIN_INSTANCES sits between them), so
+    together these benches watch both sides of the crossover.
+    """
+    database = make_join_database(20_000, 2_000, degree=degree, theta=0.0)
+    builder = ideal_join_plan if mode == "triggered" else assoc_join_plan
+    plan = builder(database.entry_a, database.entry_b, "key", "key")
+    schedule = QuerySchedule.for_plan(plan, 10)
+    return database, plan, schedule
+
+
+def test_bench_event_loop_triggered_degree_20(benchmark):
+    database, plan, schedule = _run_event_loop("triggered", 20)
+    execution = benchmark(Executor(MACHINE).execute, plan, schedule)
+    assert execution.result_cardinality == database.expected_matches
+
+
+def test_bench_event_loop_triggered_degree_1500(benchmark):
+    database, plan, schedule = _run_event_loop("triggered", 1500)
+    execution = benchmark(Executor(MACHINE).execute, plan, schedule)
+    assert execution.result_cardinality == database.expected_matches
+
+
+def test_bench_event_loop_pipelined_degree_20(benchmark):
+    database, plan, schedule = _run_event_loop("pipelined", 20)
+    execution = benchmark(Executor(MACHINE).execute, plan, schedule)
+    assert execution.result_cardinality == database.expected_matches
+
+
+def test_bench_event_loop_pipelined_degree_1500(benchmark):
+    database, plan, schedule = _run_event_loop("pipelined", 1500)
+    execution = benchmark(Executor(MACHINE).execute, plan, schedule)
+    assert execution.result_cardinality == database.expected_matches

@@ -1,0 +1,203 @@
+"""Wall-clock perf-regression harness for the engine hot paths.
+
+Unlike the figure benches (deterministic virtual-time experiments) and
+the microbenches (pytest-benchmark timings of individual substrate
+calls), this module measures *the simulator itself*: real elapsed
+seconds to execute a fixed workload matrix — degree of partitioning
+in {20, 200, 1500} crossed with the two queue disciplines (triggered
+IdealJoin, pipelined AssocJoin).  The matrix is exactly the regime the
+paper's Figures 16-19 sweep, where per-step queue scans once made the
+event loop quadratic in the degree.
+
+Results are written to ``BENCH_engine.json``; :func:`compare_matrices`
+flags cells whose wall-clock regressed more than 20 % against the
+committed baseline.  Each cell also records the run's *virtual*
+response time and result cardinality, so a perf run doubles as a
+cheap semantic regression check.
+
+Usage::
+
+    python -m repro.bench.perf_baseline            # full matrix, print
+    python -m repro.bench.perf_baseline --quick    # reduced cardinalities
+    python -m repro.bench.perf_baseline --check BENCH_engine.json
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.bench.runners import run_assoc_join, run_ideal_join
+from repro.bench.workloads import make_join_database
+
+#: The workload matrix: paper's Figure 16/17 degree sweep endpoints
+#: plus the mid-range, crossed with both queue disciplines.
+DEGREES = (20, 200, 1500)
+MODES = ("triggered", "pipelined")
+
+#: Full-matrix workload (the Figure 16 cardinalities).
+FULL_CARD_A = 100_000
+FULL_CARD_B = 10_000
+FULL_REPEATS = 3
+
+#: Quick-mode workload for CI smoke runs.
+QUICK_CARD_A = 20_000
+QUICK_CARD_B = 2_000
+QUICK_REPEATS = 2
+
+THREADS = 20
+
+#: A cell regresses when its best-of-N wall-clock exceeds the baseline
+#: best-of-N by more than this fraction.
+REGRESSION_THRESHOLD = 0.20
+
+#: Absolute slack added on top of the relative threshold: the fastest
+#: cells finish in a few milliseconds, where scheduler jitter alone
+#: exceeds 20 %.
+ABSOLUTE_SLACK_S = 0.005
+
+
+def cell_key(mode: str, degree: int) -> str:
+    """Stable JSON key of one matrix cell."""
+    return f"{mode}@{degree}"
+
+
+def run_cell(mode: str, degree: int, card_a: int, card_b: int,
+             threads: int = THREADS, repeats: int = FULL_REPEATS,
+             seed: int = 0) -> dict:
+    """Time one workload cell; returns a JSON-ready record.
+
+    The database is built once outside the timed region; each repeat
+    re-executes plan construction, scheduling and the full simulation,
+    which is what a query actually costs.
+    """
+    database = make_join_database(card_a, card_b, degree, theta=0.0)
+    runner = run_ideal_join if mode == "triggered" else run_assoc_join
+    times = []
+    execution = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        execution = runner(database, threads, seed=seed)
+        times.append(time.perf_counter() - started)
+    return {
+        "mode": mode,
+        "degree": degree,
+        "mean_s": round(statistics.fmean(times), 6),
+        "std_s": round(statistics.pstdev(times), 6) if len(times) > 1 else 0.0,
+        "min_s": round(min(times), 6),
+        "runs": [round(t, 6) for t in times],
+        "result_rows": execution.result_cardinality,
+        "virtual_response_s": execution.response_time,
+    }
+
+
+def run_matrix(quick: bool = False, seed: int = 0) -> dict:
+    """Run the full degree x discipline matrix; returns the cell map."""
+    card_a = QUICK_CARD_A if quick else FULL_CARD_A
+    card_b = QUICK_CARD_B if quick else FULL_CARD_B
+    repeats = QUICK_REPEATS if quick else FULL_REPEATS
+    cells = {}
+    for mode in MODES:
+        for degree in DEGREES:
+            cells[cell_key(mode, degree)] = run_cell(
+                mode, degree, card_a, card_b, repeats=repeats, seed=seed)
+    return {
+        "workload": {"card_a": card_a, "card_b": card_b,
+                     "threads": THREADS, "repeats": repeats, "seed": seed},
+        "cells": cells,
+    }
+
+
+def compare_matrices(baseline: dict, current: dict,
+                     threshold: float = REGRESSION_THRESHOLD,
+                     abs_slack_s: float = ABSOLUTE_SLACK_S) -> list[str]:
+    """Flag regressions of *current* against *baseline*.
+
+    Wall-clock cells are compared on best-of-N (more robust to noise
+    than the mean on shared hardware); any cell slower by more than
+    *threshold* plus *abs_slack_s* is reported — the absolute slack
+    keeps millisecond-scale cells from tripping on timer jitter.
+    Virtual response times and result cardinalities must match
+    exactly — a mismatch means the engine's semantics drifted, which
+    is worse than a slowdown and is always reported.
+    """
+    problems = []
+    for key, base in baseline["cells"].items():
+        cell = current["cells"].get(key)
+        if cell is None:
+            problems.append(f"{key}: missing from current run")
+            continue
+        if cell["result_rows"] != base["result_rows"]:
+            problems.append(
+                f"{key}: result cardinality changed "
+                f"{base['result_rows']} -> {cell['result_rows']}")
+        if cell["virtual_response_s"] != base["virtual_response_s"]:
+            problems.append(
+                f"{key}: virtual response time changed "
+                f"{base['virtual_response_s']!r} -> "
+                f"{cell['virtual_response_s']!r}")
+        limit = base["min_s"] * (1.0 + threshold) + abs_slack_s
+        if cell["min_s"] > limit:
+            problems.append(
+                f"{key}: wall-clock regressed {base['min_s']:.4f}s -> "
+                f"{cell['min_s']:.4f}s (> {threshold:.0%} over baseline)")
+    return problems
+
+
+def render(matrix: dict) -> str:
+    """Human-readable table of one matrix run."""
+    lines = [f"{'cell':>18} {'mean_s':>10} {'std_s':>10} {'min_s':>10} "
+             f"{'rows':>8}"]
+    for key, cell in matrix["cells"].items():
+        lines.append(f"{key:>18} {cell['mean_s']:>10.4f} "
+                     f"{cell['std_s']:>10.4f} {cell['min_s']:>10.4f} "
+                     f"{cell['result_rows']:>8}")
+    return "\n".join(lines)
+
+
+def load_baseline(path: str | Path) -> dict:
+    """Read a committed ``BENCH_engine.json``."""
+    return json.loads(Path(path).read_text())
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced cardinalities and repeats")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="compare against a committed BENCH_engine.json "
+                             "(uses its 'quick' or 'full' section to match "
+                             "the selected mode)")
+    parser.add_argument("--out", metavar="PATH",
+                        help="write this run's matrix as JSON")
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.check:  # fail on a bad path before the slow matrix run
+        try:
+            baseline = load_baseline(args.check)
+        except (OSError, json.JSONDecodeError) as exc:
+            parser.error(f"cannot read baseline {args.check}: {exc}")
+
+    matrix = run_matrix(quick=args.quick)
+    print(render(matrix))
+    if args.out:
+        Path(args.out).write_text(json.dumps(matrix, indent=2) + "\n")
+    if baseline is not None:
+        section = baseline["quick" if args.quick else "full"]["after"]
+        problems = compare_matrices(section, matrix)
+        if problems:
+            print("\nREGRESSIONS:")
+            for problem in problems:
+                print(f"  - {problem}")
+            return 1
+        print("\nno regressions against baseline")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

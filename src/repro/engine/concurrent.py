@@ -107,7 +107,8 @@ class ConcurrentExecutor:
                     runtime.seed_triggers(startup)
                 all_operations.append(runtime)
 
-        simulator = Simulator(self.machine, seed=self.options.seed)
+        simulator = Simulator(self.machine, seed=self.options.seed,
+                              use_ready_index=self.options.use_ready_index)
         makespan = simulator.run_wave(all_operations)
 
         executions = []

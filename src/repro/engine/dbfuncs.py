@@ -59,6 +59,15 @@ class ExecContext:
         self.penalty += extra
         return extra
 
+    @property
+    def tracks_memory(self) -> bool:
+        """Whether touches can charge anything on this machine.
+
+        On uniform machines every :meth:`touch` returns 0, so callers
+        may skip computing segment keys and footprints entirely.
+        """
+        return self.machine.directory is not None
+
 
 @dataclass
 class ProcessResult:
@@ -118,14 +127,14 @@ class FilterFunc(DBFunc):
     def __init__(self, spec: ScanFilterSpec, costs: CostModel) -> None:
         super().__init__(costs)
         self.spec = spec
-        self._sizes = [f.size_bytes() for f in spec.fragments]
 
     def process(self, instance: int, activation: Activation,
                 ctx: ExecContext) -> ProcessResult:
         if not activation.is_control:
             raise ExecutionError("FilterFunc expects control activations")
         fragment = self.spec.fragments[instance]
-        penalty = ctx.touch(segment_key(fragment), self._sizes[instance])
+        penalty = (ctx.touch(segment_key(fragment), fragment.size_bytes())
+                   if ctx.tracks_memory else 0.0)
         predicate = self.spec.predicate.fn
         emitted = [row for row in fragment.rows if predicate(row)]
         cost = (self.costs.trigger_activation
@@ -136,7 +145,7 @@ class FilterFunc(DBFunc):
 
     def segments(self, instance: int) -> list[tuple[tuple[str, int], int]]:
         fragment = self.spec.fragments[instance]
-        return [(segment_key(fragment), self._sizes[instance])]
+        return [(segment_key(fragment), fragment.size_bytes())]
 
 
 class IndexScanFunc(DBFunc):
@@ -145,7 +154,6 @@ class IndexScanFunc(DBFunc):
     def __init__(self, spec: IndexScanSpec, costs: CostModel) -> None:
         super().__init__(costs)
         self.spec = spec
-        self._sizes = [f.size_bytes() for f in spec.fragments]
 
     def process(self, instance: int, activation: Activation,
                 ctx: ExecContext) -> ProcessResult:
@@ -154,11 +162,14 @@ class IndexScanFunc(DBFunc):
         fragment = self.spec.fragments[instance]
         index = self.spec.indexes[instance]
         matches = index.lookup(self.spec.value)
-        # Only the touched lines are shipped on a probe; approximate by
-        # charging the matches' footprint, not the whole fragment.
-        from repro.storage.tuples import row_size_bytes
-        touched = sum(row_size_bytes(row) for row in matches) or 1
-        penalty = ctx.touch(segment_key(fragment), touched)
+        if ctx.tracks_memory:
+            # Only the touched lines are shipped on a probe; approximate
+            # by charging the matches' footprint, not the whole fragment.
+            from repro.storage.tuples import row_size_bytes
+            touched = sum(row_size_bytes(row) for row in matches) or 1
+            penalty = ctx.touch(segment_key(fragment), touched)
+        else:
+            penalty = 0.0
         cost = (self.costs.trigger_activation
                 + self.costs.index_probe_cost(max(fragment.cardinality, 1),
                                               len(matches))
@@ -168,7 +179,7 @@ class IndexScanFunc(DBFunc):
 
     def segments(self, instance: int) -> list[tuple[tuple[str, int], int]]:
         fragment = self.spec.fragments[instance]
-        return [(segment_key(fragment), self._sizes[instance])]
+        return [(segment_key(fragment), fragment.size_bytes())]
 
 
 class JoinFunc(DBFunc):
@@ -179,8 +190,6 @@ class JoinFunc(DBFunc):
         self.spec = spec
         self._outer_pos = spec.outer_fragments[0].schema.position(spec.outer_key)
         self._inner_pos = spec.inner_fragments[0].schema.position(spec.inner_key)
-        self._outer_sizes = [f.size_bytes() for f in spec.outer_fragments]
-        self._inner_sizes = [f.size_bytes() for f in spec.inner_fragments]
         # Inner-side lookup tables, cached per instance so that chunked
         # activations (grain > 1) of the same instance share them.  The
         # *cost* charged still follows the configured algorithm.
@@ -202,23 +211,29 @@ class JoinFunc(DBFunc):
             raise ExecutionError("JoinFunc expects control activations")
         outer = self.spec.outer_fragments[instance]
         inner = self.spec.inner_fragments[instance]
-        low, high = self.spec.chunk_bounds(instance, activation.chunk)
-        outer_rows = outer.rows if (low, high) == (0, outer.cardinality) \
-            else outer.rows[low:high]
-        slice_cardinality = high - low
-        penalty = (ctx.touch(segment_key(outer), self._outer_sizes[instance])
-                   + ctx.touch(segment_key(inner), self._inner_sizes[instance]))
+        if self.spec.grain == 1:
+            outer_rows = outer.rows
+            slice_cardinality = len(outer_rows)
+        else:
+            low, high = self.spec.chunk_bounds(instance, activation.chunk)
+            outer_rows = outer.rows if (low, high) == (0, len(outer.rows)) \
+                else outer.rows[low:high]
+            slice_cardinality = high - low
+        penalty = (ctx.touch(segment_key(outer), outer.size_bytes())
+                   + ctx.touch(segment_key(inner), inner.size_bytes())
+                   ) if ctx.tracks_memory else 0.0
         cost = self.costs.trigger_activation + penalty
         emitted: list[Row] = []
         algorithm = self.spec.algorithm
         if algorithm == JOIN_NESTED_LOOP:
-            table = self._inner_table(instance)
+            table_get = self._inner_table(instance).get
+            emit = emitted.append
             outer_pos = self._outer_pos
             for left in outer_rows:
-                for right in table.get(left[outer_pos], ()):
-                    emitted.append(left + right)
+                for right in table_get(left[outer_pos], ()):
+                    emit(left + right)
             cost += self.costs.nested_loop_cost(
-                slice_cardinality, inner.cardinality, len(emitted))
+                slice_cardinality, len(inner.rows), len(emitted))
         elif algorithm == JOIN_TEMP_INDEX:
             # Each chunk builds its own temp index over its slice and
             # probes it with the whole inner operand — repeated probe
@@ -253,8 +268,8 @@ class JoinFunc(DBFunc):
     def segments(self, instance: int) -> list[tuple[tuple[str, int], int]]:
         outer = self.spec.outer_fragments[instance]
         inner = self.spec.inner_fragments[instance]
-        return [(segment_key(outer), self._outer_sizes[instance]),
-                (segment_key(inner), self._inner_sizes[instance])]
+        return [(segment_key(outer), outer.size_bytes()),
+                (segment_key(inner), inner.size_bytes())]
 
 
 class TransmitFunc(DBFunc):
@@ -268,14 +283,14 @@ class TransmitFunc(DBFunc):
     def __init__(self, spec: TransmitSpec, costs: CostModel) -> None:
         super().__init__(costs)
         self.spec = spec
-        self._sizes = [f.size_bytes() for f in spec.fragments]
 
     def process(self, instance: int, activation: Activation,
                 ctx: ExecContext) -> ProcessResult:
         if not activation.is_control:
             raise ExecutionError("TransmitFunc expects control activations")
         fragment = self.spec.fragments[instance]
-        penalty = ctx.touch(segment_key(fragment), self._sizes[instance])
+        penalty = (ctx.touch(segment_key(fragment), fragment.size_bytes())
+                   if ctx.tracks_memory else 0.0)
         cost = (self.costs.trigger_activation
                 + fragment.cardinality * self.costs.transmit_tuple
                 + penalty)
@@ -283,7 +298,7 @@ class TransmitFunc(DBFunc):
 
     def segments(self, instance: int) -> list[tuple[tuple[str, int], int]]:
         fragment = self.spec.fragments[instance]
-        return [(segment_key(fragment), self._sizes[instance])]
+        return [(segment_key(fragment), fragment.size_bytes())]
 
 
 class PipelinedJoinFunc(DBFunc):
@@ -301,7 +316,10 @@ class PipelinedJoinFunc(DBFunc):
         self.spec = spec
         self._stored_pos = spec.stored_key_position
         self._stream_pos = spec.stream_key_position
-        self._sizes = [f.size_bytes() for f in spec.stored_fragments]
+        # Footprints come from Fragment.size_bytes(), memoized at the
+        # fragment, so plans touching few instances pay nothing here —
+        # eagerly sizing every stored fragment used to dominate this
+        # constructor at high degrees of partitioning.
         # Per-instance lazily built lookup structures.  The dict form is
         # used for matching in every algorithm; the SortedIndex is also
         # really built for temp_index so the structure is exercised.
@@ -323,7 +341,8 @@ class PipelinedJoinFunc(DBFunc):
         if not activation.is_data or activation.row is None:
             raise ExecutionError("PipelinedJoinFunc expects data activations")
         stored = self.spec.stored_fragments[instance]
-        penalty = ctx.touch(segment_key(stored), self._sizes[instance])
+        penalty = (ctx.touch(segment_key(stored), stored.size_bytes())
+                   if ctx.tracks_memory else 0.0)
         row = activation.row
         key = row[self._stream_pos]
         cost = self.costs.pipelined_activation + penalty
@@ -355,7 +374,7 @@ class PipelinedJoinFunc(DBFunc):
 
     def segments(self, instance: int) -> list[tuple[tuple[str, int], int]]:
         stored = self.spec.stored_fragments[instance]
-        return [(segment_key(stored), self._sizes[instance])]
+        return [(segment_key(stored), stored.size_bytes())]
 
 
 class AggregateFunc(DBFunc):

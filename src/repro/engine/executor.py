@@ -91,6 +91,11 @@ class ExecutionOptions:
     trace: bool = False
     """Record an :class:`~repro.engine.trace.ExecutionTrace` (one event
     per activation) exposed as ``QueryExecution.trace``."""
+    use_ready_index: bool = True
+    """Find candidate queues through the per-operation ready index
+    (O(log d) per step) instead of the legacy linear scan.  Both paths
+    produce identical virtual-time behaviour; the switch exists so the
+    golden-trace tests can prove it."""
 
     def __post_init__(self) -> None:
         if self.placement not in PLACEMENTS:
@@ -117,7 +122,8 @@ class Executor:
 
         tracer = ExecutionTrace() if self.options.trace else None
         simulator = Simulator(self.machine, seed=self.options.seed,
-                              tracer=tracer)
+                              tracer=tracer,
+                              use_ready_index=self.options.use_ready_index)
         waves = plan.chain_waves()
         next_thread_id = 0
         current_time = startup

@@ -13,6 +13,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Callable
 
 from repro.engine.queues import ActivationQueue
+from repro.engine.ready_index import ReadyIndex
 from repro.engine.strategies import ConsumptionStrategy
 from repro.engine.threads import WorkerThread
 from repro.errors import ExecutionError
@@ -22,6 +23,14 @@ from repro.storage.tuples import Row
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from repro.engine.dbfuncs import DBFunc
+
+#: Degree of partitioning at which candidate selection switches from
+#: the linear queue scan to the ready index.  Below this the scan is
+#: cheaper (measured crossover is ~100 instances at 20 threads): with
+#: a handful of queues per pool, heap and ready-set bookkeeping costs
+#: more than just looking at every queue.  Both paths are
+#: virtual-time identical, so this is purely a wall-clock knob.
+READY_INDEX_MIN_INSTANCES = 96
 
 
 class OperationRuntime:
@@ -64,6 +73,7 @@ class OperationRuntime:
             for i in range(node.instances)
         ]
         self.threads: list[WorkerThread] = []
+        self.ready_index: ReadyIndex | None = None
         self.consumer: OperationRuntime | None = None
         self.router: Callable[[Row], int] | None = None
         self.producers_remaining = 0
@@ -116,6 +126,16 @@ class OperationRuntime:
         for thread in self.threads:
             thread.assign_main_queues(
                 [q for i, q in enumerate(self.queues) if i % pool_size == thread.pool_index])
+        # Main queues partition the operation's queues across the pool
+        # (the modulo rule above), which is what lets the ready index
+        # keep one heap per pool slot.  Low-degree operations stay on
+        # the linear scan — see READY_INDEX_MIN_INSTANCES.
+        if len(self.queues) >= READY_INDEX_MIN_INSTANCES:
+            self.ready_index = ReadyIndex(self)
+        else:
+            self.ready_index = None
+            for queue in self.queues:
+                queue.listener = None
         self.live_threads = pool_size
         self.started_at = start_time
 

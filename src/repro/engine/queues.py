@@ -11,6 +11,13 @@ so the discrete-event simulator knows when a consumer may pick it up.
 Entries from concurrent producers interleave, so internally the queue
 is a ready-time heap; among entries ready at the same instant, arrival
 order (FIFO) breaks ties.
+
+A queue may have a *listener* (the owning operation's
+:class:`~repro.engine.ready_index.ReadyIndex`): whenever the head
+ready time changes — an enqueue that becomes the new head, or a
+dequeue that pops it — the queue notifies the listener, so the
+simulator can locate ready queues without scanning every queue of the
+operation.
 """
 
 from __future__ import annotations
@@ -42,7 +49,7 @@ class ActivationQueue:
 
     __slots__ = ("operation_name", "instance", "kind", "capacity",
                  "cost_estimate", "_heap", "_seq", "enqueued", "consumed",
-                 "blocked_producers")
+                 "blocked_producers", "listener")
 
     def __init__(self, operation_name: str, instance: int, kind: str,
                  capacity: int | None = None, cost_estimate: float = 0.0) -> None:
@@ -58,6 +65,7 @@ class ActivationQueue:
         self.enqueued = 0
         self.consumed = 0
         self.blocked_producers: list["WorkerThread"] = []
+        self.listener = None
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -70,9 +78,14 @@ class ActivationQueue:
 
     def enqueue(self, ready_time: float, activation: Activation) -> None:
         """Append an activation that becomes consumable at *ready_time*."""
-        heapq.heappush(self._heap, (ready_time, self._seq, activation))
+        heap = self._heap
+        old_head = heap[0][0] if heap else None
+        heapq.heappush(heap, (ready_time, self._seq, activation))
         self._seq += 1
         self.enqueued += 1
+        if self.listener is not None and (old_head is None
+                                          or ready_time < old_head):
+            self.listener.notify(self.instance, ready_time)
 
     @property
     def over_capacity(self) -> bool:
@@ -106,4 +119,7 @@ class ActivationQueue:
         while heap and len(batch) < limit and heap[0][0] <= now:
             batch.append(heapq.heappop(heap)[2])
         self.consumed += len(batch)
+        if batch and self.listener is not None:
+            self.listener.notify(self.instance,
+                                 heap[0][0] if heap else None)
         return batch

@@ -1,0 +1,199 @@
+"""Ready-queue index: sub-linear candidate selection for the event loop.
+
+Before this index existed, every thread step linearly rescanned the
+operation's activation queues (`has_ready` / `next_ready_time` on each
+of them), so one simulated step cost O(d) in the degree of
+partitioning — quadratic overall, and exactly the regime the paper
+sweeps (Figures 16-19 go to d = 1500 fragments).
+
+The index exploits a structural invariant of the pool build: main
+queues *partition* the operation's queues across threads (queue ``i``
+is the main queue of thread ``i mod ThreadNb``).  Per pool slot — and
+once more for the whole operation, to serve secondary lookups — it
+keeps two structures over the covered queues:
+
+* a lazy min-heap of ``(next_ready_time, instance)`` entries for
+  queues whose head lies in the *future* of every query seen so far;
+* a *ready set* of instances whose head time has already passed some
+  query's ``now`` — these stay ready until their head changes, so
+  they are admitted once instead of being re-discovered every step.
+
+Both are maintained incrementally through the
+:class:`~repro.engine.queues.ActivationQueue` notification hook: any
+head change evicts the instance from its ready sets and (if the queue
+is non-empty) pushes fresh heap entries.  Heap entries whose time no
+longer matches the instance's current head are *stale* and discarded
+lazily when they surface at the top.  The standing invariant: every
+non-empty queue is tracked at exactly its current head time, either
+as a ready-set member or as a valid heap entry, in both its pool
+structure and the operation-wide one.
+
+Because threads have private clocks, a ready-set member admitted under
+one thread's ``now`` may still be in the future for a slower thread,
+so queries re-check members against their own ``now`` — a plain
+integer-indexed comparison, far cheaper than the method-call scan it
+replaces, and over only the plausibly ready queues instead of all d.
+
+Selection mirrors the legacy scan exactly, without iterating queues:
+
+* ready main candidates are the own-pool members with head <= now,
+  returned in instance order (the order the scan produced);
+* secondary candidates — consulted only when no main is ready — come
+  from the operation-wide structure: since no own-pool queue is ready,
+  every operation-wide ready instance is necessarily secondary;
+* the ``poll_empty`` charge is derived from cardinalities:
+  ``polls = #main - #ready_main`` (plus, on the secondary path,
+  ``#secondary - #ready_secondary``), which equals the number of
+  not-ready queues the scan would have visited;
+* the earliest future ready time is the minimum over the relevant
+  structure's heap top and ready-set members.
+
+See docs/architecture.md for the full equivalence argument.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.engine.operation import OperationRuntime
+    from repro.engine.queues import ActivationQueue
+    from repro.engine.threads import WorkerThread
+
+#: Sentinel pool id of the operation-wide structure.
+_GLOBAL = -1
+
+
+class ReadyIndex:
+    """Per-operation index over its activation queues' head ready times."""
+
+    __slots__ = ("_queues", "_nrt", "_pool_of", "_heaps", "_ready",
+                 "_mains_per_pool", "_track_global")
+
+    def __init__(self, operation: "OperationRuntime") -> None:
+        queues = operation.queues
+        self._queues = queues
+        pool_count = len(operation.threads)
+        self._pool_of = [0] * len(queues)
+        # Slot -1 (the last) holds the operation-wide structure.
+        self._heaps: list[list[tuple[float, int]]] = [
+            [] for _ in range(pool_count + 1)]
+        self._ready: list[set[int]] = [set() for _ in range(pool_count + 1)]
+        self._mains_per_pool = [0] * pool_count
+        for thread in operation.threads:
+            for instance in thread.main_queue_set:
+                self._pool_of[instance] = thread.pool_index
+                self._mains_per_pool[thread.pool_index] += 1
+        #: Without secondary consumption no cross-pool lookups happen,
+        #: so the operation-wide bookkeeping would be dead weight.
+        self._track_global = operation.allow_secondary
+        #: Authoritative head ready time per instance (None = empty).
+        self._nrt: list[float | None] = [None] * len(queues)
+        for queue in queues:
+            queue.listener = self
+            head = queue.next_ready_time()
+            if head is not None:
+                self.notify(queue.instance, head)
+
+    # -- incremental maintenance (called by ActivationQueue) -------------------
+
+    def notify(self, instance: int, ready_time: float | None) -> None:
+        """Record that *instance*'s head ready time is now *ready_time*.
+
+        The instance leaves the ready sets (its old head is gone) and,
+        when still non-empty, re-enters through the heaps.  Old heap
+        entries are recognized as stale (time mismatch) and dropped
+        lazily.
+        """
+        pool = self._pool_of[instance]
+        self._ready[pool].discard(instance)
+        self._nrt[instance] = ready_time
+        if ready_time is not None:
+            entry = (ready_time, instance)
+            heapq.heappush(self._heaps[pool], entry)
+            if self._track_global:
+                heapq.heappush(self._heaps[_GLOBAL], entry)
+        if self._track_global:
+            self._ready[_GLOBAL].discard(instance)
+
+    # -- queries ---------------------------------------------------------------
+
+    def _ready_in(self, pool: int, now: float) -> list[int]:
+        """Instances tracked by *pool* with an activation ready at *now*.
+
+        First promotes heap entries with time <= now into the pool's
+        ready set, then filters the set: members admitted under a
+        faster thread's clock may still lie in this thread's future,
+        hence the per-member re-check.
+        """
+        heap = self._heaps[pool]
+        nrt = self._nrt
+        ready = self._ready[pool]
+        while heap:
+            time, instance = heap[0]
+            if time != nrt[instance] or instance in ready:
+                heapq.heappop(heap)  # stale or duplicate entry
+                continue
+            if time > now:
+                break
+            heapq.heappop(heap)
+            ready.add(instance)
+        return [i for i in ready if nrt[i] <= now]
+
+    def _min_in(self, pool: int) -> float | None:
+        """Smallest head time tracked by *pool* (purging stale entries)."""
+        heap = self._heaps[pool]
+        nrt = self._nrt
+        ready = self._ready[pool]
+        best: float | None = None
+        while heap:
+            time, instance = heap[0]
+            if time == nrt[instance] and instance not in ready:
+                best = time
+                break
+            heapq.heappop(heap)
+        for instance in ready:
+            time = nrt[instance]
+            if best is None or time < best:
+                best = time
+        return best
+
+    def select(self, thread: "WorkerThread", now: float,
+               allow_secondary: bool
+               ) -> tuple[list["ActivationQueue"], int, bool]:
+        """Candidate queues for *thread* at time *now*.
+
+        Returns ``(ready, polls, used_secondary)`` reproducing the
+        legacy linear scan bit-for-bit: the same candidate list in the
+        same (instance) order, and the same count of not-ready queues
+        charged as ``poll_empty`` work.
+        """
+        pool = thread.pool_index
+        queues = self._queues
+        main_count = self._mains_per_pool[pool]
+        mains = self._ready_in(pool, now)
+        if mains:
+            mains.sort()
+            return ([queues[i] for i in mains],
+                    main_count - len(mains), False)
+        if not allow_secondary:
+            return [], main_count, False
+        # No own-pool queue is ready, so every operation-wide ready
+        # instance is a secondary queue of this thread.
+        secondary = self._ready_in(_GLOBAL, now)
+        secondary.sort()
+        return ([queues[i] for i in secondary],
+                len(queues) - len(secondary), True)
+
+    def next_ready_time(self, thread: "WorkerThread",
+                        allow_secondary: bool) -> float | None:
+        """Earliest pending ready time visible to *thread*.
+
+        With secondary access this is the minimum over every queue of
+        the operation; without, only the thread's own main queues
+        count (the Gamma-style static binding).
+        """
+        if allow_secondary:
+            return self._min_in(_GLOBAL)
+        return self._min_in(thread.pool_index)

@@ -66,10 +66,16 @@ class Simulator:
     """Runs one *wave* of concurrently executing operations to completion."""
 
     def __init__(self, machine: Machine, seed: int = 0,
-                 tracer: ExecutionTrace | None = None) -> None:
+                 tracer: ExecutionTrace | None = None,
+                 use_ready_index: bool = True) -> None:
         self.machine = machine
         self.rng = random.Random(seed)
         self.tracer = tracer
+        #: When False, candidate queues are found by the legacy linear
+        #: scan instead of the per-operation ready index.  Both paths
+        #: are virtual-time identical (the golden-trace tests pin
+        #: this); the flag exists so the equivalence stays testable.
+        self.use_ready_index = use_ready_index
         self._seq = 0
         self._active = 0
         self._sliced = False
@@ -144,15 +150,19 @@ class Simulator:
 
     # -- one thread step ---------------------------------------------------------
 
-    def _step(self, thread: WorkerThread, heap: list) -> None:
-        operation = thread.operation
-        costs = self.machine.costs
-        dilation = self._dilation()
-        now = thread.clock
+    def _scan_select(self, thread: WorkerThread, now: float
+                     ) -> tuple[list[ActivationQueue], int,
+                                float | None, bool]:
+        """Legacy candidate selection: linear scan over every queue.
 
-        # Scan main queues first; fall back to secondary queues.  The
-        # earliest future ready time is tracked during the same scan so
-        # an idle thread knows when to re-check.
+        Scans main queues first, falling back to secondary queues; the
+        earliest future ready time is tracked during the same scan so
+        an idle thread knows when to re-check.  Kept as the reference
+        implementation the ready index must match exactly (see the
+        golden-trace tests); O(d) per step, so only used when
+        ``use_ready_index`` is off.
+        """
+        operation = thread.operation
         ready: list[ActivationQueue] = []
         polls = 0
         future: float | None = None
@@ -178,12 +188,31 @@ class Simulator:
                     if t is not None and (future is None or t < future):
                         future = t
             used_secondary = True
+        return ready, polls, future, used_secondary
+
+    def _step(self, thread: WorkerThread, heap: list) -> None:
+        operation = thread.operation
+        costs = self.machine.costs
+        dilation = self._dilation()
+        now = thread.clock
+
+        index = operation.ready_index if self.use_ready_index else None
+        if index is not None:
+            ready, polls, used_secondary = index.select(
+                thread, now, operation.allow_secondary)
+            future = None  # computed lazily, only when nothing is ready
+        else:
+            ready, polls, future, used_secondary = self._scan_select(
+                thread, now)
 
         if polls:
             operation.polls += polls
             thread.advance(polls * costs.poll_empty * dilation, busy=True)
 
         if not ready:
+            if index is not None:
+                future = index.next_ready_time(
+                    thread, operation.allow_secondary)
             if future is not None:
                 thread.wait_until(future)
                 self._push(heap, thread)
@@ -341,15 +370,25 @@ class Simulator:
                 f"operation {operation.name!r} has a consumer but no router")
         duration = thread.clock - started_at
         count = len(emitted)
+        queues = consumer.queues
+        # Fast path: a single consumer instance makes routing trivial
+        # (the hash router would return 0 for every row).
+        single = len(queues) == 1
         for i, row in enumerate(emitted):
-            instance = router(row)
+            instance = 0 if single else router(row)
             ready_time = started_at + duration * (i + 1) / count
-            consumer.queues[instance].enqueue(
+            queues[instance].enqueue(
                 ready_time, Activation(DATA, instance, row))
-            consumer.pending_activations += 1
-            operation.enqueues += 1
             filled.add(instance)
-            if consumer.waiting_threads:
+        consumer.pending_activations += count
+        operation.enqueues += count
+        # Batched wakeups: the legacy loop woke one waiting consumer
+        # after each enqueue; since nothing else touches the event heap
+        # in between, waking min(count, waiting) threads afterwards
+        # yields the identical pop order and tie-break sequence.
+        waiting = len(consumer.waiting_threads)
+        if waiting:
+            for _ in range(waiting if waiting < count else count):
                 self._wake_one(consumer, heap)
 
     def _finish_thread(self, thread: WorkerThread, heap: list) -> None:

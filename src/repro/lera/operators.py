@@ -147,6 +147,13 @@ class JoinSpec(OperatorSpec):
             raise PlanError(f"unknown join algorithm {self.algorithm!r}")
         if self.grain < 1:
             raise PlanError(f"grain must be >= 1, got {self.grain}")
+        # Estimate memo: the scheduler (complexity + strategy selection)
+        # and the runtime build each recompute the same per-instance
+        # estimates; at high degrees that is thousands of cost-formula
+        # evaluations per query.  Keyed by cost model identity and the
+        # operand cardinalities, so two-phase plans that materialize
+        # their operands between calls invalidate it automatically.
+        self._estimate_cache: tuple[tuple, list[float]] | None = None
 
     @property
     def instances(self) -> int:
@@ -174,6 +181,12 @@ class JoinSpec(OperatorSpec):
 
     def estimated_instance_costs(self, costs: CostModel) -> list[float]:
         """Per-*activation* estimates (whole instance divided by grain)."""
+        state = (id(costs),
+                 tuple(len(f.rows) for f in self.outer_fragments),
+                 tuple(len(f.rows) for f in self.inner_fragments))
+        cached = self._estimate_cache
+        if cached is not None and cached[0] == state:
+            return list(cached[1])
         estimates = []
         for outer, inner in zip(self.outer_fragments, self.inner_fragments):
             whole = _join_instance_estimate(
@@ -181,6 +194,7 @@ class JoinSpec(OperatorSpec):
                 self._estimated_cardinality(outer, self.outer_expected_total),
                 self._estimated_cardinality(inner, self.inner_expected_total))
             estimates.append(whole / self.grain)
+        self._estimate_cache = (state, list(estimates))
         return estimates
 
     def total_complexity(self, costs: CostModel) -> float:

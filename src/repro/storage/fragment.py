@@ -28,7 +28,8 @@ class Fragment:
             transient fragments produced at run time.
     """
 
-    __slots__ = ("relation_name", "index", "schema", "rows", "disk")
+    __slots__ = ("relation_name", "index", "schema", "rows", "disk",
+                 "_size_cache")
 
     def __init__(self, relation_name: str, index: int, schema: Schema,
                  rows: Iterable[Row] = (), disk: int | None = None) -> None:
@@ -37,6 +38,7 @@ class Fragment:
         self.schema = schema
         self.rows: list[Row] = list(rows)
         self.disk = disk
+        self._size_cache: int | None = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -54,9 +56,20 @@ class Fragment:
         return len(self.rows)
 
     def size_bytes(self) -> int:
-        """Approximate footprint of the fragment, in bytes."""
-        return sum(row_size_bytes(row) for row in self.rows)
+        """Approximate footprint of the fragment, in bytes.
+
+        Memoized — the engine's cost accounting asks for footprints on
+        hot paths; :meth:`append` invalidates the cache.  Mutating
+        ``rows`` directly bypasses the invalidation, so incremental
+        builders must go through :meth:`append`.
+        """
+        size = self._size_cache
+        if size is None:
+            size = sum(row_size_bytes(row) for row in self.rows)
+            self._size_cache = size
+        return size
 
     def append(self, row: Row) -> None:
         """Add one row (used when building fragments incrementally)."""
         self.rows.append(row)
+        self._size_cache = None

@@ -1,0 +1,97 @@
+"""Unit tests of the perf-regression harness' comparison logic.
+
+The wall-clock matrix itself runs under the ``perf`` marker
+(benchmarks/test_perf_baseline.py); here only the pure comparison and
+rendering helpers are exercised, on synthetic matrices, so tier-1
+covers the harness without timing anything.
+"""
+
+import json
+import pathlib
+
+from repro.bench.perf_baseline import (
+    REGRESSION_THRESHOLD,
+    cell_key,
+    compare_matrices,
+    render,
+)
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent.parent
+
+
+def _matrix(min_s=1.0, virtual=5.0, rows=100):
+    cell = {
+        "mode": "triggered", "degree": 200,
+        "mean_s": min_s, "std_s": 0.0, "min_s": min_s,
+        "runs": [min_s],
+        "result_rows": rows, "virtual_response_s": virtual,
+    }
+    return {"workload": {}, "cells": {"triggered@200": dict(cell)}}
+
+
+class TestCompareMatrices:
+    def test_identical_matrices_pass(self):
+        assert compare_matrices(_matrix(), _matrix()) == []
+
+    def test_faster_run_passes(self):
+        assert compare_matrices(_matrix(min_s=1.0), _matrix(min_s=0.5)) == []
+
+    def test_slowdown_within_threshold_passes(self):
+        current = _matrix(min_s=1.0 + REGRESSION_THRESHOLD - 0.01)
+        assert compare_matrices(_matrix(min_s=1.0), current) == []
+
+    def test_slowdown_beyond_threshold_flagged(self):
+        problems = compare_matrices(_matrix(min_s=1.0), _matrix(min_s=1.5))
+        assert len(problems) == 1
+        assert "regressed" in problems[0]
+
+    def test_custom_threshold(self):
+        assert compare_matrices(_matrix(min_s=1.0), _matrix(min_s=1.5),
+                                threshold=0.6) == []
+
+    def test_absolute_slack_shields_millisecond_cells(self):
+        # 0.002s -> 0.006s is a 3x "regression" but within timer jitter.
+        assert compare_matrices(_matrix(min_s=0.002),
+                                _matrix(min_s=0.006)) == []
+        problems = compare_matrices(_matrix(min_s=0.002),
+                                    _matrix(min_s=0.006), abs_slack_s=0.0)
+        assert len(problems) == 1
+
+    def test_virtual_time_drift_always_flagged(self):
+        problems = compare_matrices(_matrix(virtual=5.0),
+                                    _matrix(virtual=5.0000001))
+        assert any("virtual response time" in p for p in problems)
+
+    def test_cardinality_drift_always_flagged(self):
+        problems = compare_matrices(_matrix(rows=100), _matrix(rows=99))
+        assert any("cardinality" in p for p in problems)
+
+    def test_missing_cell_flagged(self):
+        current = _matrix()
+        current["cells"] = {}
+        problems = compare_matrices(_matrix(), current)
+        assert problems == ["triggered@200: missing from current run"]
+
+
+class TestHelpers:
+    def test_cell_key_is_stable(self):
+        assert cell_key("pipelined", 1500) == "pipelined@1500"
+
+    def test_render_mentions_every_cell(self):
+        assert "triggered@200" in render(_matrix())
+
+
+class TestCommittedBaseline:
+    def test_bench_engine_json_is_well_formed(self):
+        doc = json.loads((REPO_ROOT / "BENCH_engine.json").read_text())
+        assert doc["schema"] == 1
+        for scale in ("full", "quick"):
+            for side in ("before", "after"):
+                cells = doc[scale][side]["cells"]
+                assert set(cells) == {
+                    cell_key(m, d)
+                    for m in ("triggered", "pipelined")
+                    for d in (20, 200, 1500)}
+                for cell in cells.values():
+                    assert cell["min_s"] > 0
+                    assert cell["result_rows"] > 0
