@@ -6,7 +6,7 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test bench perf perf-full perf-baseline
+.PHONY: test bench perf perf-full perf-baseline trace-demo
 
 ## Tier-1: the fast deterministic test suite (what CI gates on).
 test:
@@ -27,3 +27,12 @@ perf-full:
 ## Print a fresh full matrix (use when re-recording BENCH_engine.json).
 perf-baseline:
 	$(PYTHON) -m repro.bench.perf_baseline
+
+## Observed demo query: scheduler explain + Chrome trace (Perfetto) +
+## JSONL event log + metrics snapshot into benchmarks/results/.
+trace-demo:
+	mkdir -p benchmarks/results
+	$(PYTHON) -m repro --explain \
+		--trace-out benchmarks/results/trace_demo.json \
+		--events-out benchmarks/results/trace_demo.jsonl \
+		--metrics-out benchmarks/results/trace_demo.txt

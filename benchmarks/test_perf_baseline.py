@@ -14,9 +14,12 @@ import pytest
 
 from repro.bench.perf_baseline import (
     compare_matrices,
+    compare_obs,
     load_baseline,
     render,
+    render_obs,
     run_matrix,
+    run_obs_overhead,
 )
 
 BASELINE_PATH = pathlib.Path(__file__).parent.parent / "BENCH_engine.json"
@@ -29,6 +32,19 @@ def test_quick_matrix_has_not_regressed():
     print()
     print(render(current))
     problems = compare_matrices(baseline["quick"]["after"], current)
+    assert not problems, "\n".join(problems)
+
+
+@pytest.mark.perf
+def test_obs_disabled_overhead_has_not_regressed():
+    """With observability off, the guards may cost at most 5 % wall
+    clock against the committed disabled-mode baseline; turning it on
+    must not move virtual time or results."""
+    baseline = load_baseline(BASELINE_PATH)
+    current = run_obs_overhead(quick=True, seed=0)
+    print()
+    print(render_obs(current))
+    problems = compare_obs(baseline["observability"]["quick"], current)
     assert not problems, "\n".join(problems)
 
 

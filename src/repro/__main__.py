@@ -5,6 +5,12 @@ Usage::
     python -m repro                 # run the built-in demo
     python -m repro --figures       # regenerate the paper's figures
                                     # (alias of repro.bench.reporting)
+    python -m repro --explain --trace-out trace.json \\
+                    --events-out events.jsonl
+                                    # run one observed query: scheduler
+                                    # explain + Chrome trace (open in
+                                    # https://ui.perfetto.dev) + JSONL
+                                    # event log
 
 The demo loads two Wisconsin relations, runs each supported query
 shape end to end and prints the plans, schedules and virtual-time
@@ -18,6 +24,10 @@ import sys
 
 from repro import DBS3, generate_wisconsin
 from repro.bench import reporting
+
+#: The observed-run default query (a pipelined join, so the export
+#: shows both queue disciplines: triggered transmit + pipelined join).
+DEFAULT_OBSERVED_SQL = "SELECT * FROM A JOIN B ON A.unique1 = B.unique1"
 
 
 def demo() -> None:
@@ -49,19 +59,87 @@ def demo() -> None:
     print("for skew handling, partitioning tuning and the Allcache model.")
 
 
+def observed_run(sql: str, trace_out: str | None, events_out: str | None,
+                 metrics_out: str | None, explain: bool,
+                 threads: int | None = None) -> int:
+    """Run one query with full observability and export the results."""
+    from repro.engine.executor import ExecutionOptions
+    from repro.obs.explain import ScheduleExplanation
+    from repro.obs.export import (
+        metrics_snapshot,
+        verify_against_metrics,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    db = DBS3(processors=32, options=ExecutionOptions(observe=True))
+    # B is partitioned on unique2, so a join on unique1 redistributes
+    # it — the observed run then shows both queue disciplines: the
+    # triggered transmit and the pipelined join it feeds.
+    db.create_table(generate_wisconsin("A", 8_000, seed=1), "unique1", 40)
+    db.create_table(generate_wisconsin("B", 800, seed=2), "unique2", 40)
+    print(f"SQL> {sql}")
+    compiled = db.compile(sql)
+    explanation = ScheduleExplanation()
+    schedule = db.scheduler.schedule(compiled.plan, threads,
+                                     explain=explanation)
+    execution = db.executor.execute(compiled.plan, schedule)
+    if explain:
+        print(explanation.render())
+        print()
+    print(metrics_snapshot(execution))
+    problems = verify_against_metrics(execution)
+    if problems:
+        print("\nOBS/METRICS MISMATCH:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    if events_out:
+        records = write_jsonl(execution, events_out)
+        print(f"\nwrote {records} JSONL records to {events_out}")
+    if trace_out:
+        count = write_chrome_trace(execution, trace_out)
+        print(f"wrote {count} Chrome trace events to {trace_out} "
+              f"(load in https://ui.perfetto.dev)")
+    if metrics_out:
+        with open(metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(metrics_snapshot(execution) + "\n")
+        print(f"wrote metrics snapshot to {metrics_out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="DBS3 reproduction: demo driver and figure regeneration")
+        description="DBS3 reproduction: demo driver, figure regeneration "
+                    "and observed runs")
     parser.add_argument("--figures", action="store_true",
                         help="regenerate the paper's figures instead of "
                              "running the demo")
     parser.add_argument("--scale", choices=("small", "paper"),
                         default="small", help="figure workload scale")
+    obs = parser.add_argument_group(
+        "observability", "run one observed query instead of the demo")
+    obs.add_argument("--trace-out", metavar="PATH",
+                     help="write a Chrome trace-event JSON (Perfetto)")
+    obs.add_argument("--events-out", metavar="PATH",
+                     help="write the structured JSONL event log")
+    obs.add_argument("--metrics-out", metavar="PATH",
+                     help="write the text metrics snapshot")
+    obs.add_argument("--explain", action="store_true",
+                     help="print the scheduler's four-step decisions")
+    obs.add_argument("--sql", default=DEFAULT_OBSERVED_SQL,
+                     help="query to observe (default: a pipelined join)")
+    obs.add_argument("--threads", type=int, default=None,
+                     help="pin the degree of parallelism (default: let "
+                          "scheduler step 1 choose)")
     args = parser.parse_args(argv)
     if args.figures:
         return reporting.main(["--scale", args.scale])
+    if args.trace_out or args.events_out or args.metrics_out or args.explain:
+        return observed_run(args.sql, args.trace_out, args.events_out,
+                            args.metrics_out, args.explain, args.threads)
     demo()
     return 0
 

@@ -58,6 +58,16 @@ REGRESSION_THRESHOLD = 0.20
 #: exceeds 20 %.
 ABSOLUTE_SLACK_S = 0.005
 
+#: Observability must be free when off: the disabled mode may not be
+#: more than this fraction slower than the committed disabled-mode
+#: baseline (the guard instructions are one attribute check per site).
+OBS_REGRESSION_THRESHOLD = 0.05
+
+#: The obs-overhead probe workload: the pipelined discipline at the
+#: mid-range degree, where queue traffic (the instrumented hot path)
+#: dominates.
+OBS_DEGREE = 200
+
 
 def cell_key(mode: str, degree: int) -> str:
     """Stable JSON key of one matrix cell."""
@@ -108,6 +118,86 @@ def run_matrix(quick: bool = False, seed: int = 0) -> dict:
                      "threads": THREADS, "repeats": repeats, "seed": seed},
         "cells": cells,
     }
+
+
+def run_obs_overhead(quick: bool = False, seed: int = 0) -> dict:
+    """Time the obs-disabled vs obs-enabled pipelined workload.
+
+    Returns a JSON-ready record with one timing block per mode plus
+    the enabled/disabled best-of-N ratio.  The disabled mode is the
+    regression gate (:func:`compare_obs`); the enabled mode documents
+    what full instrumentation costs but is not gated — it does real
+    extra work by design.
+    """
+    card_a = QUICK_CARD_A if quick else FULL_CARD_A
+    card_b = QUICK_CARD_B if quick else FULL_CARD_B
+    repeats = QUICK_REPEATS if quick else FULL_REPEATS
+    database = make_join_database(card_a, card_b, OBS_DEGREE, theta=0.0)
+    modes = {}
+    for label, observe in (("disabled", False), ("enabled", True)):
+        times = []
+        execution = None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            execution = run_assoc_join(database, THREADS, seed=seed,
+                                       observe=observe)
+            times.append(time.perf_counter() - started)
+        modes[label] = {
+            "mean_s": round(statistics.fmean(times), 6),
+            "min_s": round(min(times), 6),
+            "runs": [round(t, 6) for t in times],
+            "result_rows": execution.result_cardinality,
+            "virtual_response_s": execution.response_time,
+        }
+    return {
+        "workload": {"card_a": card_a, "card_b": card_b,
+                     "degree": OBS_DEGREE, "mode": "pipelined",
+                     "threads": THREADS, "repeats": repeats, "seed": seed},
+        "modes": modes,
+        "enabled_over_disabled": round(
+            modes["enabled"]["min_s"] / modes["disabled"]["min_s"], 4),
+    }
+
+
+def compare_obs(baseline: dict, current: dict,
+                threshold: float = OBS_REGRESSION_THRESHOLD,
+                abs_slack_s: float = ABSOLUTE_SLACK_S) -> list[str]:
+    """Flag obs-overhead problems of *current* against *baseline*.
+
+    Two gates: the disabled mode may not be more than *threshold*
+    (plus *abs_slack_s*) slower than the committed disabled baseline —
+    instrumentation guards must stay free when off — and turning
+    observability on may not move virtual time or results at all.
+    """
+    problems = []
+    base = baseline["modes"]["disabled"]
+    disabled = current["modes"]["disabled"]
+    enabled = current["modes"]["enabled"]
+    limit = base["min_s"] * (1.0 + threshold) + abs_slack_s
+    if disabled["min_s"] > limit:
+        problems.append(
+            f"obs-disabled wall-clock regressed {base['min_s']:.4f}s -> "
+            f"{disabled['min_s']:.4f}s (> {threshold:.0%} over baseline)")
+    if enabled["virtual_response_s"] != disabled["virtual_response_s"]:
+        problems.append(
+            "observability moved virtual time: "
+            f"{disabled['virtual_response_s']!r} -> "
+            f"{enabled['virtual_response_s']!r}")
+    if enabled["result_rows"] != disabled["result_rows"]:
+        problems.append(
+            f"observability changed results: {disabled['result_rows']} -> "
+            f"{enabled['result_rows']}")
+    return problems
+
+
+def render_obs(record: dict) -> str:
+    """Human-readable line for one obs-overhead run."""
+    disabled = record["modes"]["disabled"]
+    enabled = record["modes"]["enabled"]
+    return (f"obs overhead (pipelined@{record['workload']['degree']}): "
+            f"disabled {disabled['min_s']:.4f}s, "
+            f"enabled {enabled['min_s']:.4f}s "
+            f"({record['enabled_over_disabled']:.2f}x)")
 
 
 def compare_matrices(baseline: dict, current: dict,
@@ -174,6 +264,9 @@ def main(argv: list[str] | None = None) -> int:
                              "the selected mode)")
     parser.add_argument("--out", metavar="PATH",
                         help="write this run's matrix as JSON")
+    parser.add_argument("--obs", action="store_true",
+                        help="also time obs-disabled vs obs-enabled and "
+                             "gate the disabled mode at 5%%")
     args = parser.parse_args(argv)
 
     baseline = None
@@ -185,11 +278,23 @@ def main(argv: list[str] | None = None) -> int:
 
     matrix = run_matrix(quick=args.quick)
     print(render(matrix))
+    obs_record = None
+    if args.obs:
+        obs_record = run_obs_overhead(quick=args.quick)
+        matrix["observability"] = obs_record
+        print(render_obs(obs_record))
     if args.out:
         Path(args.out).write_text(json.dumps(matrix, indent=2) + "\n")
     if baseline is not None:
-        section = baseline["quick" if args.quick else "full"]["after"]
-        problems = compare_matrices(section, matrix)
+        scale = "quick" if args.quick else "full"
+        problems = compare_matrices(baseline[scale]["after"], matrix)
+        if obs_record is not None:
+            obs_baseline = baseline.get("observability", {}).get(scale)
+            if obs_baseline is None:
+                problems.append(
+                    f"baseline has no observability[{scale}] section")
+            else:
+                problems.extend(compare_obs(obs_baseline, obs_record))
         if problems:
             print("\nREGRESSIONS:")
             for problem in problems:

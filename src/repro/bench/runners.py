@@ -31,7 +31,7 @@ def run_ideal_join(database: JoinDatabase, threads: int,
                    strategy: str | None = None,
                    algorithm: str = JOIN_NESTED_LOOP,
                    machine: Machine | None = None,
-                   seed: int = 0) -> QueryExecution:
+                   seed: int = 0, observe: bool = False) -> QueryExecution:
     """Execute IdealJoin over *database* with *threads* threads."""
     machine = machine or default_machine()
     plan = ideal_join_plan(database.entry_a, database.entry_b, "key", "key",
@@ -39,7 +39,7 @@ def run_ideal_join(database: JoinDatabase, threads: int,
     schedule = AdaptiveScheduler(machine).schedule(plan, threads)
     if strategy is not None:
         schedule = schedule.with_strategy("join", strategy)
-    executor = Executor(machine, ExecutionOptions(seed=seed))
+    executor = Executor(machine, ExecutionOptions(seed=seed, observe=observe))
     return executor.execute(plan, schedule)
 
 
@@ -47,7 +47,7 @@ def run_assoc_join(database: JoinDatabase, threads: int,
                    strategy: str | None = None,
                    algorithm: str = JOIN_NESTED_LOOP,
                    machine: Machine | None = None,
-                   seed: int = 0) -> QueryExecution:
+                   seed: int = 0, observe: bool = False) -> QueryExecution:
     """Execute AssocJoin (Transmit + pipelined join) over *database*."""
     machine = machine or default_machine()
     plan = assoc_join_plan(database.entry_a, database.entry_b, "key", "key",
@@ -55,7 +55,7 @@ def run_assoc_join(database: JoinDatabase, threads: int,
     schedule = AdaptiveScheduler(machine).schedule(plan, threads)
     if strategy is not None:
         schedule = schedule.with_strategy("join", strategy)
-    executor = Executor(machine, ExecutionOptions(seed=seed))
+    executor = Executor(machine, ExecutionOptions(seed=seed, observe=observe))
     return executor.execute(plan, schedule)
 
 

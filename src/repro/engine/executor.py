@@ -22,6 +22,7 @@ from repro.lera.graph import PIPELINE, LeraGraph
 from repro.lera.operators import AggregateSpec, PipelinedJoinSpec, StoreSpec
 from repro.machine.cache import REMOTE_HOME
 from repro.machine.machine import Machine
+from repro.obs.bus import OP_SEED, OP_START, WAVE_END, WAVE_START, EventBus
 from repro.storage.tuples import stable_hash
 
 #: Data placement policies for the Allcache model.
@@ -96,6 +97,12 @@ class ExecutionOptions:
     (O(log d) per step) instead of the legacy linear scan.  Both paths
     produce identical virtual-time behaviour; the switch exists so the
     golden-trace tests can prove it."""
+    observe: bool = False
+    """Attach an :class:`~repro.obs.bus.EventBus` to the execution:
+    structured events, time-series probes and counters end up on
+    ``QueryExecution.obs`` (exportable via :mod:`repro.obs.export`).
+    Implies span tracing, so ``QueryExecution.trace`` is also set.
+    Virtual-time behaviour is unchanged; only wall clock pays."""
 
     def __post_init__(self) -> None:
         if self.placement not in PLACEMENTS:
@@ -120,16 +127,25 @@ class Executor:
         self._wire_pipelines(plan, runtimes)
         startup = self._startup_time(runtimes, schedule)
 
-        tracer = ExecutionTrace() if self.options.trace else None
+        bus = EventBus() if self.options.observe else None
+        if bus is not None:
+            # Queues feed the per-operation depth probe; attach before
+            # any trigger seeding enqueues.
+            for runtime in runtimes.values():
+                for queue in runtime.queues:
+                    queue.obs = bus
+        tracer = (ExecutionTrace()
+                  if self.options.trace or self.options.observe else None)
         simulator = Simulator(self.machine, seed=self.options.seed,
                               tracer=tracer,
-                              use_ready_index=self.options.use_ready_index)
+                              use_ready_index=self.options.use_ready_index,
+                              bus=bus)
         waves = plan.chain_waves()
         next_thread_id = 0
         current_time = startup
         max_wave_threads = 0
         max_dilation = 1.0
-        for wave in waves:
+        for wave_index, wave in enumerate(waves):
             wave_ops = [runtimes[node.name]
                         for chain in wave for node in chain.nodes]
             wave_threads = 0
@@ -139,12 +155,28 @@ class Executor:
                 next_thread_id += count
                 wave_threads += count
                 operation.build_pool(thread_ids, current_time)
+                if bus is not None:
+                    if operation.ready_index is not None:
+                        operation.ready_index.obs = bus
+                    bus.emit(OP_START, current_time, operation.name,
+                             threads=count, instances=operation.instances,
+                             strategy=operation.strategy.name,
+                             cache_size=operation.cache_size)
                 if operation.node.trigger_mode == TRIGGERED:
                     operation.seed_triggers(current_time)
+                    if bus is not None:
+                        bus.emit(OP_SEED, current_time, operation.name,
+                                 count=operation.pending_activations)
                 self._place_segments(operation)
             max_wave_threads = max(max_wave_threads, wave_threads)
             max_dilation = max(max_dilation, self.machine.dilation(wave_threads))
+            if bus is not None:
+                bus.emit(WAVE_START, current_time, wave=wave_index,
+                         operations=[op.name for op in wave_ops],
+                         threads=wave_threads)
             current_time = simulator.run_wave(wave_ops)
+            if bus is not None:
+                bus.emit(WAVE_END, current_time, wave=wave_index)
 
         result_rows = []
         for node in plan.nodes:
@@ -160,6 +192,7 @@ class Executor:
             operations=metrics,
             result_rows=result_rows,
             trace=tracer,
+            obs=bus,
         )
 
     # -- construction helpers ------------------------------------------------------

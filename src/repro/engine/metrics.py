@@ -15,6 +15,7 @@ from repro.analysis.formulas import OperatorProfile
 from repro.engine.operation import OperationRuntime
 from repro.engine.trace import ExecutionTrace
 from repro.errors import ExecutionError
+from repro.obs.bus import EventBus
 from repro.storage.tuples import Row
 
 
@@ -127,6 +128,10 @@ class QueryExecution:
     result_rows: list[Row] = field(repr=False)
     trace: ExecutionTrace | None = field(default=None, repr=False)
     """Per-activation events, present when tracing was enabled."""
+    obs: EventBus | None = field(default=None, repr=False)
+    """Structured events, probe series and counters, present when the
+    execution ran with ``ExecutionOptions(observe=True)``; export via
+    :mod:`repro.obs.export`."""
 
     @property
     def result_cardinality(self) -> int:

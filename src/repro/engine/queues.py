@@ -18,6 +18,12 @@ ready time changes — an enqueue that becomes the new head, or a
 dequeue that pops it — the queue notifies the listener, so the
 simulator can locate ready queues without scanning every queue of the
 operation.
+
+Independently, a queue may carry an *obs* hook (the execution's
+:class:`~repro.obs.bus.EventBus`, attached only when observability is
+on): enqueues and dequeues then feed the per-operation queue-depth
+probe.  When off the hook is ``None`` and each hot path pays exactly
+one ``is not None`` check.
 """
 
 from __future__ import annotations
@@ -49,7 +55,7 @@ class ActivationQueue:
 
     __slots__ = ("operation_name", "instance", "kind", "capacity",
                  "cost_estimate", "_heap", "_seq", "enqueued", "consumed",
-                 "blocked_producers", "listener")
+                 "blocked_producers", "listener", "obs")
 
     def __init__(self, operation_name: str, instance: int, kind: str,
                  capacity: int | None = None, cost_estimate: float = 0.0) -> None:
@@ -66,6 +72,7 @@ class ActivationQueue:
         self.consumed = 0
         self.blocked_producers: list["WorkerThread"] = []
         self.listener = None
+        self.obs = None
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -86,6 +93,8 @@ class ActivationQueue:
         if self.listener is not None and (old_head is None
                                           or ready_time < old_head):
             self.listener.notify(self.instance, ready_time)
+        if self.obs is not None:
+            self.obs.on_enqueue(self.operation_name, ready_time)
 
     @property
     def over_capacity(self) -> bool:
@@ -122,4 +131,6 @@ class ActivationQueue:
         if batch and self.listener is not None:
             self.listener.notify(self.instance,
                                  heap[0][0] if heap else None)
+        if batch and self.obs is not None:
+            self.obs.on_dequeue(self.operation_name, now, len(batch))
         return batch

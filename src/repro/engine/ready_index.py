@@ -69,11 +69,18 @@ class ReadyIndex:
     """Per-operation index over its activation queues' head ready times."""
 
     __slots__ = ("_queues", "_nrt", "_pool_of", "_heaps", "_ready",
-                 "_mains_per_pool", "_track_global")
+                 "_mains_per_pool", "_track_global", "obs",
+                 "_notify_key", "_stale_key", "_ready_key")
 
     def __init__(self, operation: "OperationRuntime") -> None:
         queues = operation.queues
         self._queues = queues
+        #: Observability hook (an EventBus), attached by the executor
+        #: when observability is on; ``None`` costs one check per site.
+        self.obs = None
+        self._notify_key = "ready_notify/" + operation.name
+        self._stale_key = "ready_stale_drops/" + operation.name
+        self._ready_key = "ready_set/" + operation.name
         pool_count = len(operation.threads)
         self._pool_of = [0] * len(queues)
         # Slot -1 (the last) holds the operation-wide structure.
@@ -106,6 +113,8 @@ class ReadyIndex:
         entries are recognized as stale (time mismatch) and dropped
         lazily.
         """
+        if self.obs is not None:
+            self.obs.count(self._notify_key)
         pool = self._pool_of[instance]
         self._ready[pool].discard(instance)
         self._nrt[instance] = ready_time
@@ -130,15 +139,19 @@ class ReadyIndex:
         heap = self._heaps[pool]
         nrt = self._nrt
         ready = self._ready[pool]
+        stale = 0
         while heap:
             time, instance = heap[0]
             if time != nrt[instance] or instance in ready:
                 heapq.heappop(heap)  # stale or duplicate entry
+                stale += 1
                 continue
             if time > now:
                 break
             heapq.heappop(heap)
             ready.add(instance)
+        if stale and self.obs is not None:
+            self.obs.count(self._stale_key, stale)
         return [i for i in ready if nrt[i] <= now]
 
     def _min_in(self, pool: int) -> float | None:
@@ -147,12 +160,16 @@ class ReadyIndex:
         nrt = self._nrt
         ready = self._ready[pool]
         best: float | None = None
+        stale = 0
         while heap:
             time, instance = heap[0]
             if time == nrt[instance] and instance not in ready:
                 best = time
                 break
             heapq.heappop(heap)
+            stale += 1
+        if stale and self.obs is not None:
+            self.obs.count(self._stale_key, stale)
         for instance in ready:
             time = nrt[instance]
             if best is None or time < best:
@@ -173,6 +190,12 @@ class ReadyIndex:
         queues = self._queues
         main_count = self._mains_per_pool[pool]
         mains = self._ready_in(pool, now)
+        if self.obs is not None:
+            # Probe the post-promotion ready-set size this thread saw
+            # in its own pool structure (the operation-wide set is
+            # only promoted on the secondary path, so it would read
+            # stale here).
+            self.obs.sample(self._ready_key, now, len(self._ready[pool]))
         if mains:
             mains.sort()
             return ([queues[i] for i in mains],

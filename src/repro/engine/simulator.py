@@ -41,6 +41,15 @@ from repro.engine.threads import (
 )
 from repro.engine.trace import ExecutionTrace
 from repro.errors import ExecutionError
+from repro.obs.bus import (
+    BLOCK,
+    DEQUEUE,
+    ENQUEUE,
+    OP_FINALIZE,
+    OP_FINISH,
+    THREAD_FINISH,
+    UNBLOCK,
+)
 from repro.lera.activation import DATA, Activation
 from repro.machine.machine import Machine
 
@@ -67,10 +76,14 @@ class Simulator:
 
     def __init__(self, machine: Machine, seed: int = 0,
                  tracer: ExecutionTrace | None = None,
-                 use_ready_index: bool = True) -> None:
+                 use_ready_index: bool = True, bus=None) -> None:
         self.machine = machine
         self.rng = random.Random(seed)
         self.tracer = tracer
+        #: Observability bus (:class:`repro.obs.bus.EventBus`) or
+        #: ``None``.  Every emission site is guarded by one
+        #: ``is not None`` check so the disabled hot path stays flat.
+        self.bus = bus
         #: When False, candidate queues are found by the legacy linear
         #: scan instead of the per-operation ready index.  Both paths
         #: are virtual-time identical (the golden-trace tests pin
@@ -101,6 +114,8 @@ class Simulator:
                 total_threads += 1
         self._active = total_threads
         self._sliced = total_threads > self.machine.processors
+        if self.bus is not None and operations:
+            self.bus.sample_active(operations[0].started_at, self._active)
         while heap:
             _, _, thread = heapq.heappop(heap)
             if thread.state != RUNNABLE:
@@ -132,6 +147,10 @@ class Simulator:
         thread.state = RUNNABLE
         self._active += 1
         self._push(heap, thread)
+        if self.bus is not None:
+            # Sampled at the woken thread's (parked) clock — it will
+            # jump forward when the thread next steps.
+            self.bus.sample_active(thread.clock, self._active)
 
     def _wake_all(self, operation: OperationRuntime, heap: list) -> None:
         """Broadcast: input closed, every parked thread must re-check."""
@@ -141,11 +160,17 @@ class Simulator:
     def _wake_blocked(self, queue: ActivationQueue, at_time: float,
                       heap: list) -> None:
         """Un-block producers once *queue* dropped below capacity."""
+        bus = self.bus
         for producer in queue.blocked_producers:
             producer.state = RUNNABLE
             self._active += 1
             producer.wait_until(at_time)
             self._push(heap, producer)
+            if bus is not None:
+                bus.emit(UNBLOCK, at_time, producer.operation.name,
+                         producer.thread_id, queue=queue.operation_name,
+                         instance=queue.instance)
+                bus.sample_active(at_time, self._active)
         queue.blocked_producers.clear()
 
     # -- one thread step ---------------------------------------------------------
@@ -220,6 +245,8 @@ class Simulator:
                 thread.state = WAITING
                 self._active -= 1
                 operation.waiting_threads.append(thread)
+                if self.bus is not None:
+                    self.bus.sample_active(thread.clock, self._active)
             else:
                 self._finish_thread(thread, heap)
             return
@@ -229,9 +256,14 @@ class Simulator:
         operation.pending_activations -= len(batch)
         operation.dequeue_batches += 1
         access_cost = costs.dequeue_batch
-        if used_secondary or queue.instance not in thread.main_queue_set:
+        secondary = used_secondary or queue.instance not in thread.main_queue_set
+        if secondary:
             access_cost += costs.secondary_access
             operation.secondary_accesses += 1
+        if self.bus is not None:
+            self.bus.emit(DEQUEUE, thread.clock, operation.name,
+                          thread.thread_id, instance=queue.instance,
+                          count=len(batch), secondary=secondary)
         thread.advance(access_cost * dilation, busy=True)
         if queue.blocked_producers and not queue.over_capacity:
             self._wake_blocked(queue, thread.clock, heap)
@@ -260,6 +292,13 @@ class Simulator:
                     thread.state = BLOCKED
                     self._active -= 1
                     target.blocked_producers.append(thread)
+                    if self.bus is not None:
+                        self.bus.emit(BLOCK, thread.clock,
+                                      thread.operation.name,
+                                      thread.thread_id,
+                                      target=consumer.name,
+                                      instance=instance)
+                        self.bus.sample_active(thread.clock, self._active)
                     return
         self._push(heap, thread)
 
@@ -329,6 +368,14 @@ class Simulator:
             if self.tracer is not None:
                 self.tracer.record(thread.thread_id, operation.name,
                                    "finalize", started_at, thread.clock)
+            if self.bus is not None:
+                self.bus.emit(OP_FINALIZE, thread.clock, operation.name,
+                              thread.thread_id, instance=instance,
+                              cost=result.cost)
+                if ctx.penalty:
+                    self.bus.add_memory_penalty(
+                        thread.clock, operation.name, thread.thread_id,
+                        ctx.penalty)
             self._deliver(thread, result, started_at, heap, filled)
 
     def _run_dbfunc(self, thread: WorkerThread,
@@ -339,6 +386,9 @@ class Simulator:
         operation.activation_costs.append(result.cost)
         operation.activation_outputs.append(len(result.emitted))
         operation.memory_penalty += ctx.penalty
+        if ctx.penalty and self.bus is not None:
+            self.bus.add_memory_penalty(thread.clock, operation.name,
+                                        thread.thread_id, ctx.penalty)
         return result
 
     def _total_cost(self, operation: OperationRuntime,
@@ -382,6 +432,10 @@ class Simulator:
             filled.add(instance)
         consumer.pending_activations += count
         operation.enqueues += count
+        if self.bus is not None:
+            self.bus.emit(ENQUEUE, thread.clock, operation.name,
+                          thread.thread_id, consumer=consumer.name,
+                          count=count)
         # Batched wakeups: the legacy loop woke one waiting consumer
         # after each enqueue; since nothing else touches the event heap
         # in between, waking min(count, waiting) threads afterwards
@@ -401,11 +455,19 @@ class Simulator:
         thread.finished_at = thread.clock
         self._active -= 1
         operation.live_threads -= 1
+        if self.bus is not None:
+            self.bus.emit(THREAD_FINISH, thread.clock, operation.name,
+                          thread.thread_id)
+            self.bus.sample_active(thread.clock, self._active)
         if operation.live_threads > 0:
             return
         operation.finished_at = max(
             t.finished_at for t in operation.threads
             if t.finished_at is not None)
+        if self.bus is not None:
+            self.bus.emit(OP_FINISH, operation.finished_at, operation.name,
+                          threads=len(operation.threads),
+                          activations=len(operation.activation_costs))
         consumer = operation.consumer
         if consumer is not None:
             consumer.producers_remaining -= 1

@@ -11,12 +11,15 @@ same join with shared queues shows the tail spread across the pool.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
 from repro.errors import ReproError
 
-#: Glyphs assigned to operations, in first-seen order.
-_GLYPHS = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+#: Glyphs assigned to operations, in first-seen order.  When a trace
+#: holds more operations than glyphs, glyphs are shared and the legend
+#: disambiguates (one entry listing every operation of the glyph).
+_GLYPHS = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
 
 
 @dataclass(frozen=True, slots=True)
@@ -39,6 +42,10 @@ class ExecutionTrace:
     """All busy intervals of one execution."""
 
     events: list[TraceEvent] = field(default_factory=list)
+    #: ``(event_count, sorted_starts, sorted_ends)`` memo for the
+    #: sweep-based queries below; invalidated by length change.
+    _bounds_cache: tuple | None = field(default=None, repr=False,
+                                        compare=False)
 
     def record(self, thread_id: int, operation: str, kind: str,
                start: float, end: float) -> None:
@@ -74,28 +81,79 @@ class ExecutionTrace:
         return sum(e.duration for e in self.events
                    if e.thread_id == thread_id)
 
+    def _sorted_bounds(self) -> tuple[list[float], list[float]]:
+        """Sorted start and end times of all events (memoized).
+
+        Both sweep queries below work off these; the memo is keyed on
+        the event count, so appending events invalidates it.
+        """
+        cache = self._bounds_cache
+        if cache is not None and cache[0] == len(self.events):
+            return cache[1], cache[2]
+        starts = sorted(e.start for e in self.events)
+        ends = sorted(e.end for e in self.events)
+        self._bounds_cache = (len(self.events), starts, ends)
+        return starts, ends
+
     def active_threads(self, instant: float) -> int:
-        """How many threads are busy at a virtual instant."""
-        return sum(1 for e in self.events if e.start <= instant < e.end)
+        """How many threads are busy at a virtual instant.
+
+        O(log E) per query after one O(E log E) sort (memoized): an
+        event is active when ``start <= instant < end``, so the count
+        is ``#{starts <= instant} - #{ends <= instant}``.
+        """
+        starts, ends = self._sorted_bounds()
+        return bisect_right(starts, instant) - bisect_right(ends, instant)
 
     def utilization_timeline(self, bins: int = 20) -> list[float]:
-        """Mean busy-thread count per time bin across the span."""
+        """Mean busy-thread count per time bin across the span.
+
+        One sorted boundary sweep — O(E log E + bins) — instead of
+        rescanning every event per bin: walk the merged start/end
+        boundaries keeping a running active count, and distribute each
+        constant-activity segment over the bins it overlaps.
+        """
         start, end = self.span
         if end <= start:
             return [0.0] * bins
         width = (end - start) / bins
-        timeline = []
+        starts, ends = self._sorted_bounds()
+        timeline = [0.0] * bins
+        count = len(starts)
+        si = ei = 0
+        active = 0
+        prev = start
+        while ei < count:
+            take_start = si < count and starts[si] <= ends[ei]
+            t = starts[si] if take_start else ends[ei]
+            if t > prev:
+                if active:
+                    self._spread(timeline, prev, t, active, start, width)
+                prev = t
+            if take_start:
+                active += 1
+                si += 1
+            else:
+                active -= 1
+                ei += 1
         threads = max(len(self.thread_ids()), 1)
-        for i in range(bins):
-            lo = start + i * width
-            hi = lo + width
-            busy = 0.0
-            for event in self.events:
-                overlap = min(event.end, hi) - max(event.start, lo)
-                if overlap > 0:
-                    busy += overlap
-            timeline.append(busy / (width * threads))
-        return timeline
+        scale = width * threads
+        return [busy / scale for busy in timeline]
+
+    @staticmethod
+    def _spread(timeline: list[float], a: float, b: float, weight: int,
+                start: float, width: float) -> None:
+        """Add ``weight * overlap`` of segment ``[a, b)`` to each bin."""
+        bins = len(timeline)
+        lo = min(int((a - start) / width), bins - 1)
+        hi = min(int((b - start) / width), bins - 1)
+        if lo == hi:
+            timeline[lo] += weight * (b - a)
+            return
+        timeline[lo] += weight * (start + (lo + 1) * width - a)
+        for i in range(lo + 1, hi):
+            timeline[i] += weight * width
+        timeline[hi] += weight * (b - (start + hi * width))
 
     # -- rendering ------------------------------------------------------------
 
@@ -125,7 +183,14 @@ class ExecutionTrace:
                 for column in range(lo, hi):
                     row[column] = glyph
             lines.append(f"t{thread_id:>3} |{''.join(row)}|")
-        legend = ", ".join(f"{glyph_of[name]}={name}"
-                           for name in self.operations())
+        by_glyph: dict[str, list[str]] = {}
+        for name in self.operations():
+            by_glyph.setdefault(glyph_of[name], []).append(name)
+        legend = ", ".join(f"{glyph}={'|'.join(names)}"
+                           for glyph, names in by_glyph.items())
         lines.append(f"legend: {legend} (uppercase = finalize), · = idle")
+        if any(len(names) > 1 for names in by_glyph.values()):
+            lines.append(
+                f"note: {len(glyph_of)} operations share {len(_GLYPHS)} "
+                "glyphs; a shared glyph lists every operation as g=op1|op2")
         return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Execution observability: event bus, probes, explain, exporters.
+
+Enable with ``ExecutionOptions(observe=True)``; the resulting
+:class:`~repro.engine.metrics.QueryExecution` then carries an
+:class:`~repro.obs.bus.EventBus` on ``.obs``, exportable via
+:mod:`repro.obs.export`.  Scheduler decisions are explained by passing
+a :class:`~repro.obs.explain.ScheduleExplanation` to
+``AdaptiveScheduler.schedule``.  See the Observability section of
+docs/architecture.md for the event taxonomy and overhead guarantees.
+"""
+
+from repro.obs.bus import Event, EventBus
+from repro.obs.explain import (
+    STEP_CHAIN_SPLIT,
+    STEP_OPERATION_SPLIT,
+    STEP_STRATEGY,
+    STEP_THREAD_COUNT,
+    Decision,
+    ScheduleExplanation,
+)
+from repro.obs.export import (
+    chrome_trace,
+    jsonl_records,
+    metrics_snapshot,
+    verify_against_metrics,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.probes import Series
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "Decision",
+    "ScheduleExplanation",
+    "STEP_THREAD_COUNT",
+    "STEP_CHAIN_SPLIT",
+    "STEP_OPERATION_SPLIT",
+    "STEP_STRATEGY",
+    "Series",
+    "chrome_trace",
+    "jsonl_records",
+    "metrics_snapshot",
+    "verify_against_metrics",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,246 @@
+"""Exporters for observed executions.
+
+Three output formats, all derived from one
+:class:`~repro.engine.metrics.QueryExecution` produced with
+``ExecutionOptions(observe=True)``:
+
+* :func:`write_jsonl` — the full structured record, one JSON object
+  per line: a meta header, every bus event, compacted probe series
+  samples, scalar counters, and per-operation metric summaries.  This
+  is the machine-readable log; the obs tests re-parse it and check the
+  event counts against :class:`~repro.engine.metrics.OperationMetrics`.
+* :func:`chrome_trace` / :func:`write_chrome_trace` — Chrome
+  trace-event JSON (the ``traceEvents`` array format), loadable in
+  Perfetto / ``chrome://tracing``: one track per simulated thread
+  built from the activation/finalize spans, instant markers for the
+  discrete bus events, and one counter track per probe series.
+* :func:`metrics_snapshot` — a plain-text report extending
+  ``QueryExecution.summary()`` with the observed peaks and counters.
+
+Virtual seconds are exported as microseconds in the Chrome trace (its
+native unit), so a 1.5 s virtual execution reads as 1.5 s in Perfetto.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+from repro.errors import ReproError
+from repro.obs.bus import (
+    BLOCK,
+    DEQUEUE,
+    ENQUEUE,
+    MEMORY,
+    EventBus,
+    Event,
+)
+from repro.obs.probes import ACTIVE_THREADS, queue_depth_key
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.engine.metrics import QueryExecution
+
+#: Chrome trace ``pid`` of the whole virtual execution.
+_PID = 1
+
+#: Virtual seconds -> Chrome trace microseconds.
+_US = 1e6
+
+
+def _require_obs(execution: "QueryExecution") -> EventBus:
+    if execution.obs is None:
+        raise ReproError(
+            "execution was not observed; run with ExecutionOptions("
+            "observe=True) to export it")
+    return execution.obs
+
+
+# -- JSONL ------------------------------------------------------------------
+
+def _event_record(event: Event) -> dict:
+    record: dict = {"type": "event", "kind": event.kind,
+                    "t": event.t}
+    if event.operation is not None:
+        record["op"] = event.operation
+    if event.thread_id is not None:
+        record["thread"] = event.thread_id
+    if event.data:
+        record.update(event.data)
+    return record
+
+
+def jsonl_records(execution: "QueryExecution") -> Iterator[dict]:
+    """All JSONL records of one observed execution, in order."""
+    bus = _require_obs(execution)
+    yield {
+        "type": "meta",
+        "response_time": execution.response_time,
+        "startup_time": execution.startup_time,
+        "total_threads": execution.total_threads,
+        "dilation": execution.dilation,
+        "result_rows": execution.result_cardinality,
+    }
+    for name, op in execution.operations.items():
+        yield {
+            "type": "op",
+            "name": name,
+            "trigger_mode": op.trigger_mode,
+            "instances": op.instances,
+            "threads": op.threads,
+            "strategy": op.strategy,
+            "activations": op.activations,
+            "enqueues": op.enqueues,
+            "dequeue_batches": op.dequeue_batches,
+            "secondary_accesses": op.secondary_accesses,
+            "polls": op.polls,
+            "memory_penalty": op.memory_penalty,
+        }
+    for event in bus.events:
+        yield _event_record(event)
+    for name in sorted(bus.series):
+        for t, value in bus.series[name].compacted():
+            yield {"type": "sample", "name": name, "t": t, "value": value}
+    for name in sorted(bus.counters):
+        yield {"type": "counter", "name": name, "value": bus.counters[name]}
+
+
+def write_jsonl(execution: "QueryExecution", path: str | Path) -> int:
+    """Write the JSONL event log; returns the number of records."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in jsonl_records(execution):
+            handle.write(json.dumps(record) + "\n")
+            count += 1
+    return count
+
+
+# -- Chrome trace-event JSON -------------------------------------------------
+
+def chrome_trace(execution: "QueryExecution") -> dict:
+    """The execution as a Chrome trace-event document (JSON-ready).
+
+    One track per simulated thread (named after the operation its pool
+    belongs to) carrying the activation/finalize spans, instant
+    markers for every discrete bus event, and one counter track per
+    probe series.
+    """
+    bus = _require_obs(execution)
+    trace = execution.trace
+    if trace is None:
+        raise ReproError("observed execution carries no span trace")
+    events: list[dict] = [{
+        "name": "process_name", "ph": "M", "pid": _PID, "tid": 0,
+        "args": {"name": "DBS3 virtual-time execution"},
+    }]
+    op_of_thread: dict[int, str] = {}
+    for span in trace.events:
+        op_of_thread.setdefault(span.thread_id, span.operation)
+    for tid, operation in sorted(op_of_thread.items()):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": _PID, "tid": tid,
+            "args": {"name": f"t{tid} {operation}"},
+        })
+    for span in trace.events:
+        events.append({
+            "name": f"{span.operation}:{span.kind}",
+            "cat": span.kind, "ph": "X", "pid": _PID,
+            "tid": span.thread_id,
+            "ts": span.start * _US, "dur": span.duration * _US,
+            "args": {"operation": span.operation},
+        })
+    for event in bus.events:
+        args: dict = {"kind": event.kind}
+        if event.operation is not None:
+            args["operation"] = event.operation
+        if event.data:
+            args.update(event.data)
+        events.append({
+            "name": event.kind, "cat": "bus", "ph": "i",
+            "pid": _PID, "tid": event.thread_id if event.thread_id
+            is not None else 0,
+            "ts": event.t * _US,
+            "s": "t" if event.thread_id is not None else "p",
+            "args": args,
+        })
+    for name in sorted(bus.series):
+        for t, value in bus.series[name].compacted():
+            events.append({
+                "name": name, "ph": "C", "pid": _PID, "tid": 0,
+                "ts": t * _US, "args": {"value": value},
+            })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "virtual_response_s": execution.response_time,
+            "total_threads": execution.total_threads,
+        },
+    }
+
+
+def write_chrome_trace(execution: "QueryExecution",
+                       path: str | Path) -> int:
+    """Write the Chrome trace JSON; returns the trace-event count."""
+    document = chrome_trace(execution)
+    Path(path).write_text(json.dumps(document) + "\n", encoding="utf-8")
+    return len(document["traceEvents"])
+
+
+# -- text snapshot -----------------------------------------------------------
+
+def metrics_snapshot(execution: "QueryExecution") -> str:
+    """Plain-text observability report for one observed execution."""
+    bus = _require_obs(execution)
+    kind_counts = bus.kind_counts()
+    lines = [execution.summary(), "", "observed execution:"]
+    lines.append(f"  bus events    : {len(bus.events)} "
+                 f"({', '.join(f'{kind}={count}' for kind, count in sorted(kind_counts.items()))})")
+    active = bus.series.get(ACTIVE_THREADS)
+    if active is not None and len(active):
+        lines.append(f"  active threads: peak {active.peak:.0f}, "
+                     f"final {active.last:.0f}")
+    for name, op in execution.operations.items():
+        depth = bus.series.get(queue_depth_key(name))
+        peak = f"{depth.peak:.0f}" if depth is not None and len(depth) else "-"
+        steals = bus.secondary_access_total(name)
+        blocks = len(bus.events_of(BLOCK, name))
+        lines.append(
+            f"  {name:<12} enqueues={op.enqueues:<7} "
+            f"batches={op.dequeue_batches:<7} steals={steals:<6} "
+            f"blocks={blocks:<5} peak_depth={peak}")
+    memory = [e for e in bus.events if e.kind == MEMORY]
+    if memory:
+        total = sum(e.data["penalty"] for e in memory)
+        lines.append(f"  memory        : {len(memory)} penalty events, "
+                     f"{total:.4f}s total")
+    ready_churn = {name: value for name, value in sorted(bus.counters.items())
+                   if name.startswith("ready_")}
+    for name, value in ready_churn.items():
+        lines.append(f"  {name:<22}: {value:.0f}")
+    return "\n".join(lines)
+
+
+def verify_against_metrics(execution: "QueryExecution") -> list[str]:
+    """Cross-check bus counts against the end-of-run metrics.
+
+    Returns a list of mismatch descriptions (empty = consistent):
+    enqueues, dequeue batches and secondary accesses recorded on the
+    bus must equal the :class:`OperationMetrics` aggregates.  Used by
+    the tests and the CLI demo as a self-audit of the instrumentation.
+    """
+    bus = _require_obs(execution)
+    problems = []
+    for name, op in execution.operations.items():
+        checks = (
+            ("enqueues", bus.enqueue_total(name), op.enqueues),
+            ("dequeue_batches", bus.dequeue_batch_total(name),
+             op.dequeue_batches),
+            ("secondary_accesses", bus.secondary_access_total(name),
+             op.secondary_accesses),
+        )
+        for label, observed, metric in checks:
+            if observed != metric:
+                problems.append(
+                    f"{name}: bus {label}={observed} != metrics {metric}")
+    return problems

@@ -15,6 +15,7 @@ and no dynamic balancing happens.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.engine.executor import OperationSchedule, QuerySchedule
 from repro.lera.graph import LeraGraph
@@ -29,6 +30,9 @@ from repro.scheduler.strategy_selection import (
     DEFAULT_SKEW_THRESHOLD,
     select_strategy,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.obs.explain import ScheduleExplanation
 
 
 @dataclass
@@ -48,7 +52,9 @@ class AdaptiveScheduler:
     multi_user_factor: float = 1.0
 
     def schedule(self, plan: LeraGraph,
-                 total_threads: int | None = None) -> QuerySchedule:
+                 total_threads: int | None = None,
+                 explain: "ScheduleExplanation | None" = None
+                 ) -> QuerySchedule:
         """Produce a :class:`QuerySchedule` for *plan*.
 
         Args:
@@ -56,22 +62,34 @@ class AdaptiveScheduler:
             total_threads: Fix the query's degree of parallelism
                 explicitly (as the paper's experiments do); ``None``
                 lets step 1 choose it from the estimated complexity.
+            explain: Optional :class:`~repro.obs.explain.\
+ScheduleExplanation` that records each of the four decisions with the
+                inputs that drove it.  Recording is passive: the
+                returned schedule is identical either way.
         """
         plan.validate()
         costs = self.machine.costs
         if total_threads is None:
             total_threads = choose_thread_count(
                 query_complexity(plan, costs), self.machine,
-                multi_user_factor=self.multi_user_factor)
-        chain_allocation = allocate_to_chains(plan, total_threads, costs)
+                multi_user_factor=self.multi_user_factor,
+                explain=explain)
+        elif explain is not None:
+            from repro.obs.explain import STEP_THREAD_COUNT
+            explain.record(STEP_THREAD_COUNT, "query", total_threads,
+                           "fixed by caller (degree of parallelism pinned)")
+        chain_allocation = allocate_to_chains(plan, total_threads, costs,
+                                              explain=explain)
         operations: dict[str, OperationSchedule] = {}
         for chain in plan.chains():
             per_operation = allocate_to_operations(
-                chain, chain_allocation[chain.chain_id], costs)
+                chain, chain_allocation[chain.chain_id], costs,
+                explain=explain)
             for node in chain.nodes:
                 operations[node.name] = OperationSchedule(
                     threads=per_operation[node.name],
-                    strategy=select_strategy(node, costs, self.skew_threshold),
+                    strategy=select_strategy(node, costs, self.skew_threshold,
+                                             explain=explain),
                 )
         return QuerySchedule(operations)
 

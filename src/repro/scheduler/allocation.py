@@ -11,11 +11,16 @@ ratio.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.errors import SchedulerError
 from repro.lera.graph import Chain, LeraGraph
 from repro.machine.costs import CostModel
 from repro.machine.machine import Machine
 from repro.scheduler.complexity import estimate_chains, operator_complexity
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.obs.explain import ScheduleExplanation
 
 
 def estimated_response_time(work: float, threads: int, machine: Machine) -> float:
@@ -34,7 +39,8 @@ def estimated_response_time(work: float, threads: int, machine: Machine) -> floa
 
 def choose_thread_count(work: float, machine: Machine,
                         max_threads: int | None = None,
-                        multi_user_factor: float = 1.0) -> int:
+                        multi_user_factor: float = 1.0,
+                        explain: "ScheduleExplanation | None" = None) -> int:
     """Step 1: the thread count minimizing estimated response time.
 
     Args:
@@ -44,6 +50,7 @@ def choose_thread_count(work: float, machine: Machine,
             count — more threads than activations sit idle).
         multi_user_factor: In (0, 1]; scales the single-user optimum
             down to raise multi-user throughput, the [Rahm93] hook.
+        explain: Optional decision recorder (purely passive).
 
     Returns:
         The chosen thread count, at least 1.
@@ -60,7 +67,16 @@ def choose_thread_count(work: float, machine: Machine,
         t = estimated_response_time(work, n, machine)
         if t < best_t:
             best_n, best_t = n, t
-    return max(1, round(best_n * multi_user_factor))
+    chosen = max(1, round(best_n * multi_user_factor))
+    if explain is not None:
+        from repro.obs.explain import STEP_THREAD_COUNT
+        explain.record(
+            STEP_THREAD_COUNT, "query", chosen,
+            "minimizes estimated response time (start-up included)",
+            work=work, processors=machine.processors, ceiling=ceiling,
+            single_user_optimum=best_n, estimated_time=best_t,
+            multi_user_factor=multi_user_factor)
+    return chosen
 
 
 def _largest_remainder(total: int, weights: list[float],
@@ -99,7 +115,9 @@ def _largest_remainder(total: int, weights: list[float],
 
 
 def allocate_to_chains(plan: LeraGraph, total_threads: int,
-                       costs: CostModel) -> dict[int, int]:
+                       costs: CostModel,
+                       explain: "ScheduleExplanation | None" = None
+                       ) -> dict[int, int]:
     """Step 2: threads per chain via the inverted-tree equation system.
 
     The root chains (no dependents) share the full budget; each
@@ -122,21 +140,34 @@ def allocate_to_chains(plan: LeraGraph, total_threads: int,
     roots = [c.chain_id for c in chains if not dependents[c.chain_id]]
     root_shares = _largest_remainder(
         total_threads, [estimates[r].subtree for r in roots])
-    frontier = list(zip(roots, root_shares))
+    frontier = [(chain_id, share, None)
+                for chain_id, share in zip(roots, root_shares)]
     while frontier:
-        chain_id, budget = frontier.pop()
+        chain_id, budget, parent = frontier.pop()
         allocation[chain_id] = budget
+        if explain is not None:
+            from repro.obs.explain import STEP_CHAIN_SPLIT
+            explain.record(
+                STEP_CHAIN_SPLIT, f"chain:{chain_id}", budget,
+                ("share of the query budget" if parent is None
+                 else f"share of chain:{parent}'s budget"),
+                subtree_complexity=estimates[chain_id].subtree,
+                parent_budget=(total_threads if parent is None
+                               else allocation[parent]))
         children = sorted(dependencies[chain_id])
         if not children:
             continue
         child_shares = _largest_remainder(
             budget, [estimates[c].subtree for c in children])
-        frontier.extend(zip(children, child_shares))
+        frontier.extend((child, share, chain_id)
+                        for child, share in zip(children, child_shares))
     return allocation
 
 
 def allocate_to_operations(chain: Chain, chain_threads: int,
-                           costs: CostModel) -> dict[str, int]:
+                           costs: CostModel,
+                           explain: "ScheduleExplanation | None" = None
+                           ) -> dict[str, int]:
     """Step 3: a chain's threads, split by operator complexity ratio.
 
     ``NbThreads(Op_i) = NbThreads(Chain) * Complexity(Op_i) /
@@ -145,4 +176,13 @@ def allocate_to_operations(chain: Chain, chain_threads: int,
     """
     weights = [operator_complexity(node.spec, costs) for node in chain.nodes]
     shares = _largest_remainder(chain_threads, weights)
+    if explain is not None:
+        from repro.obs.explain import STEP_OPERATION_SPLIT
+        chain_weight = sum(weights)
+        for node, weight, share in zip(chain.nodes, weights, shares):
+            explain.record(
+                STEP_OPERATION_SPLIT, node.name, share,
+                f"complexity share of chain:{chain.chain_id}",
+                complexity=weight, chain_complexity=chain_weight,
+                chain_threads=chain_threads)
     return {node.name: share for node, share in zip(chain.nodes, shares)}

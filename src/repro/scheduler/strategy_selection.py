@@ -10,10 +10,15 @@ operator is triggered with few, skewed activations.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.engine.strategies import LPT, RANDOM
 from repro.lera.activation import TRIGGERED
 from repro.lera.graph import LeraNode
 from repro.machine.costs import CostModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.obs.explain import ScheduleExplanation
 
 #: Default Pmax/P ratio beyond which an operator counts as skewed.
 DEFAULT_SKEW_THRESHOLD = 1.5
@@ -31,7 +36,8 @@ def instance_skew(node: LeraNode, costs: CostModel) -> float:
 
 
 def select_strategy(node: LeraNode, costs: CostModel,
-                    skew_threshold: float = DEFAULT_SKEW_THRESHOLD) -> str:
+                    skew_threshold: float = DEFAULT_SKEW_THRESHOLD,
+                    explain: "ScheduleExplanation | None" = None) -> str:
     """Pick Random or LPT for one operator.
 
     LPT is selected for triggered operators whose estimated
@@ -39,7 +45,22 @@ def select_strategy(node: LeraNode, costs: CostModel,
     else keeps the Random default.
     """
     if node.trigger_mode != TRIGGERED:
-        return RANDOM
-    if instance_skew(node, costs) > skew_threshold:
-        return LPT
-    return RANDOM
+        strategy = RANDOM
+        reason = "pipelined operator: strategy barely matters (eq. 3)"
+        skew = None
+    else:
+        skew = instance_skew(node, costs)
+        if skew > skew_threshold:
+            strategy = LPT
+            reason = "triggered operator with skewed instance costs"
+        else:
+            strategy = RANDOM
+            reason = "estimated skew below threshold"
+    if explain is not None:
+        from repro.obs.explain import STEP_STRATEGY
+        inputs = {"trigger_mode": node.trigger_mode,
+                  "skew_threshold": skew_threshold}
+        if skew is not None:
+            inputs["estimated_skew"] = skew
+        explain.record(STEP_STRATEGY, node.name, strategy, reason, **inputs)
+    return strategy

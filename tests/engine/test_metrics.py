@@ -3,9 +3,23 @@
 import pytest
 
 from repro.engine.executor import Executor, QuerySchedule
+from repro.engine.metrics import OperationMetrics
 from repro.errors import ExecutionError
 from repro.lera.plans import assoc_join_plan, ideal_join_plan
 from repro.machine.machine import Machine
+
+
+def _metrics(**overrides):
+    """A directly-constructed OperationMetrics for edge-case tests."""
+    fields = dict(
+        name="op", trigger_mode="triggered", instances=4, threads=2,
+        strategy="random", started_at=0.0, finished_at=1.0,
+        activation_costs=(0.1, 0.2), activation_outputs=(1, 2),
+        queue_activations=(1, 1, 0, 0), busy_time=0.3, idle_time=1.7,
+        polls=4, enqueues=3, dequeue_batches=2, secondary_accesses=1,
+        memory_penalty=0.0, result_count=3)
+    fields.update(overrides)
+    return OperationMetrics(**fields)
 
 
 @pytest.fixture
@@ -47,6 +61,42 @@ class TestOperationMetrics:
     def test_unknown_operation_raises(self, execution):
         with pytest.raises(ExecutionError):
             execution.operation("ghost")
+
+
+class TestEdgeCases:
+    def test_queue_imbalance_even_placement(self):
+        assert _metrics(queue_activations=(2, 2, 2, 2)).queue_imbalance() \
+            == pytest.approx(1.0)
+
+    def test_queue_imbalance_skewed_placement(self):
+        metrics = _metrics(queue_activations=(8, 0, 0, 0))
+        assert metrics.queue_imbalance() == pytest.approx(4.0)
+
+    def test_queue_imbalance_zero_activations(self):
+        # No activations at all: defined as perfectly balanced, not a
+        # division by zero.
+        assert _metrics(queue_activations=(0, 0, 0, 0)).queue_imbalance() \
+            == pytest.approx(1.0)
+
+    def test_queue_imbalance_no_queues(self):
+        assert _metrics(queue_activations=()).queue_imbalance() \
+            == pytest.approx(1.0)
+
+    def test_utilization_zero_span(self):
+        # Start == finish (e.g. a no-op operation): utilization is 0,
+        # not a division by zero.
+        assert _metrics(finished_at=0.0).utilization == 0.0
+
+    def test_utilization_zero_activations(self):
+        metrics = _metrics(activation_costs=(), activation_outputs=(),
+                           busy_time=0.0)
+        assert metrics.activations == 0
+        assert metrics.work == 0.0
+        assert metrics.emitted == 0
+        assert metrics.utilization == 0.0
+
+    def test_utilization_normal(self):
+        assert _metrics().utilization == pytest.approx(0.3 / (1.0 * 2))
 
 
 class TestQueryExecution:

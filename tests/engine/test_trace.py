@@ -102,6 +102,40 @@ class TestTraceQueries:
         assert timeline[0] == pytest.approx(1.0)   # both busy
         assert timeline[1] == pytest.approx(0.5)   # one busy
 
+    def test_sweep_matches_naive_reference(self):
+        """The O(E log E + bins) sweep must agree with the per-bin
+        rescan it replaced, on an irregular random trace."""
+        import random
+        rng = random.Random(7)
+        trace = ExecutionTrace()
+        for _ in range(300):
+            start = rng.uniform(0.0, 10.0)
+            trace.record(rng.randrange(6), f"op{rng.randrange(5)}",
+                         "activation", start, start + rng.uniform(0.01, 3.0))
+        span_start, span_end = trace.span
+        width = (span_end - span_start) / 17
+        threads = len(trace.thread_ids())
+        naive = []
+        for i in range(17):
+            lo = span_start + i * width
+            hi = lo + width
+            busy = sum(max(0.0, min(e.end, hi) - max(e.start, lo))
+                       for e in trace.events)
+            naive.append(busy / (width * threads))
+        swept = trace.utilization_timeline(bins=17)
+        assert swept == pytest.approx(naive)
+        for instant in (span_start, 2.5, 5.0, 9.9, span_end, -1.0):
+            expected = sum(1 for e in trace.events
+                           if e.start <= instant < e.end)
+            assert trace.active_threads(instant) == expected
+
+    def test_bounds_cache_invalidated_by_new_events(self):
+        trace = ExecutionTrace()
+        trace.record(0, "op", "activation", 0.0, 1.0)
+        assert trace.active_threads(0.5) == 1
+        trace.record(1, "op", "activation", 0.0, 1.0)
+        assert trace.active_threads(0.5) == 2
+
 
 class TestGantt:
     def test_renders_rows_and_legend(self, join_db):
@@ -114,6 +148,47 @@ class TestGantt:
         assert "legend:" in lines[-1]
         assert "transmit" in lines[-1]
         assert all("|" in line for line in lines[1:-1])
+
+    def test_golden_rendering(self):
+        """Pin the exact rendering of a tiny hand-built trace."""
+        trace = ExecutionTrace()
+        trace.record(0, "scan", "activation", 0.0, 1.0)
+        trace.record(1, "join", "activation", 0.0, 2.0)
+        trace.record(0, "join", "finalize", 1.0, 2.0)
+        expected = "\n".join([
+            "virtual time 0.000s .. 2.000s (0.2500s per column)",
+            "t  0 |aaaaBBBB|",
+            "t  1 |bbbbbbbb|",
+            "legend: a=scan, b=join (uppercase = finalize), · = idle",
+        ])
+        assert trace.gantt(width=8) == expected
+
+    def test_idle_columns_dotted(self):
+        trace = ExecutionTrace()
+        trace.record(0, "scan", "activation", 0.0, 1.0)
+        trace.record(0, "scan", "activation", 3.0, 4.0)
+        row = trace.gantt(width=8).splitlines()[1]
+        assert row == "t  0 |aa····aa|"
+
+    def test_many_operations_share_glyphs_explicitly(self):
+        """With more operations than glyphs the legend disambiguates
+        instead of silently reusing letters."""
+        from repro.engine.trace import _GLYPHS
+        trace = ExecutionTrace()
+        count = len(_GLYPHS) + 8
+        for i in range(count):
+            trace.record(0, f"op{i:03d}", "activation",
+                         float(i), float(i) + 1.0)
+        chart = trace.gantt(width=40)
+        legend = chart.splitlines()[-2]
+        note = chart.splitlines()[-1]
+        assert f"a=op000|op{len(_GLYPHS):03d}" in legend
+        assert f"note: {count} operations share {len(_GLYPHS)} glyphs" in note
+
+    def test_few_operations_have_unique_glyphs_and_no_note(self, join_db):
+        plan = assoc_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        chart = _traced(plan, threads=2).trace.gantt(width=40)
+        assert "note:" not in chart
 
     def test_skew_straggler_visible(self, skewed_join_db):
         """The Gantt makes the Pmax straggler literally visible: one

@@ -1,0 +1,34 @@
+"""The ``python -m repro`` observed-run CLI path."""
+
+import json
+
+from repro.__main__ import main, observed_run
+
+
+class TestObservedRun:
+    def test_writes_all_exports(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        events = tmp_path / "events.jsonl"
+        metrics = tmp_path / "metrics.txt"
+        code = observed_run(
+            "SELECT * FROM A JOIN B ON A.unique1 = B.unique1",
+            str(trace), str(events), str(metrics), explain=True, threads=8)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "schedule explanation:" in out
+        assert "observed execution:" in out
+        document = json.loads(trace.read_text())
+        assert document["traceEvents"]
+        lines = events.read_text().splitlines()
+        assert all(json.loads(line) for line in lines)
+        assert "observed execution:" in metrics.read_text()
+
+    def test_main_routes_observability_flags(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        code = main(["--events-out", str(events), "--threads", "8"])
+        assert code == 0
+        assert events.exists()
+
+    def test_explain_alone_runs_without_files(self, capsys):
+        assert main(["--explain", "--threads", "8"]) == 0
+        assert "step 4" in capsys.readouterr().out

@@ -1,0 +1,97 @@
+"""Scheduler explain: passive recording of the four decisions."""
+
+import pytest
+
+from repro.lera.plans import assoc_join_plan, ideal_join_plan
+from repro.machine.machine import Machine
+from repro.obs.explain import (
+    STEP_CHAIN_SPLIT,
+    STEP_OPERATION_SPLIT,
+    STEP_STRATEGY,
+    STEP_THREAD_COUNT,
+    STEPS,
+    ScheduleExplanation,
+)
+from repro.scheduler.adaptive import AdaptiveScheduler
+
+
+@pytest.fixture
+def machine():
+    return Machine.uniform(processors=16)
+
+
+class TestRecording:
+    def test_all_four_steps_recorded(self, join_db, machine):
+        plan = assoc_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        explanation = ScheduleExplanation()
+        AdaptiveScheduler(machine).schedule(plan, explain=explanation)
+        for step in STEPS:
+            assert explanation.for_step(step), f"no decision for {step}"
+
+    def test_one_strategy_decision_per_operation(self, join_db, machine):
+        plan = assoc_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        explanation = ScheduleExplanation()
+        AdaptiveScheduler(machine).schedule(plan, explain=explanation)
+        targets = {d.target for d in explanation.for_step(STEP_STRATEGY)}
+        assert targets == {node.name for node in plan.nodes}
+
+    def test_pinned_threads_recorded_as_fixed(self, join_db, machine):
+        plan = ideal_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        explanation = ScheduleExplanation()
+        AdaptiveScheduler(machine).schedule(plan, total_threads=8,
+                                            explain=explanation)
+        decision, = explanation.for_step(STEP_THREAD_COUNT)
+        assert decision.chosen == 8
+        assert "fixed by caller" in decision.reason
+
+    def test_chosen_values_match_the_schedule(self, join_db, machine):
+        plan = assoc_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        explanation = ScheduleExplanation()
+        schedule = AdaptiveScheduler(machine).schedule(plan,
+                                                       explain=explanation)
+        for decision in explanation.for_step(STEP_OPERATION_SPLIT):
+            assert schedule.of(decision.target).threads == decision.chosen
+        for decision in explanation.for_step(STEP_STRATEGY):
+            assert schedule.of(decision.target).strategy == decision.chosen
+
+    def test_inputs_carry_driving_numbers(self, join_db, machine):
+        plan = ideal_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        explanation = ScheduleExplanation()
+        AdaptiveScheduler(machine).schedule(plan, explain=explanation)
+        step1, = explanation.for_step(STEP_THREAD_COUNT)
+        assert {"work", "processors", "ceiling"} <= set(step1.inputs)
+        for decision in explanation.for_step(STEP_CHAIN_SPLIT):
+            assert "subtree_complexity" in decision.inputs
+
+
+class TestPassivity:
+    def test_schedule_identical_with_and_without_explain(self, join_db,
+                                                         machine):
+        plan = assoc_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        plain = AdaptiveScheduler(machine).schedule(plan)
+        explained = AdaptiveScheduler(machine).schedule(
+            plan, explain=ScheduleExplanation())
+        assert plain.operations == explained.operations
+
+
+class TestRendering:
+    def test_render_names_every_step(self, join_db, machine):
+        plan = assoc_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        explanation = ScheduleExplanation()
+        AdaptiveScheduler(machine).schedule(plan, explain=explanation)
+        text = explanation.render()
+        for fragment in ("step 1", "step 2", "step 3", "step 4",
+                         "chain:", "join"):
+            assert fragment in text
+
+    def test_empty_explanation_renders(self):
+        assert "no decisions" in ScheduleExplanation().render()
+
+    def test_to_json_round_trips(self, join_db, machine):
+        import json
+        plan = ideal_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        explanation = ScheduleExplanation()
+        AdaptiveScheduler(machine).schedule(plan, explain=explanation)
+        parsed = json.loads(json.dumps(explanation.to_json()))
+        assert len(parsed) == len(explanation)
+        assert parsed[0]["step"] == STEP_THREAD_COUNT

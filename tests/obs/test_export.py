@@ -1,0 +1,137 @@
+"""Exporters: JSONL round-trip, Chrome trace structure, self-audit."""
+
+import json
+
+import pytest
+
+from repro.engine.executor import ExecutionOptions, Executor, QuerySchedule
+from repro.errors import ReproError
+from repro.lera.plans import assoc_join_plan, ideal_join_plan
+from repro.machine.machine import Machine
+from repro.obs.export import (
+    chrome_trace,
+    jsonl_records,
+    metrics_snapshot,
+    verify_against_metrics,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.probes import ACTIVE_THREADS, queue_depth_key
+
+
+def _observed(plan, threads=4, strategy="random"):
+    executor = Executor(Machine.uniform(processors=8),
+                        ExecutionOptions(observe=True))
+    return executor.execute(plan,
+                            QuerySchedule.for_plan(plan, threads, strategy))
+
+
+@pytest.fixture
+def observed(join_db):
+    plan = assoc_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+    return _observed(plan)
+
+
+class TestSelfAudit:
+    def test_bus_counts_match_metrics(self, observed):
+        assert verify_against_metrics(observed) == []
+
+    def test_triggered_plan_consistent_too(self, join_db):
+        plan = ideal_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        assert verify_against_metrics(_observed(plan, strategy="lpt")) == []
+
+    def test_unobserved_execution_rejected(self, join_db):
+        plan = ideal_join_plan(join_db.entry_a, join_db.entry_b, "key", "key")
+        execution = Executor(Machine.uniform(processors=8)).execute(
+            plan, QuerySchedule.for_plan(plan, 2))
+        with pytest.raises(ReproError):
+            metrics_snapshot(execution)
+        with pytest.raises(ReproError):
+            list(jsonl_records(execution))
+
+
+class TestJsonl:
+    def test_round_trip_counts(self, observed, tmp_path):
+        path = tmp_path / "events.jsonl"
+        count = write_jsonl(observed, path)
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert len(records) == count
+        assert records[0]["type"] == "meta"
+        assert records[0]["response_time"] == pytest.approx(
+            observed.response_time)
+        by_type = {}
+        for record in records:
+            by_type.setdefault(record["type"], []).append(record)
+        assert set(by_type) == {"meta", "op", "event", "sample", "counter"}
+        # the re-parsed log must agree with the metrics aggregates
+        for op_record in by_type["op"]:
+            metrics = observed.operation(op_record["name"])
+            assert op_record["enqueues"] == metrics.enqueues
+            assert op_record["dequeue_batches"] == metrics.dequeue_batches
+            assert op_record["secondary_accesses"] == metrics.secondary_accesses
+        dequeues = [r for r in by_type["event"]
+                    if r["kind"] == "queue.dequeue" and r["op"] == "join"]
+        assert len(dequeues) == observed.operation("join").dequeue_batches
+
+    def test_samples_are_compacted(self, observed):
+        samples = [r for r in jsonl_records(observed)
+                   if r["type"] == "sample" and r["name"] == ACTIVE_THREADS]
+        values = [r["value"] for r in samples]
+        assert all(a != b for a, b in zip(values, values[1:]))
+
+
+class TestChromeTrace:
+    def test_document_loads_and_has_tracks(self, observed, tmp_path):
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(observed, path)
+        document = json.loads(path.read_text())
+        events = document["traceEvents"]
+        assert len(events) == count
+        phases = {e["ph"] for e in events}
+        assert {"M", "X", "i", "C"} <= phases
+        assert all(e["pid"] == 1 for e in events)
+
+    def test_one_named_track_per_thread(self, observed):
+        document = chrome_trace(observed)
+        names = [e for e in document["traceEvents"] if e["ph"] == "M"
+                 and e["name"] == "thread_name"]
+        span_tids = {e["tid"] for e in document["traceEvents"]
+                     if e["ph"] == "X"}
+        assert {e["tid"] for e in names} == span_tids
+        assert len(names) == observed.total_threads
+
+    def test_spans_use_microseconds(self, observed):
+        document = chrome_trace(observed)
+        spans = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        start, end = observed.trace.span
+        assert min(s["ts"] for s in spans) == pytest.approx(start * 1e6)
+        assert max(s["ts"] + s["dur"] for s in spans) == pytest.approx(
+            end * 1e6)
+
+    def test_counter_tracks_cover_probes(self, observed):
+        document = chrome_trace(observed)
+        counters = {e["name"] for e in document["traceEvents"]
+                    if e["ph"] == "C"}
+        assert ACTIVE_THREADS in counters
+        assert queue_depth_key("join") in counters
+
+
+class TestSnapshot:
+    def test_snapshot_extends_summary(self, observed):
+        text = metrics_snapshot(observed)
+        assert "observed execution:" in text
+        assert "bus events" in text
+        assert "active threads: peak" in text
+        assert "join" in text and "enqueues=" in text
+
+    def test_ready_churn_reported_at_high_degree(self):
+        # The ready index only engages at READY_INDEX_MIN_INSTANCES
+        # queues, so its notify/stale counters need a wide operation.
+        from repro.bench.workloads import make_join_database
+        db = make_join_database(2000, 200, degree=96, theta=0.0)
+        plan = ideal_join_plan(db.entry_a, db.entry_b, "key", "key")
+        execution = _observed(plan, threads=8)
+        text = metrics_snapshot(execution)
+        assert "ready_notify/join" in text
+        assert verify_against_metrics(execution) == []
