@@ -6,7 +6,8 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test bench perf perf-full perf-baseline trace-demo
+.PHONY: test bench perf perf-full perf-baseline trace-demo diagnose-demo \
+	compare-demo
 
 ## Tier-1: the fast deterministic test suite (what CI gates on).
 test:
@@ -36,3 +37,17 @@ trace-demo:
 		--trace-out benchmarks/results/trace_demo.json \
 		--events-out benchmarks/results/trace_demo.jsonl \
 		--metrics-out benchmarks/results/trace_demo.txt
+
+## Diagnostics demo: critical path + imbalance doctor on the skewed
+## AssocJoin, recorded into the run registry.
+diagnose-demo:
+	$(PYTHON) -m repro --diagnose --record --run-id diagnose-demo
+
+## A/B demo: record Random vs LPT on the skewed AssocJoin, then
+## compare the two registry records.
+compare-demo:
+	$(PYTHON) -m repro --diagnose --strategy random \
+		--record --run-id demo-random > /dev/null
+	$(PYTHON) -m repro --diagnose --strategy lpt \
+		--record --run-id demo-lpt > /dev/null
+	$(PYTHON) -m repro compare demo-random demo-lpt

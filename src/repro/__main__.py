@@ -11,6 +11,17 @@ Usage::
                                     # explain + Chrome trace (open in
                                     # https://ui.perfetto.dev) + JSONL
                                     # event log
+    python -m repro --diagnose --theta 0.8 --record --run-id baseline
+                                    # run the skewed-join diagnostics
+                                    # demo: critical path + imbalance
+                                    # doctor, optionally persisted to
+                                    # the run registry
+    python -m repro --diagnose --from-events events.jsonl
+                                    # diagnose a previously exported
+                                    # JSONL event log instead
+    python -m repro compare baseline candidate --gate
+                                    # A/B two registry records; --gate
+                                    # exits 1 on a regression
 
 The demo loads two Wisconsin relations, runs each supported query
 shape end to end and prints the plans, schedules and virtual-time
@@ -108,12 +119,98 @@ def observed_run(sql: str, trace_out: str | None, events_out: str | None,
     return 0
 
 
+def diagnose_run(args: argparse.Namespace) -> int:
+    """Diagnose a run (freshly executed or a reloaded JSONL log)."""
+    from repro.bench.runners import default_machine
+    from repro.bench.workloads import make_join_database
+    from repro.diag import RunRecord, RunRegistry, diagnose
+    from repro.engine.executor import ExecutionOptions, Executor
+    from repro.lera.plans import assoc_join_plan
+    from repro.obs.explain import ScheduleExplanation
+    from repro.obs.export import write_jsonl
+    from repro.scheduler.adaptive import AdaptiveScheduler
+
+    explanation_json = None
+    workload: dict = {}
+    execution = None
+    if args.from_events:
+        diagnosis = diagnose(args.from_events)
+        workload = {"source": str(args.from_events)}
+    else:
+        # The Figure 12 setup: AssocJoin over a Zipf-skewed stored
+        # operand — the workload whose diagnosis the paper motivates.
+        print(f"AssocJoin, 12000 x 1200 tuples over 60 fragments, "
+              f"theta={args.theta}, {args.threads} threads, "
+              f"{args.strategy} consumption\n")
+        database = make_join_database(12_000, 1_200, degree=60,
+                                      theta=args.theta)
+        plan = assoc_join_plan(database.entry_a, database.entry_b,
+                               "key", "key")
+        machine = default_machine()
+        explanation = ScheduleExplanation()
+        schedule = AdaptiveScheduler(machine).schedule(
+            plan, args.threads, explain=explanation)
+        schedule = schedule.with_strategy("join", args.strategy)
+        executor = Executor(machine, ExecutionOptions(observe=True))
+        execution = executor.execute(plan, schedule)
+        diagnosis = diagnose(execution)
+        explanation_json = explanation.to_json()
+        workload = {"plan": "assoc_join", "card_a": 12_000,
+                    "card_b": 1_200, "degree": 60, "theta": args.theta,
+                    "threads": args.threads, "strategy": args.strategy}
+    print(diagnosis.render())
+    if args.events_out and execution is not None:
+        records = write_jsonl(execution, args.events_out)
+        print(f"\nwrote {records} JSONL records to {args.events_out}")
+    if args.record or args.run_id:
+        run_id = args.run_id or "diagnose-demo"
+        registry = RunRegistry(root=args.runs_dir)
+        path = registry.save(RunRecord.from_diagnosis(
+            diagnosis, run_id, label=args.label, workload=workload,
+            explanation=explanation_json))
+        print(f"\nrecorded run {run_id!r} -> {path}")
+    return 0
+
+
+def compare_runs(argv: list[str]) -> int:
+    """``python -m repro compare RUN_A RUN_B``: A/B two records."""
+    from repro.diag import RunRegistry, compare
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro compare",
+        description="compare two recorded runs from the run registry")
+    parser.add_argument("run_a", help="baseline run id (A)")
+    parser.add_argument("run_b", help="candidate run id (B)")
+    parser.add_argument("--runs-dir", metavar="DIR", default=None,
+                        help="registry root (default: "
+                             "benchmarks/results/runs or $REPRO_RUNS_DIR)")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="relative elapsed tolerance of the "
+                             "regression gate (default 0.05)")
+    parser.add_argument("--gate", action="store_true",
+                        help="exit 1 when B regresses past the tolerance")
+    args = parser.parse_args(argv)
+    registry = RunRegistry(root=args.runs_dir)
+    kwargs = {} if args.tolerance is None else \
+        {"tolerance": args.tolerance}
+    comparison = compare(registry.load(args.run_a),
+                         registry.load(args.run_b), **kwargs)
+    print(comparison.render())
+    if args.gate and comparison.regressed:
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "compare":
+        return compare_runs(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="DBS3 reproduction: demo driver, figure regeneration "
-                    "and observed runs")
+        description="DBS3 reproduction: demo driver, figure regeneration, "
+                    "observed runs and diagnostics")
     parser.add_argument("--figures", action="store_true",
                         help="regenerate the paper's figures instead of "
                              "running the demo")
@@ -134,9 +231,37 @@ def main(argv: list[str] | None = None) -> int:
     obs.add_argument("--threads", type=int, default=None,
                      help="pin the degree of parallelism (default: let "
                           "scheduler step 1 choose)")
+    diag = parser.add_argument_group(
+        "diagnostics", "post-mortem analysis and the run registry")
+    diag.add_argument("--diagnose", action="store_true",
+                      help="run the skewed-join diagnostics demo: "
+                           "critical path + imbalance doctor")
+    diag.add_argument("--from-events", metavar="PATH", default=None,
+                      help="diagnose a previously exported JSONL event "
+                           "log instead of executing a query")
+    diag.add_argument("--theta", type=float, default=0.8,
+                      help="Zipf skew of the stored operand in the "
+                           "diagnostics demo (default 0.8)")
+    diag.add_argument("--strategy", choices=("random", "lpt"),
+                      default="random",
+                      help="join consumption strategy of the demo")
+    diag.add_argument("--record", action="store_true",
+                      help="persist the diagnosis to the run registry")
+    diag.add_argument("--run-id", metavar="ID", default=None,
+                      help="registry id for --record "
+                           "(default: diagnose-demo)")
+    diag.add_argument("--label", default="",
+                      help="free-text label stored in the record")
+    diag.add_argument("--runs-dir", metavar="DIR", default=None,
+                      help="registry root (default: "
+                           "benchmarks/results/runs or $REPRO_RUNS_DIR)")
     args = parser.parse_args(argv)
     if args.figures:
         return reporting.main(["--scale", args.scale])
+    if args.diagnose or args.from_events:
+        if args.threads is None:
+            args.threads = 10
+        return diagnose_run(args)
     if args.trace_out or args.events_out or args.metrics_out or args.explain:
         return observed_run(args.sql, args.trace_out, args.events_out,
                             args.metrics_out, args.explain, args.threads)

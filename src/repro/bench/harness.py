@@ -4,14 +4,50 @@ Every figure of the paper is regenerated as an
 :class:`ExperimentResult`: a set of named series over a common x-axis,
 renderable as an aligned text table (the library's equivalent of the
 paper's plots) and queryable by the benches' shape assertions.
+
+Set ``REPRO_RECORD_RUNS=1`` to additionally persist a diagnosed
+:class:`~repro.diag.registry.RunRecord` for every bench point the
+shared runners execute (under ``benchmarks/results/runs/`` or
+``$REPRO_RUNS_DIR``) — regenerating a figure then also refreshes the
+registry, ready for ``python -m repro compare``.
 """
 
 from __future__ import annotations
 
+import itertools
+import os
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.errors import ReproError
+
+#: Opt-in switch for per-bench-point run recording.
+RECORD_RUNS_ENV = "REPRO_RECORD_RUNS"
+
+#: Process-wide sequence so every recorded bench point gets its own id.
+_record_sequence = itertools.count(1)
+
+
+def record_runs_enabled() -> bool:
+    """True when ``REPRO_RECORD_RUNS`` asks the runners to record."""
+    return os.environ.get(RECORD_RUNS_ENV, "") not in ("", "0")
+
+
+def record_bench_run(execution, plan_name: str, **workload) -> None:
+    """Persist one bench execution to the run registry (best effort).
+
+    Called by the shared runners after each execution when
+    :func:`record_runs_enabled`; the run id encodes the plan and the
+    workload knobs plus a sequence number, so a sweep leaves one
+    record per point.  Imported lazily: benches that never record
+    never touch the diagnostics layer.
+    """
+    from repro.diag.registry import RunRegistry
+
+    parts = [plan_name] + [
+        f"{key}={value}" for key, value in sorted(workload.items())]
+    run_id = "-".join(parts) + f"-{next(_record_sequence):04d}"
+    RunRegistry().record(execution, run_id, workload=dict(workload))
 
 
 @dataclass(frozen=True)

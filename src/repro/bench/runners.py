@@ -9,6 +9,7 @@ machine unless told otherwise.
 
 from __future__ import annotations
 
+from repro.bench.harness import record_bench_run, record_runs_enabled
 from repro.bench.workloads import JoinDatabase
 from repro.engine.executor import ExecutionOptions, Executor, QuerySchedule
 from repro.engine.metrics import QueryExecution
@@ -34,13 +35,20 @@ def run_ideal_join(database: JoinDatabase, threads: int,
                    seed: int = 0, observe: bool = False) -> QueryExecution:
     """Execute IdealJoin over *database* with *threads* threads."""
     machine = machine or default_machine()
+    recording = record_runs_enabled()
     plan = ideal_join_plan(database.entry_a, database.entry_b, "key", "key",
                            algorithm=algorithm)
     schedule = AdaptiveScheduler(machine).schedule(plan, threads)
     if strategy is not None:
         schedule = schedule.with_strategy("join", strategy)
-    executor = Executor(machine, ExecutionOptions(seed=seed, observe=observe))
-    return executor.execute(plan, schedule)
+    executor = Executor(machine, ExecutionOptions(
+        seed=seed, observe=observe or recording))
+    execution = executor.execute(plan, schedule)
+    if recording:
+        record_bench_run(execution, "ideal_join", threads=threads,
+                         strategy=strategy or "default",
+                         theta=database.theta, degree=database.degree)
+    return execution
 
 
 def run_assoc_join(database: JoinDatabase, threads: int,
@@ -50,13 +58,20 @@ def run_assoc_join(database: JoinDatabase, threads: int,
                    seed: int = 0, observe: bool = False) -> QueryExecution:
     """Execute AssocJoin (Transmit + pipelined join) over *database*."""
     machine = machine or default_machine()
+    recording = record_runs_enabled()
     plan = assoc_join_plan(database.entry_a, database.entry_b, "key", "key",
                            algorithm=algorithm)
     schedule = AdaptiveScheduler(machine).schedule(plan, threads)
     if strategy is not None:
         schedule = schedule.with_strategy("join", strategy)
-    executor = Executor(machine, ExecutionOptions(seed=seed, observe=observe))
-    return executor.execute(plan, schedule)
+    executor = Executor(machine, ExecutionOptions(
+        seed=seed, observe=observe or recording))
+    execution = executor.execute(plan, schedule)
+    if recording:
+        record_bench_run(execution, "assoc_join", threads=threads,
+                         strategy=strategy or "default",
+                         theta=database.theta, degree=database.degree)
+    return execution
 
 
 def chain_ideal_time(execution: QueryExecution) -> float:

@@ -19,9 +19,12 @@ from repro.obs.explain import (
     ScheduleExplanation,
 )
 from repro.obs.export import (
+    SCHEMA_VERSION,
+    LoadedRun,
     chrome_trace,
     jsonl_records,
     metrics_snapshot,
+    read_jsonl,
     verify_against_metrics,
     write_chrome_trace,
     write_jsonl,
@@ -38,9 +41,12 @@ __all__ = [
     "STEP_OPERATION_SPLIT",
     "STEP_STRATEGY",
     "Series",
+    "SCHEMA_VERSION",
+    "LoadedRun",
     "chrome_trace",
     "jsonl_records",
     "metrics_snapshot",
+    "read_jsonl",
     "verify_against_metrics",
     "write_chrome_trace",
     "write_jsonl",

@@ -5,10 +5,14 @@ Three output formats, all derived from one
 ``ExecutionOptions(observe=True)``:
 
 * :func:`write_jsonl` — the full structured record, one JSON object
-  per line: a meta header, every bus event, compacted probe series
-  samples, scalar counters, and per-operation metric summaries.  This
-  is the machine-readable log; the obs tests re-parse it and check the
-  event counts against :class:`~repro.engine.metrics.OperationMetrics`.
+  per line: a meta header, every bus event, every span of the
+  activation trace, compacted probe series samples, scalar counters,
+  and per-operation metric summaries.  This is the machine-readable
+  log; the obs tests re-parse it and check the event counts against
+  :class:`~repro.engine.metrics.OperationMetrics`, and
+  :func:`read_jsonl` round-trips it back into a :class:`LoadedRun`
+  that the diagnostics layer (:mod:`repro.diag`) analyses exactly as
+  it would the live execution.
 * :func:`chrome_trace` / :func:`write_chrome_trace` — Chrome
   trace-event JSON (the ``traceEvents`` array format), loadable in
   Perfetto / ``chrome://tracing``: one track per simulated thread
@@ -24,9 +28,11 @@ native unit), so a 1.5 s virtual execution reads as 1.5 s in Perfetto.
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
 
+from repro.engine.trace import ExecutionTrace
 from repro.errors import ReproError
 from repro.obs.bus import (
     BLOCK,
@@ -36,7 +42,7 @@ from repro.obs.bus import (
     EventBus,
     Event,
 )
-from repro.obs.probes import ACTIVE_THREADS, queue_depth_key
+from repro.obs.probes import ACTIVE_THREADS, Series, queue_depth_key
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from repro.engine.metrics import QueryExecution
@@ -46,6 +52,13 @@ _PID = 1
 
 #: Virtual seconds -> Chrome trace microseconds.
 _US = 1e6
+
+#: JSONL schema version, recorded in the meta header.  Version 2 added
+#: ``span`` records (the activation trace) and the per-operation timing
+#: fields (``busy_time``, ``queue_activations``, ...) the diagnostics
+#: layer reloads.  Version-1 logs still parse (they simply carry no
+#: spans, so critical-path analysis rejects them).
+SCHEMA_VERSION = 2
 
 
 def _require_obs(execution: "QueryExecution") -> EventBus:
@@ -75,6 +88,7 @@ def jsonl_records(execution: "QueryExecution") -> Iterator[dict]:
     bus = _require_obs(execution)
     yield {
         "type": "meta",
+        "schema": SCHEMA_VERSION,
         "response_time": execution.response_time,
         "startup_time": execution.startup_time,
         "total_threads": execution.total_threads,
@@ -89,7 +103,13 @@ def jsonl_records(execution: "QueryExecution") -> Iterator[dict]:
             "instances": op.instances,
             "threads": op.threads,
             "strategy": op.strategy,
+            "started_at": op.started_at,
+            "finished_at": op.finished_at,
+            "busy_time": op.busy_time,
+            "idle_time": op.idle_time,
+            "work": op.work,
             "activations": op.activations,
+            "queue_activations": list(op.queue_activations),
             "enqueues": op.enqueues,
             "dequeue_batches": op.dequeue_batches,
             "secondary_accesses": op.secondary_accesses,
@@ -98,6 +118,11 @@ def jsonl_records(execution: "QueryExecution") -> Iterator[dict]:
         }
     for event in bus.events:
         yield _event_record(event)
+    if execution.trace is not None:
+        for span in execution.trace.events:
+            yield {"type": "span", "thread": span.thread_id,
+                   "op": span.operation, "kind": span.kind,
+                   "start": span.start, "end": span.end}
     for name in sorted(bus.series):
         for t, value in bus.series[name].compacted():
             yield {"type": "sample", "name": name, "t": t, "value": value}
@@ -113,6 +138,100 @@ def write_jsonl(execution: "QueryExecution", path: str | Path) -> int:
             handle.write(json.dumps(record) + "\n")
             count += 1
     return count
+
+
+#: Keys of an ``event`` record that are :class:`Event` fields; every
+#: other key is kind-specific payload and round-trips into ``data``.
+_EVENT_FIELD_KEYS = frozenset(("type", "kind", "t", "op", "thread"))
+
+
+@dataclass
+class LoadedRun:
+    """One JSONL event log parsed back into live objects.
+
+    The inverse of :func:`write_jsonl`: ``events`` are real
+    :class:`~repro.obs.bus.Event` objects, ``trace`` a real
+    :class:`~repro.engine.trace.ExecutionTrace`, ``series`` real
+    :class:`~repro.obs.probes.Series` (compacted — duplicate-value
+    samples were dropped at export).  ``meta`` and ``ops`` stay plain
+    dicts, exactly as written.  :mod:`repro.diag` analyses a
+    ``LoadedRun`` identically to the live execution it came from.
+    """
+
+    meta: dict
+    ops: list[dict] = field(default_factory=list)
+    events: list[Event] = field(default_factory=list)
+    trace: ExecutionTrace = field(default_factory=ExecutionTrace)
+    series: dict[str, Series] = field(default_factory=dict)
+    counters: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def schema(self) -> int:
+        return self.meta.get("schema", 1)
+
+    @property
+    def response_time(self) -> float:
+        return self.meta["response_time"]
+
+    @property
+    def startup_time(self) -> float:
+        return self.meta["startup_time"]
+
+
+def _load_event(record: dict) -> Event:
+    data = {key: value for key, value in record.items()
+            if key not in _EVENT_FIELD_KEYS}
+    return Event(record["kind"], record["t"], record.get("op"),
+                 record.get("thread"), data if data else None)
+
+
+def read_jsonl(path: str | Path) -> LoadedRun:
+    """Round-trip a :func:`write_jsonl` log back into a :class:`LoadedRun`.
+
+    Raises :class:`ReproError` when the file does not start with a
+    meta header or declares a schema newer than this reader.
+    """
+    run: LoadedRun | None = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("type")
+            if run is None:
+                if kind != "meta":
+                    raise ReproError(
+                        f"{path}: line {line_no} is {kind!r}, expected the "
+                        f"meta header — not a JSONL event log?")
+                if record.get("schema", 1) > SCHEMA_VERSION:
+                    raise ReproError(
+                        f"{path}: schema {record['schema']} is newer than "
+                        f"this reader (knows up to {SCHEMA_VERSION})")
+                run = LoadedRun(meta=record)
+            elif kind == "op":
+                run.ops.append(record)
+            elif kind == "event":
+                run.events.append(_load_event(record))
+            elif kind == "span":
+                run.trace.record(record["thread"], record["op"],
+                                 record["kind"], record["start"],
+                                 record["end"])
+            elif kind == "sample":
+                series = run.series.get(record["name"])
+                if series is None:
+                    series = run.series[record["name"]] = Series(
+                        record["name"])
+                series.sample(record["t"], record["value"])
+            elif kind == "counter":
+                run.counters[record["name"]] = record["value"]
+            else:
+                raise ReproError(
+                    f"{path}: line {line_no} has unknown record type "
+                    f"{kind!r}")
+    if run is None:
+        raise ReproError(f"{path}: empty event log")
+    return run
 
 
 # -- Chrome trace-event JSON -------------------------------------------------

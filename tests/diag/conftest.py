@@ -1,0 +1,44 @@
+"""Shared diag fixtures: observed executions of the paper's plans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runners import default_machine
+from repro.engine.executor import (
+    ExecutionOptions,
+    Executor,
+    OperationSchedule,
+    QuerySchedule,
+)
+from repro.lera.plans import assoc_join_plan
+
+
+def _execute_assoc_join(database, transmit_threads: int, join_threads: int,
+                        strategy: str = "random"):
+    """One observed AssocJoin with an explicit per-operation split."""
+    plan = assoc_join_plan(database.entry_a, database.entry_b, "key", "key")
+    schedule = QuerySchedule({
+        "transmit": OperationSchedule(transmit_threads),
+        "join": OperationSchedule(join_threads, strategy),
+    })
+    executor = Executor(default_machine(), ExecutionOptions(observe=True))
+    return executor.execute(plan, schedule)
+
+
+@pytest.fixture
+def execute_assoc_join():
+    """The runner itself, for tests that vary the thread split."""
+    return _execute_assoc_join
+
+
+@pytest.fixture
+def observed(join_db):
+    """A balanced observed AssocJoin over the uniform database."""
+    return _execute_assoc_join(join_db, 8, 8)
+
+
+@pytest.fixture
+def observed_skewed(skewed_join_db):
+    """The same plan over the Zipf-1 database."""
+    return _execute_assoc_join(skewed_join_db, 8, 8)

@@ -9,9 +9,11 @@ from repro.errors import ReproError
 from repro.lera.plans import assoc_join_plan, ideal_join_plan
 from repro.machine.machine import Machine
 from repro.obs.export import (
+    SCHEMA_VERSION,
     chrome_trace,
     jsonl_records,
     metrics_snapshot,
+    read_jsonl,
     verify_against_metrics,
     write_chrome_trace,
     write_jsonl,
@@ -63,7 +65,9 @@ class TestJsonl:
         by_type = {}
         for record in records:
             by_type.setdefault(record["type"], []).append(record)
-        assert set(by_type) == {"meta", "op", "event", "sample", "counter"}
+        assert set(by_type) == {"meta", "op", "event", "span", "sample",
+                                "counter"}
+        assert records[0]["schema"] == SCHEMA_VERSION
         # the re-parsed log must agree with the metrics aggregates
         for op_record in by_type["op"]:
             metrics = observed.operation(op_record["name"])
@@ -79,6 +83,75 @@ class TestJsonl:
                    if r["type"] == "sample" and r["name"] == ACTIVE_THREADS]
         values = [r["value"] for r in samples]
         assert all(a != b for a, b in zip(values, values[1:]))
+
+
+class TestReadJsonl:
+    """read_jsonl must be the exact inverse of write_jsonl."""
+
+    @pytest.fixture
+    def reloaded(self, observed, tmp_path):
+        path = tmp_path / "events.jsonl"
+        write_jsonl(observed, path)
+        return read_jsonl(path)
+
+    def test_schema_and_meta(self, observed, reloaded):
+        assert reloaded.schema == SCHEMA_VERSION
+        assert reloaded.response_time == observed.response_time
+        assert reloaded.startup_time == observed.startup_time
+        assert reloaded.meta["total_threads"] == observed.total_threads
+
+    def test_events_round_trip_to_event_objects(self, observed, reloaded):
+        # Event is a frozen dataclass, so this compares kind, time,
+        # operation, thread and the full payload of every event.
+        assert reloaded.events == list(observed.obs.events)
+
+    def test_spans_round_trip_to_trace(self, observed, reloaded):
+        assert reloaded.trace.events == observed.trace.events
+
+    def test_series_round_trip_compacted(self, observed, reloaded):
+        assert set(reloaded.series) == set(observed.obs.series)
+        for name, series in observed.obs.series.items():
+            assert reloaded.series[name].to_pairs() == series.compacted()
+
+    def test_counters_round_trip(self, observed, reloaded):
+        assert reloaded.counters == dict(observed.obs.counters)
+
+    def test_op_records_round_trip(self, observed, reloaded):
+        by_name = {record["name"]: record for record in reloaded.ops}
+        assert set(by_name) == set(observed.operations)
+        for name, metrics in observed.operations.items():
+            assert by_name[name]["busy_time"] == metrics.busy_time
+            assert by_name[name]["queue_activations"] == \
+                list(metrics.queue_activations)
+
+    def test_missing_meta_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "event", "kind": "op.start", "t": 0.0}\n')
+        with pytest.raises(ReproError, match="meta header"):
+            read_jsonl(path)
+
+    def test_newer_schema_rejected(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(json.dumps(
+            {"type": "meta", "schema": SCHEMA_VERSION + 1,
+             "response_time": 1.0, "startup_time": 0.0,
+             "total_threads": 1, "dilation": 1.0}) + "\n")
+        with pytest.raises(ReproError, match="newer"):
+            read_jsonl(path)
+
+    def test_unknown_record_type_rejected(self, observed, tmp_path):
+        path = tmp_path / "mystery.jsonl"
+        write_jsonl(observed, path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "hologram"}\n')
+        with pytest.raises(ReproError, match="hologram"):
+            read_jsonl(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ReproError, match="empty"):
+            read_jsonl(path)
 
 
 class TestChromeTrace:
