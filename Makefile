@@ -7,7 +7,7 @@ PYTHONPATH := src
 export PYTHONPATH
 
 .PHONY: test bench perf perf-full perf-baseline trace-demo diagnose-demo \
-	compare-demo
+	compare-demo concurrent-demo
 
 ## Tier-1: the fast deterministic test suite (what CI gates on).
 test:
@@ -23,11 +23,16 @@ perf:
 
 ## Full perf matrix against the committed baseline (slower, quieter box).
 perf-full:
-	$(PYTHON) -m repro.bench.perf_baseline --check BENCH_engine.json
+	$(PYTHON) -m repro.bench.perf_baseline --workload --check BENCH_engine.json
 
 ## Print a fresh full matrix (use when re-recording BENCH_engine.json).
 perf-baseline:
-	$(PYTHON) -m repro.bench.perf_baseline
+	$(PYTHON) -m repro.bench.perf_baseline --workload
+
+## Concurrent-workload demo: four queries admitted into one shared
+## simulation, with the admission/grant/finish timeline printed.
+concurrent-demo:
+	$(PYTHON) -m repro --concurrent 4
 
 ## Observed demo query: scheduler explain + Chrome trace (Perfetto) +
 ## JSONL event log + metrics snapshot into benchmarks/results/.

@@ -1,0 +1,40 @@
+"""Concurrent workloads: sharing the machine must beat back-to-back."""
+
+from conftest import FULL, run_once
+
+from repro.bench import fig_concurrent
+
+
+def test_fig_concurrent_throughput(benchmark, record_result):
+    if FULL:
+        result = run_once(benchmark, lambda: fig_concurrent.run(
+            fig_concurrent.PAPER_CARD_A, fig_concurrent.PAPER_CARD_B,
+            fig_concurrent.PAPER_DEGREE))
+    else:
+        result = run_once(benchmark, fig_concurrent.run)
+    record_result(result)
+
+    levels = result.x_values
+    serial = result.get("back_to_back_s")
+    makespan = result.get("makespan_s")
+    throughput = result.get("throughput_qps")
+    speedup = result.get("speedup")
+    at = {level: i for i, level in enumerate(levels)}
+
+    # MPL = 1: the workload layer adds zero virtual time — the
+    # makespan IS the single-query response time.
+    assert makespan.values[at[1]] == serial.values[at[1]]
+    assert speedup.values[at[1]] == 1.0
+
+    # Every MPL >= 2 beats back-to-back execution strictly.
+    for i, level in enumerate(levels):
+        if level >= 2:
+            assert makespan.values[i] < serial.values[i], \
+                f"no concurrency win at MPL {level}"
+
+    # Throughput rises from 1 to the top multiprogramming level (the
+    # machine is far from saturated by one 24-thread query).
+    assert throughput.values[-1] > throughput.values[at[1]]
+
+    # Speed-up never collapses back to serial at higher MPLs.
+    assert min(speedup.values[1:]) > 1.2

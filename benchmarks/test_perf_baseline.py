@@ -13,13 +13,19 @@ import pathlib
 import pytest
 
 from repro.bench.perf_baseline import (
+    compare_concurrent,
     compare_matrices,
     compare_obs,
+    compare_session,
     load_baseline,
     render,
+    render_concurrent,
     render_obs,
+    render_session,
+    run_concurrent_cell,
     run_matrix,
     run_obs_overhead,
+    run_session_overhead,
 )
 
 BASELINE_PATH = pathlib.Path(__file__).parent.parent / "BENCH_engine.json"
@@ -45,6 +51,34 @@ def test_obs_disabled_overhead_has_not_regressed():
     print()
     print(render_obs(current))
     problems = compare_obs(baseline["observability"]["quick"], current)
+    assert not problems, "\n".join(problems)
+
+
+@pytest.mark.perf
+def test_session_path_overhead_within_gate():
+    """Routing one query through the workload layer (``db.query`` is
+    now a one-query session) may cost at most 5 % wall clock over the
+    direct executor, and must not move virtual time or results.  The
+    comparison is within-run — both modes are timed interleaved on the
+    same machine — so no committed baseline is needed."""
+    current = run_session_overhead(quick=True, seed=0)
+    print()
+    print(render_session(current))
+    problems = compare_session(current)
+    assert not problems, "\n".join(problems)
+
+
+@pytest.mark.perf
+def test_concurrent_cell_has_not_regressed():
+    """The MPL-4 shared-simulation workload cell: wall clock within
+    20 % of the committed best-of-N, virtual makespan and result rows
+    pinned exactly, and a real (>1x) virtual speed-up over running the
+    same four queries back-to-back."""
+    baseline = load_baseline(BASELINE_PATH)
+    current = run_concurrent_cell(quick=True, seed=0)
+    print()
+    print(render_concurrent(current))
+    problems = compare_concurrent(baseline["concurrent"]["quick"], current)
     assert not problems, "\n".join(problems)
 
 

@@ -9,20 +9,20 @@ budget from estimated complexity, (2) splits it across the chain tree,
 Random or LPT per operator from fragment statistics.
 """
 
-from repro.bench.workloads import make_join_database
-from repro.engine.executor import Executor
-from repro.lera.plans import (
+from repro import (
+    AdaptiveScheduler,
+    Catalog,
+    Executor,
+    Machine,
+    PartitioningSpec,
     assoc_join_plan,
-    materialized,
+    attribute_predicate,
+    generate_wisconsin,
     selection_plan,
 )
-from repro.lera.predicates import attribute_predicate
-from repro.machine.machine import Machine
-from repro.scheduler.adaptive import AdaptiveScheduler
+from repro.bench.workloads import make_join_database
+from repro.lera.plans import materialized
 from repro.scheduler.complexity import query_complexity
-from repro.storage.catalog import Catalog
-from repro.storage.partitioning import PartitioningSpec
-from repro.storage.wisconsin import generate_wisconsin
 
 
 def main() -> None:

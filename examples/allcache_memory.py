@@ -8,18 +8,17 @@ distributed, virtually shared memory, remote line access ~6x local),
 and contrasts with a uniform (Encore-style) shared-memory machine.
 """
 
-from repro.bench.workloads import make_selection_table
-from repro.engine.executor import (
-    PLACEMENT_COLD,
-    PLACEMENT_WARM,
+from repro import (
+    Catalog,
     ExecutionOptions,
     Executor,
+    Machine,
     QuerySchedule,
+    attribute_predicate,
+    selection_plan,
 )
-from repro.lera.plans import selection_plan
-from repro.lera.predicates import attribute_predicate
-from repro.machine.machine import Machine
-from repro.storage.catalog import Catalog
+from repro.bench.workloads import make_selection_table
+from repro.engine.executor import PLACEMENT_COLD, PLACEMENT_WARM
 
 
 def main() -> None:

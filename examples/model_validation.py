@@ -10,12 +10,17 @@ response — the same model-vs-measurement comparison Figures 12/13
 make, but as a table you can re-run with your own parameters.
 """
 
+from repro import (
+    ExecutionOptions,
+    Executor,
+    Machine,
+    QuerySchedule,
+    assoc_join_plan,
+    ideal_join_plan,
+)
 from repro.analysis.predictor import predict
 from repro.bench.repeat import repeat
 from repro.bench.workloads import make_join_database
-from repro.engine.executor import ExecutionOptions, Executor, QuerySchedule
-from repro.lera.plans import assoc_join_plan, ideal_join_plan
-from repro.machine.machine import Machine
 
 MACHINE = Machine.uniform(processors=16)
 CARD_A, CARD_B, DEGREE = 20_000, 2_000, 50

@@ -11,15 +11,18 @@ Two capabilities beyond the paper's two-plan evaluation:
   when the pipeline closes.
 """
 
-from repro import DBS3, Machine
+from repro import (
+    DBS3,
+    AdaptiveScheduler,
+    Catalog,
+    Executor,
+    Machine,
+    PartitioningSpec,
+    Relation,
+    Schema,
+    two_phase_join_plan,
+)
 from repro.bench.workloads import make_join_database, skewed_fragments
-from repro.engine.executor import Executor
-from repro.lera.plans import two_phase_join_plan
-from repro.scheduler.adaptive import AdaptiveScheduler
-from repro.storage.catalog import Catalog
-from repro.storage.partitioning import PartitioningSpec
-from repro.storage.relation import Relation
-from repro.storage.schema import Schema
 
 
 def three_way_join() -> None:

@@ -8,10 +8,10 @@ and better balance, but every fragment adds queue-creation overhead.
 The sweet spot depends on the join algorithm and the skew.
 """
 
+from repro import Machine
 from repro.bench.runners import run_assoc_join, run_ideal_join
 from repro.bench.workloads import make_join_database
 from repro.lera.operators import JOIN_NESTED_LOOP, JOIN_TEMP_INDEX
-from repro.machine.machine import Machine
 
 CARD_A, CARD_B = 50_000, 5_000
 THREADS = 10

@@ -13,11 +13,16 @@ a triggered IdealJoin over a Zipf-skewed relation is executed
 showing response time and the skew overhead ``v = T/Tideal - 1``.
 """
 
-from repro import Machine
+from repro import (
+    ExecutionOptions,
+    Executor,
+    Machine,
+    ObservabilityOptions,
+    QuerySchedule,
+    StaticScheduler,
+    ideal_join_plan,
+)
 from repro.bench.workloads import make_join_database
-from repro.engine.executor import ExecutionOptions, Executor, QuerySchedule
-from repro.lera.plans import ideal_join_plan
-from repro.scheduler.adaptive import StaticScheduler
 
 CARD_A, CARD_B = 50_000, 5_000
 THREADS = 10
@@ -67,7 +72,7 @@ def main() -> None:
     print("\nThe straggler, made visible (degree 20, LPT, traced):")
     database = make_join_database(CARD_A // 5, CARD_B // 5, 20, 1.0)
     plan = ideal_join_plan(database.entry_a, database.entry_b, "key", "key")
-    traced = Executor(machine, ExecutionOptions(trace=True)).execute(
+    traced = Executor(machine, ExecutionOptions(observability=ObservabilityOptions(trace=True))).execute(
         plan, QuerySchedule.for_plan(plan, THREADS, strategy="lpt"))
     print(traced.trace.gantt(width=70))
 

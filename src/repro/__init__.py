@@ -18,6 +18,20 @@ Quick start::
     result = db.query("SELECT * FROM A JOIN B ON A.unique1 = B.unique1",
                       threads=10)
     print(result.cardinality, result.response_time)
+
+Several queries can share the machine through a session — the
+workload layer admits them into one simulation, splits the threads
+across them by complexity, and re-grants threads as queries finish::
+
+    session = db.session()
+    a = session.submit("SELECT * FROM A JOIN B ON A.unique1 = B.unique1")
+    b = session.submit("SELECT * FROM A WHERE unique2 < 100", at=0.5)
+    print(a.result().response_time, b.result().response_time)
+    print(session.result.makespan)
+
+Everything above is the blessed import surface; reaching into
+submodules is possible but not covered by the compatibility notes in
+the docs.
 """
 
 from repro.analysis import OperatorProfile, nmax, skew_overhead_bound
@@ -25,11 +39,13 @@ from repro.core import DBS3, QueryResult
 from repro.engine import (
     ExecutionOptions,
     Executor,
+    ObservabilityOptions,
     OperationSchedule,
     QueryExecution,
     QuerySchedule,
 )
 from repro.errors import (
+    AdmissionError,
     CatalogError,
     CompilationError,
     ExecutionError,
@@ -39,6 +55,7 @@ from repro.errors import (
     ReproError,
     SchedulerError,
     SchemaError,
+    WorkloadError,
 )
 from repro.lera import (
     AggregateExpr,
@@ -61,11 +78,20 @@ from repro.storage import (
     generate_wisconsin,
     zipf_cardinalities,
 )
+from repro.workload import (
+    QueryHandle,
+    QuerySubmission,
+    Session,
+    WorkloadExecutor,
+    WorkloadOptions,
+    WorkloadResult,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AdaptiveScheduler",
+    "AdmissionError",
     "AggregateExpr",
     "Catalog",
     "CatalogError",
@@ -78,20 +104,28 @@ __all__ = [
     "Fragment",
     "Machine",
     "MachineError",
+    "ObservabilityOptions",
     "OperationSchedule",
     "OperatorProfile",
     "PartitioningError",
     "PartitioningSpec",
     "PlanError",
     "QueryExecution",
+    "QueryHandle",
     "QueryResult",
     "QuerySchedule",
+    "QuerySubmission",
     "Relation",
     "ReproError",
     "SchedulerError",
     "Schema",
     "SchemaError",
+    "Session",
     "StaticScheduler",
+    "WorkloadError",
+    "WorkloadExecutor",
+    "WorkloadOptions",
+    "WorkloadResult",
     "aggregate_plan",
     "assoc_join_plan",
     "attribute_predicate",

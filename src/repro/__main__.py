@@ -3,25 +3,34 @@
 Usage::
 
     python -m repro                 # run the built-in demo
+    python -m repro --concurrent 4  # the multi-query workload demo:
+                                    # N queries share one simulation,
+                                    # printing the admission/grant
+                                    # timeline and the speed-up over
+                                    # back-to-back execution
     python -m repro --figures       # regenerate the paper's figures
                                     # (alias of repro.bench.reporting)
-    python -m repro --explain --trace-out trace.json \\
-                    --events-out events.jsonl
+    python -m repro run --explain --trace-out trace.json \\
+                        --events-out events.jsonl
                                     # run one observed query: scheduler
                                     # explain + Chrome trace (open in
                                     # https://ui.perfetto.dev) + JSONL
                                     # event log
-    python -m repro --diagnose --theta 0.8 --record --run-id baseline
+    python -m repro diagnose --theta 0.8 --record --run-id baseline
                                     # run the skewed-join diagnostics
                                     # demo: critical path + imbalance
                                     # doctor, optionally persisted to
                                     # the run registry
-    python -m repro --diagnose --from-events events.jsonl
+    python -m repro diagnose --from-events events.jsonl
                                     # diagnose a previously exported
                                     # JSONL event log instead
     python -m repro compare baseline candidate --gate
                                     # A/B two registry records; --gate
                                     # exits 1 on a regression
+
+The historic flag spellings (``--explain`` / ``--trace-out`` / … and
+``--diagnose`` / ``--from-events`` without a subcommand) keep working
+as aliases of ``run`` and ``diagnose``.
 
 The demo loads two Wisconsin relations, runs each supported query
 shape end to end and prints the plans, schedules and virtual-time
@@ -70,11 +79,60 @@ def demo() -> None:
     print("for skew handling, partitioning tuning and the Allcache model.")
 
 
+def concurrent_demo(count: int) -> int:
+    """Run *count* queries concurrently in one shared simulation."""
+    from repro.obs.bus import QUERY_ADMIT, QUERY_FINISH, QUERY_GRANT
+
+    print(f"DBS3 concurrent workload demo — {count} queries, "
+          f"one shared simulation\n")
+    db = DBS3(processors=72)
+    db.create_table(generate_wisconsin("A", 12_000, seed=1), "unique1", 60)
+    db.create_table(generate_wisconsin("B", 1_200, seed=2), "unique1", 60)
+    db.create_table(generate_wisconsin("C", 9_000, seed=3), "unique1", 60)
+    db.create_table(generate_wisconsin("D", 900, seed=4), "unique1", 60)
+    shapes = [
+        "SELECT * FROM A JOIN B ON A.unique1 = B.unique1",
+        "SELECT * FROM C JOIN D ON C.unique1 = D.unique1",
+        "SELECT * FROM A JOIN D ON A.unique1 = D.unique1",
+        "SELECT * FROM C JOIN B ON C.unique1 = B.unique1",
+    ]
+    queries = [shapes[i % len(shapes)] for i in range(count)]
+
+    serial = 0.0
+    for sql in queries:
+        serial += db.query(sql).execution.response_time
+
+    session = db.session()
+    for sql in queries:
+        session.submit(sql)
+    result = session.run()
+
+    print("timeline (virtual time):")
+    interesting = {QUERY_ADMIT: "admit ", QUERY_FINISH: "finish",
+                   QUERY_GRANT: "grant "}
+    for event in result.bus.events:
+        label = interesting.get(event.kind)
+        if label is None:
+            continue
+        detail = ", ".join(f"{k}={v}" for k, v in (event.data or {}).items())
+        print(f"  t={event.t:8.4f}  {label}  {event.operation:<4} {detail}")
+    print("\nper-query response times (from submission):")
+    for tag in result.order:
+        execution = result.execution(tag)
+        print(f"  {tag}: {execution.response_time:.4f}s, "
+              f"peak {execution.total_threads} threads")
+    print(f"\nback-to-back serial : {serial:.4f}s")
+    print(f"concurrent makespan : {result.makespan:.4f}s "
+          f"({serial / result.makespan:.2f}x)")
+    print(f"throughput          : {result.throughput:.2f} queries/s")
+    return 0
+
+
 def observed_run(sql: str, trace_out: str | None, events_out: str | None,
                  metrics_out: str | None, explain: bool,
                  threads: int | None = None) -> int:
     """Run one query with full observability and export the results."""
-    from repro.engine.executor import ExecutionOptions
+    from repro.engine.executor import ExecutionOptions, ObservabilityOptions
     from repro.obs.explain import ScheduleExplanation
     from repro.obs.export import (
         metrics_snapshot,
@@ -83,7 +141,8 @@ def observed_run(sql: str, trace_out: str | None, events_out: str | None,
         write_jsonl,
     )
 
-    db = DBS3(processors=32, options=ExecutionOptions(observe=True))
+    db = DBS3(processors=32, options=ExecutionOptions(
+        observability=ObservabilityOptions(observe=True)))
     # B is partitioned on unique2, so a join on unique1 redistributes
     # it — the observed run then shows both queue disciplines: the
     # triggered transmit and the pipelined join it feeds.
@@ -124,7 +183,11 @@ def diagnose_run(args: argparse.Namespace) -> int:
     from repro.bench.runners import default_machine
     from repro.bench.workloads import make_join_database
     from repro.diag import RunRecord, RunRegistry, diagnose
-    from repro.engine.executor import ExecutionOptions, Executor
+    from repro.engine.executor import (
+        ExecutionOptions,
+        Executor,
+        ObservabilityOptions,
+    )
     from repro.lera.plans import assoc_join_plan
     from repro.obs.explain import ScheduleExplanation
     from repro.obs.export import write_jsonl
@@ -151,7 +214,8 @@ def diagnose_run(args: argparse.Namespace) -> int:
         schedule = AdaptiveScheduler(machine).schedule(
             plan, args.threads, explain=explanation)
         schedule = schedule.with_strategy("join", args.strategy)
-        executor = Executor(machine, ExecutionOptions(observe=True))
+        executor = Executor(machine, ExecutionOptions(
+            observability=ObservabilityOptions(observe=True)))
         execution = executor.execute(plan, schedule)
         diagnosis = diagnose(execution)
         explanation_json = explanation.to_json()
@@ -201,63 +265,119 @@ def compare_runs(argv: list[str]) -> int:
     return 0
 
 
+def _add_observed_args(target) -> None:
+    """The observed-run options (``run`` subcommand + legacy group)."""
+    target.add_argument("--trace-out", metavar="PATH",
+                        help="write a Chrome trace-event JSON (Perfetto)")
+    target.add_argument("--events-out", metavar="PATH",
+                        help="write the structured JSONL event log")
+    target.add_argument("--metrics-out", metavar="PATH",
+                        help="write the text metrics snapshot")
+    target.add_argument("--explain", action="store_true",
+                        help="print the scheduler's four-step decisions")
+    target.add_argument("--sql", default=DEFAULT_OBSERVED_SQL,
+                        help="query to observe (default: a pipelined join)")
+    target.add_argument("--threads", type=int, default=None,
+                        help="pin the degree of parallelism (default: let "
+                             "scheduler step 1 choose)")
+
+
+def _add_diag_args(target, subcommand: bool) -> None:
+    """The diagnostics options (``diagnose`` subcommand + legacy group)."""
+    if not subcommand:
+        target.add_argument("--diagnose", action="store_true",
+                            help="run the skewed-join diagnostics demo: "
+                                 "critical path + imbalance doctor")
+    target.add_argument("--from-events", metavar="PATH", default=None,
+                        help="diagnose a previously exported JSONL event "
+                             "log instead of executing a query")
+    target.add_argument("--theta", type=float, default=0.8,
+                        help="Zipf skew of the stored operand in the "
+                             "diagnostics demo (default 0.8)")
+    target.add_argument("--strategy", choices=("random", "lpt"),
+                        default="random",
+                        help="join consumption strategy of the demo")
+    target.add_argument("--record", action="store_true",
+                        help="persist the diagnosis to the run registry")
+    target.add_argument("--run-id", metavar="ID", default=None,
+                        help="registry id for --record "
+                             "(default: diagnose-demo)")
+    target.add_argument("--label", default="",
+                        help="free-text label stored in the record")
+    target.add_argument("--runs-dir", metavar="DIR", default=None,
+                        help="registry root (default: "
+                             "benchmarks/results/runs or $REPRO_RUNS_DIR)")
+
+
+def run_command(argv: list[str]) -> int:
+    """``python -m repro run``: one observed query with exports."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro run",
+        description="run one observed query: scheduler explain + "
+                    "trace/event/metrics exports")
+    _add_observed_args(parser)
+    args = parser.parse_args(argv)
+    return observed_run(args.sql, args.trace_out, args.events_out,
+                        args.metrics_out, args.explain, args.threads)
+
+
+def diagnose_command(argv: list[str]) -> int:
+    """``python -m repro diagnose``: diagnostics demo / JSONL post-mortem."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro diagnose",
+        description="diagnose a run: critical path + imbalance doctor, "
+                    "optionally persisted to the run registry")
+    _add_diag_args(parser, subcommand=True)
+    parser.add_argument("--events-out", metavar="PATH", default=None,
+                        help="also export the run's JSONL event log")
+    parser.add_argument("--threads", type=int, default=10,
+                        help="degree of parallelism of the demo query")
+    args = parser.parse_args(argv)
+    return diagnose_run(args)
+
+
+#: Subcommand dispatch of the harmonized CLI.
+COMMANDS = {
+    "run": run_command,
+    "diagnose": diagnose_command,
+    "compare": compare_runs,
+}
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] == "compare":
-        return compare_runs(argv[1:])
+    if argv and argv[0] in COMMANDS:
+        return COMMANDS[argv[0]](argv[1:])
+    # No subcommand: the demo surface, plus the historic flag
+    # spellings routed to the same code paths as `run` / `diagnose`.
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="DBS3 reproduction: demo driver, figure regeneration, "
-                    "observed runs and diagnostics")
+                    "observed runs (see `run`) and diagnostics "
+                    "(see `diagnose`, `compare`)")
+    parser.add_argument("--concurrent", type=int, metavar="N", default=None,
+                        help="run the N-query concurrent workload demo "
+                             "(one shared simulation)")
     parser.add_argument("--figures", action="store_true",
                         help="regenerate the paper's figures instead of "
                              "running the demo")
     parser.add_argument("--scale", choices=("small", "paper"),
                         default="small", help="figure workload scale")
     obs = parser.add_argument_group(
-        "observability", "run one observed query instead of the demo")
-    obs.add_argument("--trace-out", metavar="PATH",
-                     help="write a Chrome trace-event JSON (Perfetto)")
-    obs.add_argument("--events-out", metavar="PATH",
-                     help="write the structured JSONL event log")
-    obs.add_argument("--metrics-out", metavar="PATH",
-                     help="write the text metrics snapshot")
-    obs.add_argument("--explain", action="store_true",
-                     help="print the scheduler's four-step decisions")
-    obs.add_argument("--sql", default=DEFAULT_OBSERVED_SQL,
-                     help="query to observe (default: a pipelined join)")
-    obs.add_argument("--threads", type=int, default=None,
-                     help="pin the degree of parallelism (default: let "
-                          "scheduler step 1 choose)")
+        "observability (alias of the `run` subcommand)")
+    _add_observed_args(obs)
     diag = parser.add_argument_group(
-        "diagnostics", "post-mortem analysis and the run registry")
-    diag.add_argument("--diagnose", action="store_true",
-                      help="run the skewed-join diagnostics demo: "
-                           "critical path + imbalance doctor")
-    diag.add_argument("--from-events", metavar="PATH", default=None,
-                      help="diagnose a previously exported JSONL event "
-                           "log instead of executing a query")
-    diag.add_argument("--theta", type=float, default=0.8,
-                      help="Zipf skew of the stored operand in the "
-                           "diagnostics demo (default 0.8)")
-    diag.add_argument("--strategy", choices=("random", "lpt"),
-                      default="random",
-                      help="join consumption strategy of the demo")
-    diag.add_argument("--record", action="store_true",
-                      help="persist the diagnosis to the run registry")
-    diag.add_argument("--run-id", metavar="ID", default=None,
-                      help="registry id for --record "
-                           "(default: diagnose-demo)")
-    diag.add_argument("--label", default="",
-                      help="free-text label stored in the record")
-    diag.add_argument("--runs-dir", metavar="DIR", default=None,
-                      help="registry root (default: "
-                           "benchmarks/results/runs or $REPRO_RUNS_DIR)")
+        "diagnostics (alias of the `diagnose` subcommand)")
+    _add_diag_args(diag, subcommand=False)
     args = parser.parse_args(argv)
     if args.figures:
         return reporting.main(["--scale", args.scale])
+    if args.concurrent is not None:
+        if args.concurrent < 1:
+            parser.error("--concurrent needs at least one query")
+        return concurrent_demo(args.concurrent)
     if args.diagnose or args.from_events:
         if args.threads is None:
             args.threads = 10

@@ -1,0 +1,109 @@
+"""Concurrent workloads: throughput versus multiprogramming level.
+
+The paper's evaluation stops at one query; its Section 6 outlook (and
+the multi-user factor of the four-step scheduler) points at several
+queries sharing the machine.  This experiment quantifies that: the
+same bag of N queries is executed back-to-back (one shared-nothing
+simulation each) and concurrently (one shared simulation through the
+workload engine), sweeping N — the multiprogramming level (MPL).
+
+Shapes the workload layer must produce:
+
+* concurrent makespan strictly below the back-to-back total at every
+  MPL >= 2 — sharing the 70 processors between queries whose lone
+  demand cannot fill the machine recovers otherwise idle capacity;
+* throughput (queries per virtual second) rising with MPL before
+  flattening as the machine saturates;
+* at MPL = 1 the workload path adds **zero** virtual time: the
+  makespan equals the single-query response time exactly.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentResult
+from repro.bench.runners import (
+    default_machine,
+    run_assoc_join,
+    run_concurrent_workload,
+    run_ideal_join,
+)
+from repro.bench.workloads import make_join_database
+from repro.workload.options import WorkloadOptions
+
+#: Multiprogramming levels to sweep.
+LEVELS = (1, 2, 3, 4, 6, 8)
+
+#: Reduced-scale default workload (a CI-friendly cousin of the
+#: Figure 13/14 databases); the paper-scale run is `--scale paper`.
+CARD_A = 20_000
+CARD_B = 2_000
+DEGREE = 100
+
+PAPER_CARD_A = 100_000
+PAPER_CARD_B = 10_000
+PAPER_DEGREE = 200
+
+#: Per-query degree of parallelism: fixed (rather than scheduler-
+#: chosen) so every MPL runs the same queries and the sweep isolates
+#: the workload layer's contribution.
+THREADS = 24
+
+
+def run(card_a: int = CARD_A, card_b: int = CARD_B, degree: int = DEGREE,
+        levels: tuple[int, ...] = LEVELS, threads: int = THREADS,
+        seed: int = 0) -> ExperimentResult:
+    """Regenerate the concurrent-workload figure."""
+    database = make_join_database(card_a, card_b, degree, theta=0.0)
+    machine = default_machine()
+    result = ExperimentResult(
+        experiment_id="fig_concurrent",
+        title=(f"Concurrent workload throughput (|A|={card_a}, "
+               f"|B'|={card_b}, degree={degree}, "
+               f"{machine.processors} processors, {threads} threads/query)"),
+        x_label="multiprogramming level",
+        x_values=tuple(float(n) for n in levels),
+    )
+    # Back-to-back reference: each query alone in its own simulation.
+    runners = (run_ideal_join, run_assoc_join)
+    single_times = [
+        runners[index % 2](database, threads, machine=machine,
+                           seed=seed).response_time
+        for index in range(max(levels))
+    ]
+    serial, makespan, throughput, speedup = [], [], [], []
+    for level in levels:
+        back_to_back = sum(single_times[:level])
+        # Lift the default admission bound: the sweep measures *true*
+        # multiprogramming levels, not a 4-deep admission queue.
+        workload = run_concurrent_workload(
+            database, level, threads=threads, machine=machine,
+            workload=WorkloadOptions(max_concurrent=level), seed=seed)
+        serial.append(back_to_back)
+        makespan.append(workload.makespan)
+        throughput.append(workload.throughput)
+        speedup.append(back_to_back / workload.makespan)
+    result.add_series("back_to_back_s", serial)
+    result.add_series("makespan_s", makespan)
+    result.add_series("throughput_qps", throughput)
+    result.add_series("speedup", speedup)
+    result.notes["threads_per_query"] = threads
+    result.notes["processors"] = machine.processors
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:  # pragma: no cover - CLI
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("small", "paper"),
+                        default="small")
+    args = parser.parse_args(argv)
+    if args.scale == "paper":
+        print(run(PAPER_CARD_A, PAPER_CARD_B, PAPER_DEGREE).render())
+    else:
+        print(run().render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -29,7 +29,12 @@ import statistics
 import time
 from pathlib import Path
 
-from repro.bench.runners import run_assoc_join, run_ideal_join
+from repro.bench.runners import (
+    default_machine,
+    run_assoc_join,
+    run_concurrent_workload,
+    run_ideal_join,
+)
 from repro.bench.workloads import make_join_database
 
 #: The workload matrix: paper's Figure 16/17 degree sweep endpoints
@@ -67,6 +72,20 @@ OBS_REGRESSION_THRESHOLD = 0.05
 #: mid-range degree, where queue traffic (the instrumented hot path)
 #: dominates.
 OBS_DEGREE = 200
+
+#: The workload layer must be free for one query: routing a single
+#: query through the multi-query session machinery may cost at most
+#: this fraction of wall clock over the dedicated executor path.
+SESSION_OVERHEAD_THRESHOLD = 0.05
+
+#: The workload cells are an order of magnitude faster than a matrix
+#: cell, so they can afford more repeats — the best-of-N is what the
+#: 5 %/20 % gates compare, and two samples of a ~50 ms region are too
+#: noisy to gate on.
+WORKLOAD_REPEATS = 5
+
+#: Multiprogramming level of the concurrent perf cell.
+CONCURRENT_MPL = 4
 
 
 def cell_key(mode: str, degree: int) -> str:
@@ -200,6 +219,191 @@ def render_obs(record: dict) -> str:
             f"({record['enabled_over_disabled']:.2f}x)")
 
 
+def run_session_overhead(quick: bool = False, seed: int = 0) -> dict:
+    """Time the single-query path direct vs through the workload layer.
+
+    Both modes execute the identical pipelined workload: ``direct``
+    through :class:`~repro.engine.executor.Executor`, ``session``
+    through a one-query :class:`~repro.workload.engine
+    .WorkloadExecutor` (the machinery behind ``db.session()`` /
+    ``db.query()``).  The one-query path is bit-identical in virtual
+    time by design; this records what the extra layer costs in *wall*
+    clock, gated at 5 % (:func:`compare_session`).
+    """
+    from repro.compiler.parallelizer import CompiledQuery
+    from repro.engine.executor import ExecutionOptions, Executor
+    from repro.lera.plans import assoc_join_plan
+    from repro.scheduler.adaptive import AdaptiveScheduler
+    from repro.workload.engine import QuerySubmission, WorkloadExecutor
+
+    card_a = QUICK_CARD_A if quick else FULL_CARD_A
+    card_b = QUICK_CARD_B if quick else FULL_CARD_B
+    repeats = WORKLOAD_REPEATS
+    database = make_join_database(card_a, card_b, OBS_DEGREE, theta=0.0)
+    machine = default_machine()
+    options = ExecutionOptions(seed=seed)
+
+    def direct():
+        plan = assoc_join_plan(database.entry_a, database.entry_b,
+                               "key", "key")
+        schedule = AdaptiveScheduler(machine).schedule(plan, THREADS)
+        return Executor(machine, options).execute(plan, schedule)
+
+    def session():
+        plan = assoc_join_plan(database.entry_a, database.entry_b,
+                               "key", "key")
+        schedule = AdaptiveScheduler(machine).schedule(plan, THREADS)
+        submission = QuerySubmission(
+            "q0", CompiledQuery(plan, None, None, "perf"), schedule)
+        result = WorkloadExecutor(machine, options).execute([submission])
+        return result.execution("q0")
+
+    modes = {}
+    for label, runner in (("direct", direct), ("session", session)):
+        times = []
+        execution = None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            execution = runner()
+            times.append(time.perf_counter() - started)
+        modes[label] = {
+            "mean_s": round(statistics.fmean(times), 6),
+            "min_s": round(min(times), 6),
+            "runs": [round(t, 6) for t in times],
+            "result_rows": execution.result_cardinality,
+            "virtual_response_s": execution.response_time,
+        }
+    return {
+        "workload": {"card_a": card_a, "card_b": card_b,
+                     "degree": OBS_DEGREE, "mode": "pipelined",
+                     "threads": THREADS, "repeats": repeats, "seed": seed},
+        "modes": modes,
+        "session_over_direct": round(
+            modes["session"]["min_s"] / modes["direct"]["min_s"], 4),
+    }
+
+
+def compare_session(current: dict,
+                    threshold: float = SESSION_OVERHEAD_THRESHOLD,
+                    abs_slack_s: float = ABSOLUTE_SLACK_S) -> list[str]:
+    """Flag session-overhead problems (within one run, no baseline).
+
+    The gate is the within-run ratio — session wall clock may exceed
+    the direct path by at most *threshold* plus *abs_slack_s* — and
+    the one-query parity contract: identical virtual response time
+    and result cardinality through both paths.
+    """
+    problems = []
+    direct = current["modes"]["direct"]
+    session = current["modes"]["session"]
+    limit = direct["min_s"] * (1.0 + threshold) + abs_slack_s
+    if session["min_s"] > limit:
+        problems.append(
+            f"session path wall-clock overhead: direct "
+            f"{direct['min_s']:.4f}s vs session {session['min_s']:.4f}s "
+            f"(> {threshold:.0%} + {abs_slack_s * 1000:.0f}ms slack)")
+    if session["virtual_response_s"] != direct["virtual_response_s"]:
+        problems.append(
+            "session path moved virtual time: "
+            f"{direct['virtual_response_s']!r} -> "
+            f"{session['virtual_response_s']!r}")
+    if session["result_rows"] != direct["result_rows"]:
+        problems.append(
+            f"session path changed results: {direct['result_rows']} -> "
+            f"{session['result_rows']}")
+    return problems
+
+
+def render_session(record: dict) -> str:
+    """Human-readable line for one session-overhead run."""
+    direct = record["modes"]["direct"]
+    session = record["modes"]["session"]
+    return (f"session overhead (pipelined@{record['workload']['degree']}): "
+            f"direct {direct['min_s']:.4f}s, "
+            f"session {session['min_s']:.4f}s "
+            f"({record['session_over_direct']:.2f}x)")
+
+
+def run_concurrent_cell(quick: bool = False, seed: int = 0) -> dict:
+    """Time the MPL-4 concurrent workload (wall clock + virtual shape).
+
+    Records the shared-simulation wall clock next to the workload's
+    virtual makespan and its speed-up over running the same queries
+    back-to-back; the virtual numbers double as a semantic regression
+    check (:func:`compare_concurrent`).
+    """
+    card_a = QUICK_CARD_A if quick else FULL_CARD_A
+    card_b = QUICK_CARD_B if quick else FULL_CARD_B
+    repeats = WORKLOAD_REPEATS
+    database = make_join_database(card_a, card_b, OBS_DEGREE, theta=0.0)
+    machine = default_machine()
+    serial_virtual = (
+        run_ideal_join(database, THREADS, machine=machine,
+                       seed=seed).response_time * (CONCURRENT_MPL // 2)
+        + run_assoc_join(database, THREADS, machine=machine,
+                         seed=seed).response_time * (CONCURRENT_MPL // 2))
+    times = []
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = run_concurrent_workload(database, CONCURRENT_MPL,
+                                         threads=THREADS, machine=machine,
+                                         seed=seed)
+        times.append(time.perf_counter() - started)
+    return {
+        "workload": {"card_a": card_a, "card_b": card_b,
+                     "degree": OBS_DEGREE, "mpl": CONCURRENT_MPL,
+                     "threads": THREADS, "repeats": repeats, "seed": seed},
+        "mean_s": round(statistics.fmean(times), 6),
+        "min_s": round(min(times), 6),
+        "runs": [round(t, 6) for t in times],
+        "makespan_virtual_s": result.makespan,
+        "serial_virtual_s": serial_virtual,
+        "speedup_virtual": round(serial_virtual / result.makespan, 4),
+        "result_rows": sum(e.result_cardinality
+                           for e in result.executions.values()),
+    }
+
+
+def compare_concurrent(baseline: dict, current: dict,
+                       threshold: float = REGRESSION_THRESHOLD,
+                       abs_slack_s: float = ABSOLUTE_SLACK_S) -> list[str]:
+    """Flag concurrent-cell regressions against a committed baseline.
+
+    The virtual makespan and total cardinality must match exactly;
+    the wall clock is gated like the matrix cells; the virtual
+    speed-up over back-to-back must stay a real win.
+    """
+    problems = []
+    if current["makespan_virtual_s"] != baseline["makespan_virtual_s"]:
+        problems.append(
+            f"concurrent@mpl{baseline['workload']['mpl']}: virtual makespan "
+            f"changed {baseline['makespan_virtual_s']!r} -> "
+            f"{current['makespan_virtual_s']!r}")
+    if current["result_rows"] != baseline["result_rows"]:
+        problems.append(
+            f"concurrent: total result cardinality changed "
+            f"{baseline['result_rows']} -> {current['result_rows']}")
+    limit = baseline["min_s"] * (1.0 + threshold) + abs_slack_s
+    if current["min_s"] > limit:
+        problems.append(
+            f"concurrent: wall-clock regressed {baseline['min_s']:.4f}s -> "
+            f"{current['min_s']:.4f}s (> {threshold:.0%} over baseline)")
+    if current["speedup_virtual"] <= 1.0:
+        problems.append(
+            f"concurrent: workload no longer beats back-to-back "
+            f"(speedup {current['speedup_virtual']:.2f}x)")
+    return problems
+
+
+def render_concurrent(record: dict) -> str:
+    """Human-readable line for one concurrent-cell run."""
+    return (f"concurrent (mpl={record['workload']['mpl']}"
+            f"@{record['workload']['degree']}): wall {record['min_s']:.4f}s, "
+            f"virtual makespan {record['makespan_virtual_s']:.4f}s, "
+            f"{record['speedup_virtual']:.2f}x over back-to-back")
+
+
 def compare_matrices(baseline: dict, current: dict,
                      threshold: float = REGRESSION_THRESHOLD,
                      abs_slack_s: float = ABSOLUTE_SLACK_S) -> list[str]:
@@ -267,6 +471,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--obs", action="store_true",
                         help="also time obs-disabled vs obs-enabled and "
                              "gate the disabled mode at 5%%")
+    parser.add_argument("--workload", action="store_true",
+                        help="also time the session-overhead pair (gated "
+                             "at 5%%) and the MPL-4 concurrent cell")
     args = parser.parse_args(argv)
 
     baseline = None
@@ -283,6 +490,14 @@ def main(argv: list[str] | None = None) -> int:
         obs_record = run_obs_overhead(quick=args.quick)
         matrix["observability"] = obs_record
         print(render_obs(obs_record))
+    session_record = concurrent_record = None
+    if args.workload:
+        session_record = run_session_overhead(quick=args.quick)
+        matrix["session"] = session_record
+        print(render_session(session_record))
+        concurrent_record = run_concurrent_cell(quick=args.quick)
+        matrix["concurrent"] = concurrent_record
+        print(render_concurrent(concurrent_record))
     if args.out:
         Path(args.out).write_text(json.dumps(matrix, indent=2) + "\n")
     if baseline is not None:
@@ -295,6 +510,16 @@ def main(argv: list[str] | None = None) -> int:
                     f"baseline has no observability[{scale}] section")
             else:
                 problems.extend(compare_obs(obs_baseline, obs_record))
+        if session_record is not None:
+            problems.extend(compare_session(session_record))
+        if concurrent_record is not None:
+            concurrent_baseline = baseline.get("concurrent", {}).get(scale)
+            if concurrent_baseline is None:
+                problems.append(
+                    f"baseline has no concurrent[{scale}] section")
+            else:
+                problems.extend(compare_concurrent(concurrent_baseline,
+                                                   concurrent_record))
         if problems:
             print("\nREGRESSIONS:")
             for problem in problems:

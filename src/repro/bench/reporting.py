@@ -4,7 +4,8 @@ Usage::
 
     python -m repro.bench.reporting [--scale small|paper] [--out DIR]
 
-Runs the nine figure experiments (Figures 8/9 and 12-19) and writes
+Runs the figure experiments (Figures 8/9 and 12-19, plus the
+concurrent-workload sweep) and writes
 one text table per figure under ``--out`` (default
 ``benchmarks/results``), plus a combined ``all_figures.txt``.  The
 ``paper`` scale uses the paper's exact cardinalities and sweeps; the
@@ -30,6 +31,7 @@ from repro.bench import (
     fig17_partitioning_index,
     fig18_skew_overhead_degree,
     fig19_saved_time,
+    fig_concurrent,
 )
 from repro.bench.harness import ExperimentResult
 
@@ -67,6 +69,11 @@ EXPERIMENTS: list[tuple[str, Callable[[], ExperimentResult],
     ("fig19",
      fig19_saved_time.run,
      lambda: fig19_saved_time.run(degrees=(40, 100, 250, 500, 1000, 1500))),
+    ("fig_concurrent",
+     lambda: fig_concurrent.run(fig_concurrent.PAPER_CARD_A,
+                                fig_concurrent.PAPER_CARD_B,
+                                fig_concurrent.PAPER_DEGREE),
+     fig_concurrent.run),
 ]
 
 

@@ -11,12 +11,23 @@ from __future__ import annotations
 
 from repro.bench.harness import record_bench_run, record_runs_enabled
 from repro.bench.workloads import JoinDatabase
-from repro.engine.executor import ExecutionOptions, Executor, QuerySchedule
+from repro.engine.executor import (
+    ExecutionOptions,
+    Executor,
+    ObservabilityOptions,
+    QuerySchedule,
+)
 from repro.engine.metrics import QueryExecution
 from repro.lera.operators import JOIN_NESTED_LOOP
 from repro.lera.plans import assoc_join_plan, ideal_join_plan
 from repro.machine.machine import Machine
 from repro.scheduler.adaptive import AdaptiveScheduler
+from repro.workload.engine import (
+    QuerySubmission,
+    WorkloadExecutor,
+    WorkloadResult,
+)
+from repro.workload.options import WorkloadOptions
 
 #: The experiments reserve 70 of the KSR1's 72 processors (Section 5.5).
 RESERVED_PROCESSORS = 70
@@ -42,7 +53,8 @@ def run_ideal_join(database: JoinDatabase, threads: int,
     if strategy is not None:
         schedule = schedule.with_strategy("join", strategy)
     executor = Executor(machine, ExecutionOptions(
-        seed=seed, observe=observe or recording))
+        seed=seed,
+        observability=ObservabilityOptions(observe=observe or recording)))
     execution = executor.execute(plan, schedule)
     if recording:
         record_bench_run(execution, "ideal_join", threads=threads,
@@ -65,13 +77,60 @@ def run_assoc_join(database: JoinDatabase, threads: int,
     if strategy is not None:
         schedule = schedule.with_strategy("join", strategy)
     executor = Executor(machine, ExecutionOptions(
-        seed=seed, observe=observe or recording))
+        seed=seed,
+        observability=ObservabilityOptions(observe=observe or recording)))
     execution = executor.execute(plan, schedule)
     if recording:
         record_bench_run(execution, "assoc_join", threads=threads,
                          strategy=strategy or "default",
                          theta=database.theta, degree=database.degree)
     return execution
+
+
+def run_concurrent_workload(database: JoinDatabase, count: int,
+                            threads: int | None = None,
+                            machine: Machine | None = None,
+                            workload: WorkloadOptions | None = None,
+                            seed: int = 0,
+                            observe: bool = False) -> WorkloadResult:
+    """Execute *count* queries concurrently in one shared simulation.
+
+    The queries alternate the paper's two disciplines (triggered
+    IdealJoin, pipelined AssocJoin) over *database*, each scheduled
+    independently by the adaptive scheduler; the workload layer then
+    splits the machine across them and re-grants threads as they
+    complete.  With ``REPRO_RECORD_RUNS`` every per-query execution is
+    persisted to the diagnostics run registry, like the single-query
+    runners do.
+    """
+    machine = machine or default_machine()
+    recording = record_runs_enabled()
+    scheduler = AdaptiveScheduler(machine)
+    builders = (ideal_join_plan, assoc_join_plan)
+    submissions = []
+    for index in range(count):
+        builder = builders[index % len(builders)]
+        plan = builder(database.entry_a, database.entry_b, "key", "key")
+        schedule = scheduler.schedule(plan, threads)
+        submissions.append(QuerySubmission(f"q{index}", _compiled(plan),
+                                           schedule))
+    options = ExecutionOptions(
+        seed=seed,
+        observability=ObservabilityOptions(observe=observe or recording))
+    executor = WorkloadExecutor(machine, options, workload)
+    result = executor.execute(submissions)
+    if recording:
+        for tag in result.order:
+            record_bench_run(result.execution(tag), "concurrent",
+                             mpl=count, tag=tag,
+                             theta=database.theta, degree=database.degree)
+    return result
+
+
+def _compiled(plan):
+    """Wrap a bench plan for the workload engine (no row shaping)."""
+    from repro.compiler.parallelizer import CompiledQuery
+    return CompiledQuery(plan, None, None, "bench workload")
 
 
 def chain_ideal_time(execution: QueryExecution) -> float:

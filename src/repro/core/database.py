@@ -30,6 +30,8 @@ from repro.storage.fragment import Fragment
 from repro.storage.partitioning import PartitioningSpec
 from repro.storage.relation import Relation
 from repro.storage.schema import Schema
+from repro.workload.options import WorkloadOptions
+from repro.workload.session import Session
 
 
 class DBS3:
@@ -100,10 +102,27 @@ class DBS3:
         """Parse + optimize + parallelize without executing."""
         return compile_query(sql, self.catalog, algorithm)
 
+    def session(self, options: WorkloadOptions | None = None) -> Session:
+        """Open a multi-query session.
+
+        Queries submitted to the session (each with an optional
+        virtual-time arrival offset) execute concurrently in one
+        shared simulation: admission control bounds the
+        multiprogramming level, the scheduler's proportional-
+        complexity split divides the machine's threads across running
+        queries, and threads freed by a completing query are
+        re-granted to the rest mid-flight.
+        """
+        return Session(self, options)
+
     def query(self, sql: str, threads: int | None = None,
               algorithm: str = JOIN_NESTED_LOOP,
               schedule: QuerySchedule | None = None) -> QueryResult:
         """Run one SQL query end to end.
+
+        A thin wrapper over a one-query :meth:`session` — a lone
+        query executes bit-identically to the dedicated single-query
+        path (golden-trace tested).
 
         Args:
             sql: The query text (see :mod:`repro.compiler.parser` for
@@ -127,16 +146,10 @@ class DBS3:
 
     def _run(self, compiled: CompiledQuery, threads: int | None,
              schedule: QuerySchedule | None) -> QueryResult:
-        if schedule is None:
-            schedule = self.scheduler.schedule(compiled.plan, threads)
-        execution = self.executor.execute(compiled.plan, schedule)
-        rows = compiled.shape_rows(execution.result_rows)
-        return QueryResult(
-            rows=rows,
-            schema=compiled.final_schema,
-            execution=execution,
-            description=compiled.description,
-        )
+        session = self.session()
+        handle = session.submit_compiled(compiled, threads=threads,
+                                         schedule=schedule)
+        return handle.result()
 
     # -- introspection ----------------------------------------------------------------
 

@@ -19,6 +19,7 @@ from repro.engine.executor import (
     PLACEMENT_WARM,
     ExecutionOptions,
     Executor,
+    ObservabilityOptions,
     OperationSchedule,
     QuerySchedule,
 )
@@ -56,6 +57,7 @@ __all__ = [
     "JoinFunc",
     "LPT",
     "LPTStrategy",
+    "ObservabilityOptions",
     "OperationMetrics",
     "OperationRuntime",
     "OperationSchedule",

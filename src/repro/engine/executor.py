@@ -8,6 +8,7 @@ simulator wave by wave across the plan's chain DAG.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 
 from repro.engine.dbfuncs import make_dbfunc
@@ -83,20 +84,16 @@ class QuerySchedule:
 
 
 @dataclass(frozen=True)
-class ExecutionOptions:
-    """Executor knobs orthogonal to the schedule."""
+class ObservabilityOptions:
+    """What an execution records about itself.
 
-    placement: str = PLACEMENT_WARM
-    queue_capacity: int | None = None
-    seed: int = 0
+    Grouped out of :class:`ExecutionOptions` so workload-level options
+    can nest the same block instead of repeating the knobs.
+    """
+
     trace: bool = False
     """Record an :class:`~repro.engine.trace.ExecutionTrace` (one event
     per activation) exposed as ``QueryExecution.trace``."""
-    use_ready_index: bool = True
-    """Find candidate queues through the per-operation ready index
-    (O(log d) per step) instead of the legacy linear scan.  Both paths
-    produce identical virtual-time behaviour; the switch exists so the
-    golden-trace tests can prove it."""
     observe: bool = False
     """Attach an :class:`~repro.obs.bus.EventBus` to the execution:
     structured events, time-series probes and counters end up on
@@ -104,10 +101,72 @@ class ExecutionOptions:
     Implies span tracing, so ``QueryExecution.trace`` is also set.
     Virtual-time behaviour is unchanged; only wall clock pays."""
 
-    def __post_init__(self) -> None:
-        if self.placement not in PLACEMENTS:
+    @property
+    def enabled(self) -> bool:
+        return self.trace or self.observe
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """Executor knobs orthogonal to the schedule.
+
+    Observability flags live in the nested ``observability`` block;
+    the flat ``trace=``/``observe=`` keyword forms are still accepted
+    for compatibility but emit a :class:`DeprecationWarning`.
+    """
+
+    placement: str = PLACEMENT_WARM
+    queue_capacity: int | None = None
+    seed: int = 0
+    use_ready_index: bool = True
+    """Find candidate queues through the per-operation ready index
+    (O(log d) per step) instead of the legacy linear scan.  Both paths
+    produce identical virtual-time behaviour; the switch exists so the
+    golden-trace tests can prove it."""
+    observability: ObservabilityOptions = field(
+        default_factory=ObservabilityOptions)
+
+    def __init__(self, placement: str = PLACEMENT_WARM,
+                 queue_capacity: int | None = None, seed: int = 0,
+                 use_ready_index: bool = True,
+                 observability: ObservabilityOptions | None = None,
+                 trace: bool | None = None,
+                 observe: bool | None = None) -> None:
+        # A user-defined __init__ suppresses the generated one; the
+        # extra trace/observe parameters are the deprecated flat
+        # spelling of the observability block.
+        if trace is not None or observe is not None:
+            warnings.warn(
+                "ExecutionOptions(trace=..., observe=...) is deprecated; "
+                "pass observability=ObservabilityOptions(trace=..., "
+                "observe=...) instead",
+                DeprecationWarning, stacklevel=2)
+            if observability is not None:
+                raise ExecutionError(
+                    "pass either observability= or the deprecated flat "
+                    "trace=/observe= flags, not both")
+            observability = ObservabilityOptions(
+                trace=bool(trace), observe=bool(observe))
+        if observability is None:
+            observability = ObservabilityOptions()
+        if placement not in PLACEMENTS:
             raise ExecutionError(
-                f"unknown placement {self.placement!r}; expected {PLACEMENTS}")
+                f"unknown placement {placement!r}; expected {PLACEMENTS}")
+        object.__setattr__(self, "placement", placement)
+        object.__setattr__(self, "queue_capacity", queue_capacity)
+        object.__setattr__(self, "seed", seed)
+        object.__setattr__(self, "use_ready_index", use_ready_index)
+        object.__setattr__(self, "observability", observability)
+
+    # Read-only views of the nested block, so call sites can keep
+    # asking ``options.observe`` (non-annotated, hence not fields).
+    @property
+    def trace(self) -> bool:
+        return self.observability.trace
+
+    @property
+    def observe(self) -> bool:
+        return self.observability.observe
 
 
 class Executor:
@@ -123,23 +182,16 @@ class Executor:
     def execute(self, plan: LeraGraph, schedule: QuerySchedule) -> QueryExecution:
         """Run *plan* under *schedule*; returns results plus metrics."""
         plan.validate()
-        runtimes = self._build_runtimes(plan, schedule)
-        self._wire_pipelines(plan, runtimes)
-        startup = self._startup_time(runtimes, schedule)
+        runtimes = self.build_runtimes(plan, schedule)
+        self.wire_pipelines(plan, runtimes)
+        startup = self.startup_time(runtimes, schedule)
 
         bus = EventBus() if self.options.observe else None
-        if bus is not None:
-            # Queues feed the per-operation depth probe; attach before
-            # any trigger seeding enqueues.
-            for runtime in runtimes.values():
-                for queue in runtime.queues:
-                    queue.obs = bus
         tracer = (ExecutionTrace()
                   if self.options.trace or self.options.observe else None)
+        self.attach_observability(runtimes, bus, tracer)
         simulator = Simulator(self.machine, seed=self.options.seed,
-                              tracer=tracer,
-                              use_ready_index=self.options.use_ready_index,
-                              bus=bus)
+                              use_ready_index=self.options.use_ready_index)
         waves = plan.chain_waves()
         next_thread_id = 0
         current_time = startup
@@ -148,26 +200,10 @@ class Executor:
         for wave_index, wave in enumerate(waves):
             wave_ops = [runtimes[node.name]
                         for chain in wave for node in chain.nodes]
-            wave_threads = 0
-            for operation in wave_ops:
-                count = schedule.of(operation.name).threads
-                thread_ids = list(range(next_thread_id, next_thread_id + count))
-                next_thread_id += count
-                wave_threads += count
-                operation.build_pool(thread_ids, current_time)
-                if bus is not None:
-                    if operation.ready_index is not None:
-                        operation.ready_index.obs = bus
-                    bus.emit(OP_START, current_time, operation.name,
-                             threads=count, instances=operation.instances,
-                             strategy=operation.strategy.name,
-                             cache_size=operation.cache_size)
-                if operation.node.trigger_mode == TRIGGERED:
-                    operation.seed_triggers(current_time)
-                    if bus is not None:
-                        bus.emit(OP_SEED, current_time, operation.name,
-                                 count=operation.pending_activations)
-                self._place_segments(operation)
+            counts = {op.name: schedule.of(op.name).threads
+                      for op in wave_ops}
+            next_thread_id, wave_threads = self.prepare_wave(
+                wave_ops, counts, current_time, next_thread_id)
             max_wave_threads = max(max_wave_threads, wave_threads)
             max_dilation = max(max_dilation, self.machine.dilation(wave_threads))
             if bus is not None:
@@ -178,11 +214,6 @@ class Executor:
             if bus is not None:
                 bus.emit(WAVE_END, current_time, wave=wave_index)
 
-        result_rows = []
-        for node in plan.nodes:
-            runtime = runtimes[node.name]
-            if runtime.consumer is None:
-                result_rows.extend(runtime.result_rows)
         metrics = {name: OperationMetrics.of(rt) for name, rt in runtimes.items()}
         return QueryExecution(
             response_time=current_time,
@@ -190,15 +221,15 @@ class Executor:
             total_threads=max_wave_threads,
             dilation=max_dilation,
             operations=metrics,
-            result_rows=result_rows,
+            result_rows=self.collect_results(plan, runtimes),
             trace=tracer,
             obs=bus,
         )
 
-    # -- construction helpers ------------------------------------------------------
+    # -- construction helpers (shared with the workload engine) -----------------
 
-    def _build_runtimes(self, plan: LeraGraph,
-                        schedule: QuerySchedule) -> dict[str, OperationRuntime]:
+    def build_runtimes(self, plan: LeraGraph,
+                       schedule: QuerySchedule) -> dict[str, OperationRuntime]:
         runtimes: dict[str, OperationRuntime] = {}
         for node in plan.nodes:
             op_schedule = schedule.of(node.name)
@@ -217,8 +248,68 @@ class Executor:
             )
         return runtimes
 
-    def _wire_pipelines(self, plan: LeraGraph,
-                        runtimes: dict[str, OperationRuntime]) -> None:
+    def attach_observability(self, runtimes: dict[str, OperationRuntime],
+                             bus: EventBus | None,
+                             tracer: ExecutionTrace | None) -> None:
+        """Point every runtime (and its queues) at *bus*/*tracer*.
+
+        Must run before any trigger seeding so the queue-depth probe
+        sees the seeding enqueues.  In a workload each query gets its
+        own bus/tracer, which is what keeps per-query attribution
+        intact inside the shared simulation.
+        """
+        for runtime in runtimes.values():
+            runtime.bus = bus
+            runtime.tracer = tracer
+            if bus is not None:
+                for queue in runtime.queues:
+                    queue.obs = bus
+
+    def prepare_wave(self, wave_ops: list[OperationRuntime],
+                     counts: dict[str, int], start_time: float,
+                     next_thread_id: int) -> tuple[int, int]:
+        """Build pools and seed triggers for one wave of operations.
+
+        ``counts`` maps operation name to pool size (the scheduler's
+        per-operation allocation, possibly rescaled by a workload
+        grant).  Thread ids are handed out sequentially starting at
+        ``next_thread_id``; returns ``(next_thread_id, wave_threads)``.
+        """
+        wave_threads = 0
+        for operation in wave_ops:
+            count = counts[operation.name]
+            thread_ids = list(range(next_thread_id, next_thread_id + count))
+            next_thread_id += count
+            wave_threads += count
+            operation.build_pool(thread_ids, start_time)
+            bus = operation.bus
+            if bus is not None:
+                if operation.ready_index is not None:
+                    operation.ready_index.obs = bus
+                bus.emit(OP_START, start_time, operation.name,
+                         threads=count, instances=operation.instances,
+                         strategy=operation.strategy.name,
+                         cache_size=operation.cache_size)
+            if operation.node.trigger_mode == TRIGGERED:
+                operation.seed_triggers(start_time)
+                if bus is not None:
+                    bus.emit(OP_SEED, start_time, operation.name,
+                             count=operation.pending_activations)
+            self._place_segments(operation)
+        return next_thread_id, wave_threads
+
+    def collect_results(self, plan: LeraGraph,
+                        runtimes: dict[str, OperationRuntime]) -> list:
+        """Result rows of the plan: output of every consumer-less op."""
+        result_rows = []
+        for node in plan.nodes:
+            runtime = runtimes[node.name]
+            if runtime.consumer is None:
+                result_rows.extend(runtime.result_rows)
+        return result_rows
+
+    def wire_pipelines(self, plan: LeraGraph,
+                       runtimes: dict[str, OperationRuntime]) -> None:
         for edge in plan.edges:
             if edge.kind != PIPELINE:
                 continue
@@ -231,8 +322,8 @@ class Executor:
             producer.router = _router_for(consumer)
             consumer.producers_remaining += 1
 
-    def _startup_time(self, runtimes: dict[str, OperationRuntime],
-                      schedule: QuerySchedule) -> float:
+    def startup_time(self, runtimes: dict[str, OperationRuntime],
+                     schedule: QuerySchedule) -> float:
         """Sequential initialization: create threads and queues.
 
         "Before the execution takes place, a sequential initialization

@@ -74,6 +74,12 @@ class OperationRuntime:
         ]
         self.threads: list[WorkerThread] = []
         self.ready_index: ReadyIndex | None = None
+        #: Per-operation observability hooks (set by the executor).
+        #: Keeping them here — not on the simulator — is what lets a
+        #: shared workload simulation attribute every event to the
+        #: right query's bus/trace.
+        self.bus = None
+        self.tracer = None
         self.consumer: OperationRuntime | None = None
         self.router: Callable[[Row], int] | None = None
         self.producers_remaining = 0
@@ -138,6 +144,36 @@ class OperationRuntime:
                 queue.listener = None
         self.live_threads = pool_size
         self.started_at = start_time
+
+    def add_threads(self, thread_ids: list[int],
+                    now: float) -> list[WorkerThread]:
+        """Grow the pool mid-flight with helper threads (re-granted
+        processors from a completed query).
+
+        Helpers own no main queues — every queue of the operation was
+        already partitioned across the original pool — so they work
+        purely through secondary consumption, exactly like a pool
+        thread whose main queues have drained.  Requires
+        ``allow_secondary``; a static (Gamma-style) operation cannot
+        absorb helpers.
+        """
+        if not self.threads:
+            raise ExecutionError(
+                f"add_threads on unbuilt operation {self.name!r}")
+        if not self.allow_secondary:
+            raise ExecutionError(
+                f"operation {self.name!r} forbids secondary consumption; "
+                f"helper threads would spin forever")
+        new_threads = []
+        for tid in thread_ids:
+            thread = WorkerThread(tid, len(self.threads), self, now)
+            thread.assign_main_queues([])
+            self.threads.append(thread)
+            new_threads.append(thread)
+            if self.ready_index is not None:
+                self.ready_index.add_pool_slot()
+        self.live_threads += len(new_threads)
+        return new_threads
 
     # -- input lifecycle --------------------------------------------------------
 

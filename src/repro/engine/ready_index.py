@@ -126,6 +126,18 @@ class ReadyIndex:
         if self._track_global:
             self._ready[_GLOBAL].discard(instance)
 
+    def add_pool_slot(self) -> None:
+        """Register one more pool slot (a helper thread with no mains).
+
+        The operation-wide structure must stay at list index -1 (the
+        :data:`_GLOBAL` convention), so the fresh empty slot is
+        inserted just before it.  The helper owns no main queues,
+        hence empty structures and a zero main count.
+        """
+        self._heaps.insert(-1, [])
+        self._ready.insert(-1, set())
+        self._mains_per_pool.append(0)
+
     # -- queries ---------------------------------------------------------------
 
     def _ready_in(self, pool: int, now: float) -> list[int]:

@@ -22,12 +22,23 @@ straggler finishing the last expensive activation runs at full speed,
 exactly as on the real machine.  With no over-subscription the
 dilation is identically 1 and whole activations are charged in one
 step (fast path).
+
+One simulator instance models one machine, and the event heap is
+shared: a *workload* of several queries runs by admitting each query's
+operations into the same loop (:meth:`Simulator.add_operations`,
+possibly at different virtual times) and letting their threads
+interleave — the dilation then follows the combined active thread
+count, which is exactly how concurrent queries contend on the real
+machine.  The classic single-query entry point,
+:meth:`Simulator.run_wave`, is the special case that admits one wave
+and drains the loop to completion.
 """
 
 from __future__ import annotations
 
 import heapq
 import random
+from typing import Callable
 
 from repro.engine.dbfuncs import ExecContext, ProcessResult
 from repro.engine.operation import OperationRuntime
@@ -39,7 +50,6 @@ from repro.engine.threads import (
     WAITING,
     WorkerThread,
 )
-from repro.engine.trace import ExecutionTrace
 from repro.errors import ExecutionError
 from repro.obs.bus import (
     BLOCK,
@@ -72,25 +82,32 @@ class _WorkInProgress:
 
 
 class Simulator:
-    """Runs one *wave* of concurrently executing operations to completion."""
+    """Runs operations of one (or several) queries to completion."""
 
     def __init__(self, machine: Machine, seed: int = 0,
-                 tracer: ExecutionTrace | None = None,
-                 use_ready_index: bool = True, bus=None) -> None:
+                 use_ready_index: bool = True) -> None:
         self.machine = machine
         self.rng = random.Random(seed)
-        self.tracer = tracer
-        #: Observability bus (:class:`repro.obs.bus.EventBus`) or
-        #: ``None``.  Every emission site is guarded by one
-        #: ``is not None`` check so the disabled hot path stays flat.
-        self.bus = bus
         #: When False, candidate queues are found by the legacy linear
         #: scan instead of the per-operation ready index.  Both paths
         #: are virtual-time identical (the golden-trace tests pin
         #: this); the flag exists so the equivalence stays testable.
         self.use_ready_index = use_ready_index
+        #: Invoked as ``callback(operation, thread)`` right after an
+        #: operation's last thread terminates (``finished_at`` is set,
+        #: downstream input-close already handled).  The workload
+        #: engine hooks query-completion bookkeeping — next-wave
+        #: admission, thread re-granting — in here; ``None`` for plain
+        #: single-query execution.
+        self.on_operation_complete: Callable[
+            [OperationRuntime, WorkerThread], None] | None = None
+        self._heap: list[tuple[float, int, WorkerThread]] = []
         self._seq = 0
         self._active = 0
+        #: Unfinished threads currently admitted (active + waiting +
+        #: blocked).  Drives the over-subscription (slicing) decision;
+        #: ``_active`` alone drives the dilation.
+        self._live = 0
         self._sliced = False
         # Per-thread slicing state, keyed by thread id.
         self._in_progress: dict[int, _WorkInProgress] = {}
@@ -106,24 +123,8 @@ class Simulator:
         operation finish).  Raises :class:`ExecutionError` on deadlock
         (threads parked forever — indicates a wiring bug).
         """
-        heap: list[tuple[float, int, WorkerThread]] = []
-        total_threads = 0
-        for operation in operations:
-            for thread in operation.threads:
-                self._push(heap, thread)
-                total_threads += 1
-        self._active = total_threads
-        self._sliced = total_threads > self.machine.processors
-        if self.bus is not None and operations:
-            self.bus.sample_active(operations[0].started_at, self._active)
-        while heap:
-            _, _, thread = heapq.heappop(heap)
-            if thread.state != RUNNABLE:
-                continue
-            if self._sliced and thread.thread_id in self._in_progress:
-                self._advance_slice(thread, heap)
-            else:
-                self._step(thread, heap)
+        self.add_operations(operations)
+        self.run()
         stuck = [op.name for op in operations if not op.complete]
         if stuck:
             raise ExecutionError(
@@ -132,40 +133,106 @@ class Simulator:
         return max(op.finished_at for op in operations
                    if op.finished_at is not None)
 
+    def add_operations(self, operations: list[OperationRuntime]) -> None:
+        """Admit built operations into the event loop.
+
+        Their threads join the shared heap; the over-subscription mode
+        is re-evaluated against the combined live thread count.  Safe
+        to call mid-run (from an operation-complete callback): new
+        threads start at their pool's build time, which can never lie
+        in the past of the event being processed.
+        """
+        added = 0
+        for operation in operations:
+            for thread in operation.threads:
+                if thread.finished_at is None:
+                    self._push(thread)
+                    added += 1
+        self._active += added
+        self._live += added
+        self._sliced = self._live > self.machine.processors
+        if operations:
+            bus = operations[0].bus
+            if bus is not None:
+                bus.sample_active(operations[0].started_at, self._active)
+
+    def add_threads(self, operation: OperationRuntime,
+                    threads: list[WorkerThread]) -> None:
+        """Admit freshly granted helper threads of an existing operation.
+
+        Used by the workload engine's dynamic reallocation: when a
+        query completes, its processors are re-granted to the remaining
+        queries as extra pool threads, mid-wave.
+        """
+        for thread in threads:
+            self._push(thread)
+        self._active += len(threads)
+        self._live += len(threads)
+        self._sliced = self._live > self.machine.processors
+        bus = operation.bus
+        if bus is not None and threads:
+            bus.sample_active(threads[0].started_at, self._active)
+
+    def run(self, until: float | None = None) -> float | None:
+        """Drain the event loop, optionally pausing at a time boundary.
+
+        Processes events while the earliest pending clock is <=
+        *until* (all of them when ``None``).  Returns the clock of the
+        first unprocessed event, or ``None`` when the heap drained —
+        the workload engine uses the boundary to interleave query
+        arrivals with the running simulation.
+        """
+        heap = self._heap
+        while heap:
+            if until is not None and heap[0][0] > until:
+                return heap[0][0]
+            _, _, thread = heapq.heappop(heap)
+            if thread.state != RUNNABLE:
+                continue
+            if thread.thread_id in self._in_progress:
+                self._advance_slice(thread)
+            else:
+                self._step(thread)
+        return None
+
+    @property
+    def idle(self) -> bool:
+        """True when no runnable event is pending."""
+        return not self._heap
+
     # -- scheduling internals ---------------------------------------------------
 
-    def _push(self, heap: list, thread: WorkerThread) -> None:
-        heapq.heappush(heap, (thread.clock, self._seq, thread))
+    def _push(self, thread: WorkerThread) -> None:
+        heapq.heappush(self._heap, (thread.clock, self._seq, thread))
         self._seq += 1
 
     def _dilation(self) -> float:
         return self.machine.dilation(self._active)
 
-    def _wake_one(self, operation: OperationRuntime, heap: list) -> None:
+    def _wake_one(self, operation: OperationRuntime) -> None:
         """Signal one waiting consumer thread (condition-variable style)."""
         thread = operation.waiting_threads.popleft()
         thread.state = RUNNABLE
         self._active += 1
-        self._push(heap, thread)
-        if self.bus is not None:
+        self._push(thread)
+        if operation.bus is not None:
             # Sampled at the woken thread's (parked) clock — it will
             # jump forward when the thread next steps.
-            self.bus.sample_active(thread.clock, self._active)
+            operation.bus.sample_active(thread.clock, self._active)
 
-    def _wake_all(self, operation: OperationRuntime, heap: list) -> None:
+    def _wake_all(self, operation: OperationRuntime) -> None:
         """Broadcast: input closed, every parked thread must re-check."""
         while operation.waiting_threads:
-            self._wake_one(operation, heap)
+            self._wake_one(operation)
 
-    def _wake_blocked(self, queue: ActivationQueue, at_time: float,
-                      heap: list) -> None:
+    def _wake_blocked(self, queue: ActivationQueue, at_time: float) -> None:
         """Un-block producers once *queue* dropped below capacity."""
-        bus = self.bus
         for producer in queue.blocked_producers:
             producer.state = RUNNABLE
             self._active += 1
             producer.wait_until(at_time)
-            self._push(heap, producer)
+            self._push(producer)
+            bus = producer.operation.bus
             if bus is not None:
                 bus.emit(UNBLOCK, at_time, producer.operation.name,
                          producer.thread_id, queue=queue.operation_name,
@@ -215,7 +282,7 @@ class Simulator:
             used_secondary = True
         return ready, polls, future, used_secondary
 
-    def _step(self, thread: WorkerThread, heap: list) -> None:
+    def _step(self, thread: WorkerThread) -> None:
         operation = thread.operation
         costs = self.machine.costs
         dilation = self._dilation()
@@ -240,15 +307,15 @@ class Simulator:
                     thread, operation.allow_secondary)
             if future is not None:
                 thread.wait_until(future)
-                self._push(heap, thread)
+                self._push(thread)
             elif not operation.input_closed:
                 thread.state = WAITING
                 self._active -= 1
                 operation.waiting_threads.append(thread)
-                if self.bus is not None:
-                    self.bus.sample_active(thread.clock, self._active)
+                if operation.bus is not None:
+                    operation.bus.sample_active(thread.clock, self._active)
             else:
-                self._finish_thread(thread, heap)
+                self._finish_thread(thread)
             return
 
         queue = operation.strategy.choose(self.rng, ready)
@@ -260,29 +327,28 @@ class Simulator:
         if secondary:
             access_cost += costs.secondary_access
             operation.secondary_accesses += 1
-        if self.bus is not None:
-            self.bus.emit(DEQUEUE, thread.clock, operation.name,
-                          thread.thread_id, instance=queue.instance,
-                          count=len(batch), secondary=secondary)
+        if operation.bus is not None:
+            operation.bus.emit(DEQUEUE, thread.clock, operation.name,
+                               thread.thread_id, instance=queue.instance,
+                               count=len(batch), secondary=secondary)
         thread.advance(access_cost * dilation, busy=True)
         if queue.blocked_producers and not queue.over_capacity:
-            self._wake_blocked(queue, thread.clock, heap)
+            self._wake_blocked(queue, thread.clock)
 
         if self._sliced:
             # Start the first activation; the rest of the batch (and
             # the back-pressure check) continue in _advance_slice.
             self._pending_batch[thread.thread_id] = list(batch)
             self._begin_activation(thread)
-            self._push(heap, thread)
+            self._push(thread)
             return
 
         filled: set[int] = set()
         for activation in batch:
-            self._charge_whole(thread, activation, heap, filled)
-        self._after_batch(thread, heap, filled)
+            self._charge_whole(thread, activation, filled)
+        self._after_batch(thread, filled)
 
-    def _after_batch(self, thread: WorkerThread, heap: list,
-                     filled: set[int]) -> None:
+    def _after_batch(self, thread: WorkerThread, filled: set[int]) -> None:
         """Back-pressure check once a batch is fully processed."""
         consumer = thread.operation.consumer
         if consumer is not None:
@@ -292,27 +358,29 @@ class Simulator:
                     thread.state = BLOCKED
                     self._active -= 1
                     target.blocked_producers.append(thread)
-                    if self.bus is not None:
-                        self.bus.emit(BLOCK, thread.clock,
-                                      thread.operation.name,
-                                      thread.thread_id,
-                                      target=consumer.name,
-                                      instance=instance)
-                        self.bus.sample_active(thread.clock, self._active)
+                    bus = thread.operation.bus
+                    if bus is not None:
+                        bus.emit(BLOCK, thread.clock,
+                                 thread.operation.name,
+                                 thread.thread_id,
+                                 target=consumer.name,
+                                 instance=instance)
+                        bus.sample_active(thread.clock, self._active)
                     return
-        self._push(heap, thread)
+        self._push(thread)
 
     # -- whole-activation path (no over-subscription) ------------------------------
 
     def _charge_whole(self, thread: WorkerThread, activation: Activation,
-                      heap: list, filled: set[int]) -> None:
+                      filled: set[int]) -> None:
         result = self._run_dbfunc(thread, activation)
         start = thread.clock
         thread.advance(self._total_cost(thread.operation, result), busy=True)
-        if self.tracer is not None:
-            self.tracer.record(thread.thread_id, thread.operation.name,
-                               "activation", start, thread.clock)
-        self._deliver(thread, result, start, heap, filled)
+        if thread.operation.tracer is not None:
+            thread.operation.tracer.record(
+                thread.thread_id, thread.operation.name,
+                "activation", start, thread.clock)
+        self._deliver(thread, result, start, filled)
 
     # -- sliced path (over-subscription possible) ------------------------------------
 
@@ -326,32 +394,33 @@ class Simulator:
         self._in_progress[thread.thread_id] = _WorkInProgress(
             result, thread.clock, total)
 
-    def _advance_slice(self, thread: WorkerThread, heap: list) -> None:
+    def _advance_slice(self, thread: WorkerThread) -> None:
         work = self._in_progress[thread.thread_id]
         slice_cost = min(work.remaining, work.slice)
         thread.advance(slice_cost * self._dilation(), busy=True)
         work.remaining -= slice_cost
         if work.remaining > 1e-15:
-            self._push(heap, thread)
+            self._push(thread)
             return
         del self._in_progress[thread.thread_id]
-        if self.tracer is not None:
-            self.tracer.record(thread.thread_id, thread.operation.name,
-                               "activation", work.started_at, thread.clock)
+        if thread.operation.tracer is not None:
+            thread.operation.tracer.record(
+                thread.thread_id, thread.operation.name,
+                "activation", work.started_at, thread.clock)
         filled: set[int] = set()
-        self._deliver(thread, work.result, work.started_at, heap, filled)
+        self._deliver(thread, work.result, work.started_at, filled)
         if self._pending_batch.get(thread.thread_id):
             # Back-pressure is only checked between batches, matching
             # the whole-activation path.
             self._begin_activation(thread)
-            self._push(heap, thread)
+            self._push(thread)
             return
         self._pending_batch.pop(thread.thread_id, None)
-        self._after_batch(thread, heap, filled)
+        self._after_batch(thread, filled)
 
     # -- shared activation machinery ----------------------------------------------
 
-    def _finalize_operation(self, thread: WorkerThread, heap: list) -> None:
+    def _finalize_operation(self, thread: WorkerThread) -> None:
         """End-of-input emission, executed once by the last live thread."""
         operation = thread.operation
         operation.finalized = True
@@ -365,18 +434,18 @@ class Simulator:
             operation.finalize_cost += result.cost
             started_at = thread.clock
             thread.advance(result.cost * self._dilation(), busy=True)
-            if self.tracer is not None:
-                self.tracer.record(thread.thread_id, operation.name,
-                                   "finalize", started_at, thread.clock)
-            if self.bus is not None:
-                self.bus.emit(OP_FINALIZE, thread.clock, operation.name,
-                              thread.thread_id, instance=instance,
-                              cost=result.cost)
+            if operation.tracer is not None:
+                operation.tracer.record(thread.thread_id, operation.name,
+                                        "finalize", started_at, thread.clock)
+            if operation.bus is not None:
+                operation.bus.emit(OP_FINALIZE, thread.clock, operation.name,
+                                   thread.thread_id, instance=instance,
+                                   cost=result.cost)
                 if ctx.penalty:
-                    self.bus.add_memory_penalty(
+                    operation.bus.add_memory_penalty(
                         thread.clock, operation.name, thread.thread_id,
                         ctx.penalty)
-            self._deliver(thread, result, started_at, heap, filled)
+            self._deliver(thread, result, started_at, filled)
 
     def _run_dbfunc(self, thread: WorkerThread,
                     activation: Activation) -> ProcessResult:
@@ -386,9 +455,9 @@ class Simulator:
         operation.activation_costs.append(result.cost)
         operation.activation_outputs.append(len(result.emitted))
         operation.memory_penalty += ctx.penalty
-        if ctx.penalty and self.bus is not None:
-            self.bus.add_memory_penalty(thread.clock, operation.name,
-                                        thread.thread_id, ctx.penalty)
+        if ctx.penalty and operation.bus is not None:
+            operation.bus.add_memory_penalty(thread.clock, operation.name,
+                                             thread.thread_id, ctx.penalty)
         return result
 
     def _total_cost(self, operation: OperationRuntime,
@@ -399,7 +468,7 @@ class Simulator:
         return cost
 
     def _deliver(self, thread: WorkerThread, result: ProcessResult,
-                 started_at: float, heap: list, filled: set[int]) -> None:
+                 started_at: float, filled: set[int]) -> None:
         """Route (or collect) an activation's output rows.
 
         Tuples become visible progressively across the activation's
@@ -432,10 +501,10 @@ class Simulator:
             filled.add(instance)
         consumer.pending_activations += count
         operation.enqueues += count
-        if self.bus is not None:
-            self.bus.emit(ENQUEUE, thread.clock, operation.name,
-                          thread.thread_id, consumer=consumer.name,
-                          count=count)
+        if operation.bus is not None:
+            operation.bus.emit(ENQUEUE, thread.clock, operation.name,
+                               thread.thread_id, consumer=consumer.name,
+                               count=count)
         # Batched wakeups: the legacy loop woke one waiting consumer
         # after each enqueue; since nothing else touches the event heap
         # in between, waking min(count, waiting) threads afterwards
@@ -443,34 +512,38 @@ class Simulator:
         waiting = len(consumer.waiting_threads)
         if waiting:
             for _ in range(waiting if waiting < count else count):
-                self._wake_one(consumer, heap)
+                self._wake_one(consumer)
 
-    def _finish_thread(self, thread: WorkerThread, heap: list) -> None:
+    def _finish_thread(self, thread: WorkerThread) -> None:
         operation = thread.operation
         if operation.live_threads == 1 and not operation.finalized:
             # Last thread standing: run the operator's end-of-input
             # behaviour (aggregate emission) before terminating.
-            self._finalize_operation(thread, heap)
+            self._finalize_operation(thread)
         thread.state = FINISHED
         thread.finished_at = thread.clock
         self._active -= 1
+        self._live -= 1
         operation.live_threads -= 1
-        if self.bus is not None:
-            self.bus.emit(THREAD_FINISH, thread.clock, operation.name,
-                          thread.thread_id)
-            self.bus.sample_active(thread.clock, self._active)
+        if operation.bus is not None:
+            operation.bus.emit(THREAD_FINISH, thread.clock, operation.name,
+                               thread.thread_id)
+            operation.bus.sample_active(thread.clock, self._active)
         if operation.live_threads > 0:
             return
         operation.finished_at = max(
             t.finished_at for t in operation.threads
             if t.finished_at is not None)
-        if self.bus is not None:
-            self.bus.emit(OP_FINISH, operation.finished_at, operation.name,
-                          threads=len(operation.threads),
-                          activations=len(operation.activation_costs))
+        if operation.bus is not None:
+            operation.bus.emit(OP_FINISH, operation.finished_at,
+                               operation.name,
+                               threads=len(operation.threads),
+                               activations=len(operation.activation_costs))
         consumer = operation.consumer
         if consumer is not None:
             consumer.producers_remaining -= 1
             if consumer.producers_remaining <= 0:
                 consumer.close_input()
-                self._wake_all(consumer, heap)
+                self._wake_all(consumer)
+        if self.on_operation_complete is not None:
+            self.on_operation_complete(operation, thread)

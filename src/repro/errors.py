@@ -43,3 +43,11 @@ class CompilationError(ReproError):
 
 class MachineError(ReproError):
     """Invalid machine model configuration."""
+
+
+class WorkloadError(ReproError):
+    """A multi-query workload is misconfigured or cannot make progress."""
+
+
+class AdmissionError(WorkloadError):
+    """The admission controller can never admit a submitted query."""

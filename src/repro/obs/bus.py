@@ -52,9 +52,19 @@ UNBLOCK = "queue.unblock"
 THREAD_FINISH = "thread.finish"
 MEMORY = "memory.penalty"
 
+#: Workload (multi-query) lifecycle.  These appear on the *workload*
+#: bus, which tags every record with the query's name; the per-query
+#: buses carry the ordinary event kinds above, exactly as in a
+#: single-query run.
+QUERY_SUBMIT = "query.submit"    # entered the admission queue
+QUERY_ADMIT = "query.admit"      # passed admission, starts executing
+QUERY_GRANT = "query.grant"      # (re)granted a thread budget
+QUERY_FINISH = "query.finish"    # last operation finished
+
 EVENT_KINDS = (
     WAVE_START, WAVE_END, OP_START, OP_SEED, OP_FINALIZE, OP_FINISH,
     ENQUEUE, DEQUEUE, BLOCK, UNBLOCK, THREAD_FINISH, MEMORY,
+    QUERY_SUBMIT, QUERY_ADMIT, QUERY_GRANT, QUERY_FINISH,
 )
 
 #: Scalar-counter name prefixes (ready-index churn).

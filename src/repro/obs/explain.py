@@ -17,14 +17,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-#: The four decision steps, in top-down order.
+#: The four decision steps, in top-down order.  The workload layer
+#: adds a "step 0" above them: the split of the machine's thread
+#: budget across concurrently running queries.
+STEP_QUERY_SPLIT = "query_split"         # step 0: threads per running query
 STEP_THREAD_COUNT = "thread_count"       # step 1: query degree of parallelism
 STEP_CHAIN_SPLIT = "chain_split"         # step 2: threads per chain
 STEP_OPERATION_SPLIT = "operation_split" # step 3: threads per operator
 STEP_STRATEGY = "strategy"               # step 4: consumption strategy
 
-STEPS = (STEP_THREAD_COUNT, STEP_CHAIN_SPLIT, STEP_OPERATION_SPLIT,
-         STEP_STRATEGY)
+#: The four per-query steps (what one ``schedule()`` call records).
+STEPS = (STEP_THREAD_COUNT, STEP_CHAIN_SPLIT,
+         STEP_OPERATION_SPLIT, STEP_STRATEGY)
+
+#: All steps including the workload-level step 0 (render order).
+ALL_STEPS = (STEP_QUERY_SPLIT,) + STEPS
 
 
 @dataclass(frozen=True)
@@ -82,13 +89,14 @@ class ScheduleExplanation:
     def render(self) -> str:
         """Human-readable report, one block per step."""
         titles = {
+            STEP_QUERY_SPLIT: "step 0 — threads per running query",
             STEP_THREAD_COUNT: "step 1 — query thread count",
             STEP_CHAIN_SPLIT: "step 2 — threads per chain",
             STEP_OPERATION_SPLIT: "step 3 — threads per operator",
             STEP_STRATEGY: "step 4 — consumption strategy",
         }
         lines = ["schedule explanation:"]
-        for step in STEPS:
+        for step in ALL_STEPS:
             decisions = self.for_step(step)
             if not decisions:
                 continue

@@ -114,6 +114,90 @@ def _largest_remainder(total: int, weights: list[float],
     return shares
 
 
+def allocate_to_queries(budget: int, demands: list[int],
+                        complexities: list[float],
+                        labels: list[str] | None = None,
+                        explain: "ScheduleExplanation | None" = None
+                        ) -> list[int]:
+    """Workload step 0: split the machine's budget across running queries.
+
+    The same proportional-complexity equation system the paper applies
+    across subqueries (step 2), lifted one level: each *running* query
+    is weighted by its estimated remaining complexity, and its grant is
+    capped at its *demand* — the thread count its own four-step
+    schedule asked for — because threads beyond the demand would sit
+    idle in pools the query never builds.
+
+    A lone query always receives its full demand, whatever the budget:
+    this is the rule that makes the single-query path of the workload
+    engine coincide exactly with :class:`~repro.engine.executor
+    .Executor` (the golden-trace parity the Session API promises).
+
+    Args:
+        budget: Machine thread budget to distribute (>= 1).
+        demands: Per-query demanded thread count (each >= 1).
+        complexities: Per-query estimated complexity weights.
+        labels: Optional per-query names for the explanation record.
+        explain: Optional decision recorder (purely passive).
+
+    Returns:
+        Per-query grants, aligned with *demands*; each grant is in
+        ``[1, demand]`` and the grants sum to at most
+        ``max(budget, len(demands))`` (never less when demand allows).
+    """
+    count = len(demands)
+    if count == 0:
+        raise SchedulerError("nothing to allocate to")
+    if len(complexities) != count:
+        raise SchedulerError(
+            f"{count} demands but {len(complexities)} complexities")
+    if budget < 1:
+        raise SchedulerError(f"budget must be >= 1, got {budget}")
+    for demand in demands:
+        if demand < 1:
+            raise SchedulerError(f"demands must be >= 1, got {demand}")
+
+    if count == 1:
+        grants = [demands[0]]
+    else:
+        # Water-filling: proportional shares, demand caps, surplus
+        # redistributed among the still-uncapped queries.
+        grants = [0] * count
+        open_queries = list(range(count))
+        remaining = budget
+        while open_queries:
+            shares = _largest_remainder(
+                remaining, [complexities[i] for i in open_queries])
+            capped = [(i, share) for i, share in zip(open_queries, shares)
+                      if share >= demands[i]]
+            if not capped:
+                for i, share in zip(open_queries, shares):
+                    grants[i] = share
+                break
+            for i, _ in capped:
+                grants[i] = demands[i]
+                remaining -= demands[i]
+            open_queries = [i for i in open_queries if grants[i] == 0]
+            if remaining < len(open_queries):
+                # Budget exhausted by the caps: floor of one each.
+                for i in open_queries:
+                    grants[i] = 1
+                break
+    if explain is not None:
+        from repro.obs.explain import STEP_QUERY_SPLIT
+        total_weight = sum(complexities)
+        for i, grant in enumerate(grants):
+            target = labels[i] if labels is not None else f"query:{i}"
+            explain.record(
+                STEP_QUERY_SPLIT, target, grant,
+                ("lone running query: full demand" if count == 1
+                 else "complexity share of the machine budget, "
+                      "capped at demand"),
+                budget=budget, demand=demands[i],
+                complexity=complexities[i], total_complexity=total_weight)
+    return grants
+
+
 def allocate_to_chains(plan: LeraGraph, total_threads: int,
                        costs: CostModel,
                        explain: "ScheduleExplanation | None" = None

@@ -1,0 +1,42 @@
+"""Multi-query workloads: several queries in one shared simulation.
+
+The single-query :class:`~repro.engine.executor.Executor` stops the
+paper's adaptivity story at the query boundary.  This package lifts it
+one level: an admission controller bounds how many queries run at
+once, the four-step scheduler's proportional-complexity split is
+applied *across* running queries ("step 0"), and — the paper's dynamic
+allocation, generalized inter-query — threads freed by a completing
+query are re-granted to the remaining ones mid-flight.
+
+Public face: :class:`~repro.workload.session.Session` /
+:class:`~repro.workload.session.QueryHandle`, reachable through
+``DBS3.session()``.  A lone submitted query executes bit-identically
+to ``Executor.execute`` (golden-trace tested), so ``db.query()`` is a
+thin wrapper over a one-query session.
+"""
+
+from repro.workload.engine import (
+    QuerySubmission,
+    WorkloadExecutor,
+    WorkloadResult,
+)
+from repro.workload.options import WorkloadOptions
+from repro.workload.session import (
+    DONE,
+    FAILED,
+    PENDING,
+    QueryHandle,
+    Session,
+)
+
+__all__ = [
+    "DONE",
+    "FAILED",
+    "PENDING",
+    "QueryHandle",
+    "QuerySubmission",
+    "Session",
+    "WorkloadExecutor",
+    "WorkloadOptions",
+    "WorkloadResult",
+]

@@ -1,0 +1,96 @@
+"""Admission control for multi-query workloads.
+
+Two gates, checked in FIFO order over the arrival queue:
+
+* a **concurrency bound** (``max_concurrent``): the classic
+  multiprogramming-level limit — beyond it, extra queries only add
+  dilation and start-up cost without adding throughput;
+* a **memory footprint gate** (``memory_limit_bytes``): the estimated
+  stored-data footprint of every *running* query plus the candidate
+  must fit the budget, mirroring how a real system reserves buffer
+  space per operator tree before letting a query run.
+
+The footprint estimate is static — the sum of the data segments every
+operator instance declares it will read
+(:meth:`~repro.engine.dbfuncs.DBFunc.segments`) — so admission is
+decidable at submit time: a query whose lone footprint exceeds the
+budget can *never* be admitted and raises :class:`~repro.errors
+.AdmissionError` instead of queueing forever.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.engine.dbfuncs import make_dbfunc
+from repro.errors import AdmissionError
+from repro.lera.graph import LeraGraph
+from repro.machine.costs import CostModel
+from repro.workload.options import WorkloadOptions
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.engine.operation import OperationRuntime
+
+
+def runtime_footprint(runtimes: "dict[str, OperationRuntime]") -> int:
+    """Estimated stored-data bytes the built runtimes will read."""
+    total = 0
+    for runtime in runtimes.values():
+        for instance in range(runtime.instances):
+            for _key, size in runtime.dbfunc.segments(instance):
+                total += size
+    return total
+
+
+def plan_footprint(plan: LeraGraph, costs: CostModel) -> int:
+    """Estimated stored-data bytes of *plan* (no runtimes needed).
+
+    Builds throwaway dbfuncs to ask each operator for its segments;
+    used by the Session API to fail an impossible submission eagerly.
+    """
+    total = 0
+    for node in plan.nodes:
+        dbfunc = make_dbfunc(node.spec, costs)
+        for instance in range(node.instances):
+            for _key, size in dbfunc.segments(instance):
+                total += size
+    return total
+
+
+class AdmissionController:
+    """Tracks running capacity and decides who may enter, FIFO.
+
+    The controller is deliberately order-preserving: the head of the
+    queue is admitted or nobody is, so a small query can never
+    starve a large one by slipping past it (no convoy re-ordering).
+    """
+
+    def __init__(self, options: WorkloadOptions) -> None:
+        self.options = options
+        self.running_count = 0
+        self.used_bytes = 0
+
+    def check_admissible(self, tag: str, footprint: int) -> None:
+        """Raise :class:`AdmissionError` if *footprint* can never fit."""
+        limit = self.options.memory_limit_bytes
+        if limit is not None and footprint > limit:
+            raise AdmissionError(
+                f"query {tag!r} needs {footprint} bytes but the workload "
+                f"memory limit is {limit}; it can never be admitted")
+
+    def fits(self, footprint: int) -> bool:
+        """Would a query with *footprint* fit right now?"""
+        if self.running_count >= self.options.max_concurrent:
+            return False
+        limit = self.options.memory_limit_bytes
+        if limit is not None and self.used_bytes + footprint > limit:
+            return False
+        return True
+
+    def acquire(self, footprint: int) -> None:
+        self.running_count += 1
+        self.used_bytes += footprint
+
+    def release(self, footprint: int) -> None:
+        self.running_count -= 1
+        self.used_bytes -= footprint

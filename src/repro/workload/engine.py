@@ -1,0 +1,453 @@
+"""The multi-query workload engine.
+
+Admits several compiled queries into **one** shared virtual-time
+simulation.  Each query keeps its own plan, schedule, observability
+bus and trace; the machine — processors, dilation, the event heap —
+is shared, so concurrent queries contend exactly the way the paper's
+threads do inside one query.
+
+Life of a query here:
+
+1. **submit** at its arrival offset; it enters the FIFO admission
+   queue (:class:`~repro.workload.admission.AdmissionController`).
+2. **admit** when capacity and the memory gate allow; its sequential
+   initialization is charged on the single init thread (start-ups of
+   co-arriving queries serialize, as in the single-query executor).
+3. **grant**: "step 0" — :func:`~repro.scheduler.allocation
+   .allocate_to_queries` splits the machine's thread budget across
+   running queries by estimated complexity, capped at each query's
+   own demand.  A lone query gets its full demand, which is what
+   makes the one-query path bit-identical to
+   :class:`~repro.engine.executor.Executor` (golden-trace tested).
+4. **waves** run through the shared simulator; each wave's
+   per-operation split rescales the query's own schedule to its
+   current grant (largest-remainder, the paper's step-3 rule).
+5. **re-grant**: when a query completes, the freed capacity is
+   redistributed; with ``rebalance`` on, still-running queries grow
+   their *current* wave mid-flight with helper threads (pure
+   secondary consumers — the paper's dynamic allocation generalized
+   across queries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.parallelizer import CompiledQuery
+from repro.engine.executor import ExecutionOptions, Executor, QuerySchedule
+from repro.engine.metrics import OperationMetrics, QueryExecution
+from repro.engine.operation import OperationRuntime
+from repro.engine.simulator import Simulator
+from repro.engine.threads import WorkerThread
+from repro.engine.trace import ExecutionTrace
+from repro.errors import AdmissionError, WorkloadError
+from repro.machine.machine import Machine
+from repro.obs.bus import (
+    QUERY_ADMIT,
+    QUERY_FINISH,
+    QUERY_GRANT,
+    QUERY_SUBMIT,
+    WAVE_END,
+    WAVE_START,
+    EventBus,
+)
+from repro.scheduler.allocation import _largest_remainder, allocate_to_queries
+from repro.scheduler.complexity import query_complexity
+from repro.workload.admission import AdmissionController, runtime_footprint
+from repro.workload.options import WorkloadOptions
+
+#: Job states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+
+
+@dataclass(frozen=True)
+class QuerySubmission:
+    """One query handed to the workload engine.
+
+    Attributes:
+        tag: Unique name; events and results are keyed by it.
+        compiled: The compiled query (plan + result shaping).
+        schedule: Its own four-step schedule — the per-operation
+            thread demands step 0 rescales.
+        arrival: Virtual-time submission offset (>= 0).
+    """
+
+    tag: str
+    compiled: CompiledQuery
+    schedule: QuerySchedule
+    arrival: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0:
+            raise WorkloadError(
+                f"arrival must be >= 0, got {self.arrival} for {self.tag!r}")
+
+
+@dataclass(frozen=True)
+class WorkloadResult:
+    """Outcome of one executed workload."""
+
+    executions: dict[str, QueryExecution]
+    """Per-query execution (metrics, rows, trace, obs), keyed by tag."""
+    order: tuple[str, ...]
+    """Tags in submission order."""
+    makespan: float
+    """Virtual time at which the last query finished."""
+    bus: EventBus
+    """Workload-level event stream: query.submit / query.admit /
+    query.grant / query.finish, tagged with query names."""
+
+    def __post_init__(self) -> None:
+        if self.makespan < 0:
+            raise WorkloadError(f"negative makespan {self.makespan}")
+
+    @property
+    def throughput(self) -> float:
+        """Queries completed per virtual second."""
+        if self.makespan <= 0:
+            raise WorkloadError("zero makespan")
+        return len(self.executions) / self.makespan
+
+    @property
+    def mean_response_time(self) -> float:
+        if not self.executions:
+            raise WorkloadError("empty workload result")
+        return (sum(e.response_time for e in self.executions.values())
+                / len(self.executions))
+
+    def execution(self, tag: str) -> QueryExecution:
+        try:
+            return self.executions[tag]
+        except KeyError:
+            raise WorkloadError(f"no query tagged {tag!r}") from None
+
+
+class _QueryJob:
+    """Mutable per-query execution state inside one workload run."""
+
+    def __init__(self, submission: QuerySubmission, order: int,
+                 machine: Machine, executor: Executor,
+                 exec_options: ExecutionOptions) -> None:
+        self.tag = submission.tag
+        self.compiled = submission.compiled
+        self.plan = submission.compiled.plan
+        self.schedule = submission.schedule
+        self.arrival = submission.arrival
+        self.order = order
+        self.plan.validate()
+        self.runtimes = executor.build_runtimes(self.plan, self.schedule)
+        executor.wire_pipelines(self.plan, self.runtimes)
+        self.startup = executor.startup_time(self.runtimes, self.schedule)
+        self.waves = self.plan.chain_waves()
+        self.wave_totals = [
+            sum(self.schedule.of(node.name).threads
+                for chain in wave for node in chain.nodes)
+            for wave in self.waves
+        ]
+        #: Step-0 demand: more threads than the widest wave asks for
+        #: could never be used.
+        self.demand = max(self.wave_totals)
+        self.complexity = query_complexity(self.plan, machine.costs)
+        self.footprint = runtime_footprint(self.runtimes)
+        self.bus = EventBus() if exec_options.observe else None
+        self.tracer = (ExecutionTrace()
+                       if exec_options.trace or exec_options.observe
+                       else None)
+        executor.attach_observability(self.runtimes, self.bus, self.tracer)
+        self.state = QUEUED
+        self.grant = 0
+        self.wave_index = -1
+        self.current_wave_ops: list[OperationRuntime] = []
+        self.wave_threads = 0
+        self.max_threads = 0
+        self.max_dilation = 1.0
+        self.admitted_at: float | None = None
+        self.finished_at: float | None = None
+        self.execution: QueryExecution | None = None
+
+    def build_execution(self, executor: Executor) -> QueryExecution:
+        """Freeze metrics once the last wave finished.
+
+        ``response_time`` is measured from *submission*, so it
+        includes any admission-queue wait — for a query submitted at
+        t=0 and admitted immediately it equals the absolute finish
+        time, exactly as the single-query executor reports it.
+        """
+        assert self.finished_at is not None
+        return QueryExecution(
+            response_time=self.finished_at - self.arrival,
+            startup_time=self.startup,
+            total_threads=self.max_threads,
+            dilation=self.max_dilation,
+            operations={name: OperationMetrics.of(rt)
+                        for name, rt in self.runtimes.items()},
+            result_rows=executor.collect_results(self.plan, self.runtimes),
+            trace=self.tracer,
+            obs=self.bus,
+        )
+
+
+class WorkloadExecutor:
+    """Executes a batch of submissions in one shared simulation."""
+
+    def __init__(self, machine: Machine | None = None,
+                 options: ExecutionOptions | None = None,
+                 workload: WorkloadOptions | None = None) -> None:
+        self.machine = machine or Machine.uniform()
+        self.options = options or ExecutionOptions()
+        self.workload = workload or WorkloadOptions()
+
+    def execute(self, submissions: list[QuerySubmission]) -> WorkloadResult:
+        """Run every submission; returns per-query executions + events."""
+        tags = [s.tag for s in submissions]
+        if len(set(tags)) != len(tags):
+            raise WorkloadError(f"duplicate query tags in workload: {tags}")
+        run = _WorkloadRun(self.machine, self.options, self.workload,
+                           submissions)
+        return run.run()
+
+
+class _WorkloadRun:
+    """One workload execution in flight (all mutable run state)."""
+
+    def __init__(self, machine: Machine, exec_options: ExecutionOptions,
+                 workload: WorkloadOptions,
+                 submissions: list[QuerySubmission]) -> None:
+        self.machine = machine
+        self.workload = workload
+        self.executor = Executor(machine, exec_options)
+        self.jobs = [_QueryJob(s, i, machine, self.executor, exec_options)
+                     for i, s in enumerate(submissions)]
+        self.bus = EventBus()
+        self.admission = AdmissionController(workload)
+        self.budget = workload.thread_budget or machine.processors
+        self.simulator = Simulator(
+            machine, seed=exec_options.seed,
+            use_ready_index=exec_options.use_ready_index)
+        self.simulator.on_operation_complete = self._on_operation_complete
+        self.running: list[_QueryJob] = []
+        self.queue: list[_QueryJob] = []
+        self.next_thread_id = 0
+        #: The single sequential-initialization thread: start-ups of
+        #: co-admitted queries serialize behind each other.
+        self.startup_free_at = 0.0
+        self._job_of: dict[int, _QueryJob] = {}
+
+    # -- outer loop -----------------------------------------------------------
+
+    def run(self) -> WorkloadResult:
+        arrivals = sorted(self.jobs, key=lambda j: (j.arrival, j.order))
+        index = 0
+        while index < len(arrivals):
+            now = arrivals[index].arrival
+            # Drain the simulation up to (and including) the arrival
+            # instant, so admission sees the machine state at that
+            # virtual time — completions at t <= now already applied.
+            self.simulator.run(until=now)
+            while index < len(arrivals) and arrivals[index].arrival <= now:
+                job = arrivals[index]
+                index += 1
+                self.bus.emit(QUERY_SUBMIT, job.arrival, job.tag,
+                              demand=job.demand, footprint=job.footprint)
+                self.admission.check_admissible(job.tag, job.footprint)
+                self.queue.append(job)
+            self._try_admit(now)
+        self.simulator.run()
+        stuck = [job.tag for job in self.jobs if job.state != DONE]
+        if stuck:
+            raise WorkloadError(
+                f"workload did not complete: queries {stuck} never "
+                f"finished (deadlock or admission starvation)")
+        makespan = max((job.finished_at for job in self.jobs), default=0.0)
+        return WorkloadResult(
+            executions={job.tag: job.execution for job in self.jobs},
+            order=tuple(job.tag for job in self.jobs),
+            makespan=makespan,
+            bus=self.bus,
+        )
+
+    # -- admission ------------------------------------------------------------
+
+    def _try_admit(self, now: float) -> None:
+        """Admit as many queued queries as capacity allows, FIFO.
+
+        Co-admissible queries (e.g. simultaneous arrivals at t=0)
+        are admitted as one *batch*: grants are computed once over
+        the whole new running set before any of their first waves
+        launch, so step 0's proportional split applies to all of
+        them — the first arrival does not grab its full demand just
+        because it was popped first.
+        """
+        admitted: list[_QueryJob] = []
+        while self.queue:
+            job = self.queue[0]
+            if not self.admission.fits(job.footprint):
+                if not self.running and not admitted:
+                    # Nothing runs, yet the head still does not fit:
+                    # no future completion can free capacity.
+                    raise AdmissionError(
+                        f"query {job.tag!r} cannot be admitted on an idle "
+                        f"machine (footprint {job.footprint} bytes, "
+                        f"{len(self.queue)} queued)")
+                break
+            self.queue.pop(0)
+            job.state = RUNNING
+            job.admitted_at = now
+            self.running.append(job)
+            self.admission.acquire(job.footprint)
+            admitted.append(job)
+        if not admitted:
+            return
+        grants = self._grants()
+        for job in admitted:
+            job.grant = grants[job.tag]
+            self.bus.emit(QUERY_ADMIT, now, job.tag,
+                          running=len(self.running), queued=len(self.queue),
+                          footprint=job.footprint)
+            self.bus.emit(QUERY_GRANT, now, job.tag, threads=job.grant,
+                          budget=self.budget, reason="admission")
+        # Queries admitted earlier shrink to their new fair share —
+        # applied at their next wave boundary (running pools are never
+        # revoked mid-wave).  Growth (an admission triggered by a
+        # completion can leave a survivor with a *larger* share) is
+        # left to the _refresh_grants pass that follows every
+        # completion, which also recruits helper threads.
+        for job in self.running:
+            if job in admitted or grants[job.tag] >= job.grant:
+                continue
+            job.grant = grants[job.tag]
+            self.bus.emit(QUERY_GRANT, now, job.tag, threads=job.grant,
+                          budget=self.budget, reason="shrink")
+        for job in admitted:
+            begin = max(now, self.startup_free_at)
+            self.startup_free_at = begin + job.startup
+            self._start_wave(job, begin + job.startup)
+
+    def _grants(self) -> dict[str, int]:
+        """Step 0 over the currently running set."""
+        grants = allocate_to_queries(
+            self.budget,
+            [job.demand for job in self.running],
+            [job.complexity for job in self.running],
+        )
+        return {job.tag: grant
+                for job, grant in zip(self.running, grants)}
+
+    # -- waves ---------------------------------------------------------------
+
+    def _start_wave(self, job: _QueryJob, at: float) -> None:
+        job.wave_index += 1
+        wave = job.waves[job.wave_index]
+        wave_ops = [job.runtimes[node.name]
+                    for chain in wave for node in chain.nodes]
+        base = [job.schedule.of(op.name).threads for op in wave_ops]
+        base_total = sum(base)
+        wave_total = min(base_total, max(job.grant, len(wave_ops)))
+        if wave_total == base_total:
+            # Grant covers the demand: the schedule applies verbatim
+            # (largest-remainder over integer weights is exact, but
+            # skipping it keeps the fact obvious).
+            shares = base
+        else:
+            shares = _largest_remainder(wave_total, base)
+        counts = {op.name: share for op, share in zip(wave_ops, shares)}
+        self.next_thread_id, wave_threads = self.executor.prepare_wave(
+            wave_ops, counts, at, self.next_thread_id)
+        job.current_wave_ops = wave_ops
+        job.wave_threads = wave_threads
+        job.max_threads = max(job.max_threads, wave_threads)
+        job.max_dilation = max(job.max_dilation,
+                               self.machine.dilation(wave_threads))
+        for op in wave_ops:
+            self._job_of[id(op)] = job
+        if job.bus is not None:
+            job.bus.emit(WAVE_START, at, wave=job.wave_index,
+                         operations=[op.name for op in wave_ops],
+                         threads=wave_threads)
+        self.simulator.add_operations(wave_ops)
+
+    def _on_operation_complete(self, operation: OperationRuntime,
+                               thread: WorkerThread) -> None:
+        job = self._job_of.get(id(operation))
+        if job is None or job.state != RUNNING:
+            return
+        if any(not op.complete for op in job.current_wave_ops):
+            return
+        finish = max(op.finished_at for op in job.current_wave_ops)
+        if job.bus is not None:
+            job.bus.emit(WAVE_END, finish, wave=job.wave_index)
+        if job.wave_index + 1 < len(job.waves):
+            self._start_wave(job, finish)
+            return
+        self._complete(job, finish)
+
+    def _complete(self, job: _QueryJob, finish: float) -> None:
+        job.state = DONE
+        job.finished_at = finish
+        job.execution = job.build_execution(self.executor)
+        self.running.remove(job)
+        self.admission.release(job.footprint)
+        self.bus.emit(QUERY_FINISH, finish, job.tag,
+                      response_time=finish - job.arrival,
+                      threads=job.max_threads)
+        # Freed capacity: first let queued queries in, then re-grant
+        # the remaining budget across everyone still running.
+        self._try_admit(finish)
+        self._refresh_grants(finish, grow=self.workload.rebalance)
+
+    # -- dynamic reallocation ---------------------------------------------------
+
+    def _refresh_grants(self, now: float, grow: bool) -> None:
+        if not self.running:
+            return
+        grants = self._grants()
+        for job in self.running:
+            new = grants[job.tag]
+            if new == job.grant:
+                continue
+            grew = new > job.grant
+            job.grant = new
+            self.bus.emit(QUERY_GRANT, now, job.tag, threads=new,
+                          budget=self.budget,
+                          reason="regrant" if grew else "shrink")
+            if grew and grow and job.current_wave_ops:
+                self._grow_current_wave(job, now)
+
+    def _grow_current_wave(self, job: _QueryJob, now: float) -> None:
+        """Add helper threads to the job's in-flight wave.
+
+        The wave was sized under an older, smaller grant; the deficit
+        is covered by fresh threads joining the pools of still-running
+        operations as pure secondary consumers (they own no main
+        queues), weighted toward the operations with the most pending
+        work — the inter-query version of the paper's "threads of an
+        idle pool help the busy ones".
+        """
+        eligible = [op for op in job.current_wave_ops
+                    if not op.complete and op.allow_secondary]
+        if not eligible:
+            return
+        base_total = job.wave_totals[job.wave_index]
+        deficit = min(job.grant, base_total) - job.wave_threads
+        if deficit <= 0:
+            return
+        weights = [op.pending_activations + 1.0 for op in eligible]
+        shares = _largest_remainder(deficit, weights, minimum=0)
+        granted = 0
+        for op, share in zip(eligible, shares):
+            if share <= 0:
+                continue
+            thread_ids = list(range(self.next_thread_id,
+                                    self.next_thread_id + share))
+            self.next_thread_id += share
+            helpers = op.add_threads(thread_ids, now)
+            self.simulator.add_threads(op, helpers)
+            granted += share
+            self.bus.emit(QUERY_GRANT, now, job.tag, threads=share,
+                          pool=op.name, reason="helpers")
+        job.wave_threads += granted
+        job.max_threads = max(job.max_threads, job.wave_threads)
+        job.max_dilation = max(job.max_dilation,
+                               self.machine.dilation(job.wave_threads))

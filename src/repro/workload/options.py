@@ -1,0 +1,53 @@
+"""Workload-level execution knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.executor import ObservabilityOptions
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class WorkloadOptions:
+    """Knobs of the multi-query execution layer.
+
+    Per-query execution knobs (placement, seed, per-query
+    observability) stay in :class:`~repro.engine.executor
+    .ExecutionOptions`; this block only holds what exists *between*
+    queries.
+    """
+
+    max_concurrent: int = 4
+    """Admission bound: at most this many queries execute at once;
+    later arrivals queue (FIFO) until a running query completes."""
+    memory_limit_bytes: int | None = None
+    """Admission memory gate: a query is only admitted while the
+    estimated stored-data footprint of all running queries plus its
+    own stays within this budget.  ``None`` disables the gate."""
+    thread_budget: int | None = None
+    """Machine thread budget "step 0" distributes across running
+    queries; defaults to the machine's processor count."""
+    rebalance: bool = True
+    """Dynamic reallocation: when a query completes, re-grant its
+    share of the budget to the remaining queries *mid-wave* (helper
+    threads join their pools).  Off, grants still adapt but only at
+    the next wave boundary of each query."""
+    observability: ObservabilityOptions = field(
+        default_factory=ObservabilityOptions)
+    """Reserved for workload-level recording knobs; the workload
+    event stream (submit/admit/grant/finish) is always collected —
+    it is O(queries), not O(activations)."""
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent < 1:
+            raise WorkloadError(
+                f"max_concurrent must be >= 1, got {self.max_concurrent} "
+                f"(a zero-capacity workload could never admit a query)")
+        if self.memory_limit_bytes is not None and self.memory_limit_bytes <= 0:
+            raise WorkloadError(
+                f"memory_limit_bytes must be positive, got "
+                f"{self.memory_limit_bytes}")
+        if self.thread_budget is not None and self.thread_budget < 1:
+            raise WorkloadError(
+                f"thread_budget must be >= 1, got {self.thread_budget}")

@@ -1,0 +1,205 @@
+"""The Session API: the blessed way to run queries, one or many.
+
+A :class:`Session` collects query submissions — each with an optional
+virtual-time arrival offset — and executes them all in one shared
+simulation when :meth:`Session.run` is called (or lazily, the first
+time any handle's :meth:`QueryHandle.result` is asked for).
+
+    >>> session = db.session()
+    >>> h1 = session.submit("SELECT * FROM A JOIN B ON ...")
+    >>> h2 = session.submit("SELECT * FROM C JOIN D ON ...", at=5.0)
+    >>> h1.result().cardinality        # drives the whole workload
+    >>> h2.execution.response_time     # includes its admission wait
+
+``db.query()`` is a thin wrapper over a one-query session; a lone
+query through this path is bit-identical to the single-query executor
+(golden-trace tested).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.compiler.parallelizer import CompiledQuery
+from repro.core.results import QueryResult
+from repro.engine.executor import QuerySchedule
+from repro.engine.metrics import QueryExecution
+from repro.errors import WorkloadError
+from repro.lera.graph import LeraGraph
+from repro.lera.operators import JOIN_NESTED_LOOP
+from repro.storage.schema import Schema
+from repro.workload.admission import AdmissionController, plan_footprint
+from repro.workload.engine import (
+    QuerySubmission,
+    WorkloadExecutor,
+    WorkloadResult,
+)
+from repro.workload.options import WorkloadOptions
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.core.database import DBS3
+
+#: Handle states.
+PENDING = "pending"
+DONE = "done"
+FAILED = "failed"
+
+
+class QueryHandle:
+    """One submitted query's future result."""
+
+    def __init__(self, session: Session, tag: str, compiled: CompiledQuery,
+                 schedule: QuerySchedule, arrival: float) -> None:
+        self._session = session
+        self.tag = tag
+        self.compiled = compiled
+        self.schedule = schedule
+        """The four-step schedule computed for this query at submit
+        time (its per-operation thread demands; step 0 may rescale
+        them when other queries run concurrently)."""
+        self.arrival = arrival
+
+    def __repr__(self) -> str:
+        return (f"QueryHandle(tag={self.tag!r}, at={self.arrival}, "
+                f"status={self.status!r})")
+
+    @property
+    def status(self) -> str:
+        """``pending`` before the workload ran, then ``done``/``failed``."""
+        return self._session._status_of(self.tag)
+
+    @property
+    def execution(self) -> QueryExecution:
+        """Execution metrics; drives the workload if it has not run."""
+        return self._session.run().execution(self.tag)
+
+    def result(self) -> QueryResult:
+        """The query's relational result; drives the workload if it
+        has not run yet (so ``result()`` before completion simply
+        executes everything submitted so far)."""
+        execution = self.execution
+        rows = self.compiled.shape_rows(execution.result_rows)
+        return QueryResult(
+            rows=rows,
+            schema=self.compiled.final_schema,
+            execution=execution,
+            description=self.compiled.description,
+        )
+
+
+class Session:
+    """A batch of queries destined for one shared simulation.
+
+    Obtained from :meth:`repro.core.database.DBS3.session`.  Submissions
+    accumulate; :meth:`run` executes them all at once (virtual arrival
+    offsets stagger them inside the simulation, not in wall time) and
+    is idempotent — every handle shares the one
+    :class:`~repro.workload.engine.WorkloadResult`.
+    """
+
+    def __init__(self, db: DBS3, options: WorkloadOptions | None = None) -> None:
+        self.db = db
+        self.options = options or WorkloadOptions()
+        self.handles: list[QueryHandle] = []
+        self._result: WorkloadResult | None = None
+        self._failed: Exception | None = None
+
+    def __repr__(self) -> str:
+        state = ("failed" if self._failed is not None
+                 else "done" if self._result is not None
+                 else "pending")
+        return f"Session(queries={len(self.handles)}, state={state!r})"
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, sql: str, at: float = 0.0, threads: int | None = None,
+               algorithm: str = JOIN_NESTED_LOOP,
+               schedule: QuerySchedule | None = None,
+               tag: str | None = None) -> QueryHandle:
+        """Compile *sql* and queue it for execution at offset *at*."""
+        compiled = self.db.compile(sql, algorithm)
+        return self.submit_compiled(compiled, at=at, threads=threads,
+                                    schedule=schedule, tag=tag)
+
+    def submit_plan(self, plan: LeraGraph, output_schema: Schema,
+                    at: float = 0.0, threads: int | None = None,
+                    schedule: QuerySchedule | None = None,
+                    tag: str | None = None,
+                    description: str = "custom plan") -> QueryHandle:
+        """Queue a hand-built Lera-par plan."""
+        compiled = CompiledQuery(plan, output_schema, None, description)
+        return self.submit_compiled(compiled, at=at, threads=threads,
+                                    schedule=schedule, tag=tag)
+
+    def submit_compiled(self, compiled: CompiledQuery, at: float = 0.0,
+                        threads: int | None = None,
+                        schedule: QuerySchedule | None = None,
+                        tag: str | None = None) -> QueryHandle:
+        """Queue an already-compiled query.
+
+        The schedule is computed here (submit time), so
+        ``handle.schedule`` is inspectable before the workload runs.
+        A query whose lone memory footprint exceeds the workload's
+        limit fails *now* with :class:`~repro.errors.AdmissionError`
+        rather than poisoning the whole batch at :meth:`run`.
+        """
+        if self._result is not None or self._failed is not None:
+            raise WorkloadError(
+                "session already ran; open a new session to submit more "
+                "queries")
+        if tag is None:
+            tag = f"q{len(self.handles)}"
+        elif any(h.tag == tag for h in self.handles):
+            raise WorkloadError(f"duplicate query tag {tag!r} in session")
+        compiled.plan.validate()
+        if self.options.memory_limit_bytes is not None:
+            footprint = plan_footprint(compiled.plan, self.db.machine.costs)
+            AdmissionController(self.options).check_admissible(tag, footprint)
+        if schedule is None:
+            schedule = self.db.scheduler.schedule(compiled.plan, threads)
+        handle = QueryHandle(self, tag, compiled, schedule, at)
+        # QuerySubmission re-validates the arrival offset; building it
+        # here keeps bad offsets from surfacing only at run().
+        QuerySubmission(tag, compiled, schedule, at)
+        self.handles.append(handle)
+        return handle
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self) -> WorkloadResult:
+        """Execute every submitted query in one shared simulation.
+
+        Idempotent: the first call runs the workload, later calls
+        (and every handle's ``result()``) return the same
+        :class:`~repro.workload.engine.WorkloadResult`.  An empty
+        session yields an empty result.
+        """
+        if self._failed is not None:
+            raise WorkloadError(
+                f"session already failed: {self._failed}") from self._failed
+        if self._result is not None:
+            return self._result
+        submissions = [QuerySubmission(h.tag, h.compiled, h.schedule, h.arrival)
+                       for h in self.handles]
+        executor = WorkloadExecutor(self.db.machine, self.db.executor.options,
+                                    self.options)
+        try:
+            self._result = executor.execute(submissions)
+        except Exception as error:
+            self._failed = error
+            raise
+        return self._result
+
+    @property
+    def result(self) -> WorkloadResult | None:
+        """The workload result, or ``None`` before :meth:`run`."""
+        return self._result
+
+    # -- handle support --------------------------------------------------------
+
+    def _status_of(self, tag: str) -> str:
+        if self._failed is not None:
+            return FAILED
+        if self._result is None:
+            return PENDING
+        return DONE

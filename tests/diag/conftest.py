@@ -8,6 +8,7 @@ from repro.bench.runners import default_machine
 from repro.engine.executor import (
     ExecutionOptions,
     Executor,
+    ObservabilityOptions,
     OperationSchedule,
     QuerySchedule,
 )
@@ -22,7 +23,8 @@ def _execute_assoc_join(database, transmit_threads: int, join_threads: int,
         "transmit": OperationSchedule(transmit_threads),
         "join": OperationSchedule(join_threads, strategy),
     })
-    executor = Executor(default_machine(), ExecutionOptions(observe=True))
+    executor = Executor(default_machine(), ExecutionOptions(
+        observability=ObservabilityOptions(observe=True)))
     return executor.execute(plan, schedule)
 
 

@@ -76,10 +76,13 @@ class TestAttribution:
     def test_triggered_only_plan_works(self, join_db):
         plan = ideal_join_plan(join_db.entry_a, join_db.entry_b,
                                "key", "key")
-        from repro.engine.executor import ExecutionOptions
+        from repro.engine.executor import (
+            ExecutionOptions,
+            ObservabilityOptions,
+        )
         execution = Executor(
             Machine.uniform(processors=8),
-            ExecutionOptions(observe=True),
+            ExecutionOptions(observability=ObservabilityOptions(observe=True)),
         ).execute(plan, QuerySchedule.for_plan(plan, 4))
         path = critical_path(execution)
         assert path.bottleneck == "join"

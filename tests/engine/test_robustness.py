@@ -41,9 +41,9 @@ class TestRouterWiring:
         executor = Executor(Machine.uniform(processors=4))
         # sabotage: executor wires the router; remove it post-build by
         # running a custom build path
-        runtimes = executor._build_runtimes(
+        runtimes = executor.build_runtimes(
             plan, QuerySchedule.for_plan(plan, 2))
-        executor._wire_pipelines(plan, runtimes)
+        executor.wire_pipelines(plan, runtimes)
         runtimes["transmit"].router = None
         for name, runtime in runtimes.items():
             runtime.build_pool([0, 1] if name == "transmit" else [2, 3], 0.0)

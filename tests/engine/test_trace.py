@@ -3,7 +3,12 @@
 import pytest
 
 from repro.bench.workloads import make_join_database
-from repro.engine.executor import ExecutionOptions, Executor, QuerySchedule
+from repro.engine.executor import (
+    ExecutionOptions,
+    Executor,
+    ObservabilityOptions,
+    QuerySchedule,
+)
 from repro.engine.trace import ExecutionTrace
 from repro.errors import ReproError
 from repro.lera.plans import assoc_join_plan, ideal_join_plan
@@ -12,7 +17,8 @@ from repro.machine.machine import Machine
 
 def _traced(plan, threads=4, strategy="random"):
     executor = Executor(Machine.uniform(processors=8),
-                        ExecutionOptions(trace=True))
+                        ExecutionOptions(
+                            observability=ObservabilityOptions(trace=True)))
     return executor.execute(plan,
                             QuerySchedule.for_plan(plan, threads, strategy))
 

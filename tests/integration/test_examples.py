@@ -16,6 +16,7 @@ EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
     "allcache_memory.py",
     "multi_chain_queries.py",
     "model_validation.py",
+    "concurrent_workload.py",
 ])
 def test_example_runs(script, capsys, monkeypatch):
     path = EXAMPLES / script

@@ -12,7 +12,7 @@ class TestExperimentRegistry:
     def test_every_figure_registered(self):
         ids = [figure_id for figure_id, _, _ in reporting.EXPERIMENTS]
         assert ids == ["fig08_09", "fig12", "fig13", "fig14", "fig15",
-                       "fig16", "fig17", "fig18", "fig19"]
+                       "fig16", "fig17", "fig18", "fig19", "fig_concurrent"]
 
     def test_runners_are_callable(self):
         for _, paper_run, small_run in reporting.EXPERIMENTS:

@@ -4,7 +4,12 @@ import json
 
 import pytest
 
-from repro.engine.executor import ExecutionOptions, Executor, QuerySchedule
+from repro.engine.executor import (
+    ExecutionOptions,
+    Executor,
+    ObservabilityOptions,
+    QuerySchedule,
+)
 from repro.errors import ReproError
 from repro.lera.plans import assoc_join_plan, ideal_join_plan
 from repro.machine.machine import Machine
@@ -23,7 +28,8 @@ from repro.obs.probes import ACTIVE_THREADS, queue_depth_key
 
 def _observed(plan, threads=4, strategy="random"):
     executor = Executor(Machine.uniform(processors=8),
-                        ExecutionOptions(observe=True))
+                        ExecutionOptions(
+                            observability=ObservabilityOptions(observe=True)))
     return executor.execute(plan,
                             QuerySchedule.for_plan(plan, threads, strategy))
 

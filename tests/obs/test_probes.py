@@ -3,7 +3,12 @@ under deliberate bus corruption."""
 
 import pytest
 
-from repro.engine.executor import ExecutionOptions, Executor, QuerySchedule
+from repro.engine.executor import (
+    ExecutionOptions,
+    Executor,
+    ObservabilityOptions,
+    QuerySchedule,
+)
 from repro.errors import ReproError
 from repro.lera.plans import ideal_join_plan
 from repro.machine.machine import Machine
@@ -94,7 +99,9 @@ class TestSelfAuditCorruption:
         plan = ideal_join_plan(join_db.entry_a, join_db.entry_b,
                                "key", "key")
         executor = Executor(Machine.uniform(processors=8),
-                            ExecutionOptions(observe=True))
+                            ExecutionOptions(
+                                observability=ObservabilityOptions(
+                                    observe=True)))
         return executor.execute(plan, QuerySchedule.for_plan(plan, 4))
 
     def test_clean_bus_passes(self, observed):
