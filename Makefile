@@ -7,7 +7,7 @@ PYTHONPATH := src
 export PYTHONPATH
 
 .PHONY: test bench perf perf-full perf-baseline trace-demo diagnose-demo \
-	compare-demo concurrent-demo
+	compare-demo concurrent-demo chaos chaos-demo
 
 ## Tier-1: the fast deterministic test suite (what CI gates on).
 test:
@@ -23,11 +23,22 @@ perf:
 
 ## Full perf matrix against the committed baseline (slower, quieter box).
 perf-full:
-	$(PYTHON) -m repro.bench.perf_baseline --workload --check BENCH_engine.json
+	$(PYTHON) -m repro.bench.perf_baseline --workload --faults \
+		--check BENCH_engine.json
 
 ## Print a fresh full matrix (use when re-recording BENCH_engine.json).
 perf-baseline:
-	$(PYTHON) -m repro.bench.perf_baseline --workload
+	$(PYTHON) -m repro.bench.perf_baseline --workload --faults
+
+## Chaos tests: the seeded fault-injection sweeps (pytest -m chaos).
+chaos:
+	$(PYTHON) -m pytest tests -m chaos -q -s
+
+## Chaos demo: three seeded fault sweeps with invariant checks plus
+## the pooled-vs-static graceful-degradation curve (exit 1 on any
+## violation).
+chaos-demo:
+	$(PYTHON) -m repro chaos --seed 0 --seeds 3
 
 ## Concurrent-workload demo: four queries admitted into one shared
 ## simulation, with the admission/grant/finish timeline printed.

@@ -14,15 +14,18 @@ import pytest
 
 from repro.bench.perf_baseline import (
     compare_concurrent,
+    compare_faults,
     compare_matrices,
     compare_obs,
     compare_session,
     load_baseline,
     render,
     render_concurrent,
+    render_faults,
     render_obs,
     render_session,
     run_concurrent_cell,
+    run_faults_overhead,
     run_matrix,
     run_obs_overhead,
     run_session_overhead,
@@ -65,6 +68,21 @@ def test_session_path_overhead_within_gate():
     print()
     print(render_session(current))
     problems = compare_session(current)
+    assert not problems, "\n".join(problems)
+
+
+@pytest.mark.perf
+def test_faults_layer_free_when_inactive():
+    """Attaching an *empty* fault plan (every injector hook live,
+    nothing injected) may cost at most 5 % wall clock over running
+    with no plan, and must not move virtual time or results.  The
+    comparison is within-run, so no committed baseline is needed —
+    the committed ``faults`` section of BENCH_engine.json documents
+    the recorded ratio."""
+    current = run_faults_overhead(quick=True, seed=0)
+    print()
+    print(render_faults(current))
+    problems = compare_faults(current)
     assert not problems, "\n".join(problems)
 
 

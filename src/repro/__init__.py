@@ -49,13 +49,25 @@ from repro.errors import (
     CatalogError,
     CompilationError,
     ExecutionError,
+    ExecutionFaultError,
+    FaultError,
     MachineError,
     PartitioningError,
     PlanError,
+    QueryCancelledError,
+    QueryTimeoutError,
     ReproError,
     SchedulerError,
     SchemaError,
     WorkloadError,
+)
+from repro.faults import (
+    ActivationFaults,
+    DiskFault,
+    FaultPlan,
+    MemoryPressure,
+    SlowdownWindow,
+    StallWindow,
 )
 from repro.lera import (
     AggregateExpr,
@@ -90,6 +102,7 @@ from repro.workload import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "ActivationFaults",
     "AdaptiveScheduler",
     "AdmissionError",
     "AggregateExpr",
@@ -98,11 +111,16 @@ __all__ = [
     "CompilationError",
     "CostModel",
     "DBS3",
+    "DiskFault",
     "ExecutionError",
+    "ExecutionFaultError",
     "ExecutionOptions",
     "Executor",
+    "FaultError",
+    "FaultPlan",
     "Fragment",
     "Machine",
+    "MemoryPressure",
     "MachineError",
     "ObservabilityOptions",
     "OperationSchedule",
@@ -110,12 +128,16 @@ __all__ = [
     "PartitioningError",
     "PartitioningSpec",
     "PlanError",
+    "QueryCancelledError",
     "QueryExecution",
     "QueryHandle",
     "QueryResult",
     "QuerySchedule",
     "QuerySubmission",
+    "QueryTimeoutError",
     "Relation",
+    "SlowdownWindow",
+    "StallWindow",
     "ReproError",
     "SchedulerError",
     "Schema",

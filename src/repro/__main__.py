@@ -336,11 +336,18 @@ def diagnose_command(argv: list[str]) -> int:
     return diagnose_run(args)
 
 
+def chaos_command(argv: list[str]) -> int:
+    """``python -m repro chaos``: seeded fault-injection sweep."""
+    from repro.bench import chaos
+    return chaos.main(argv)
+
+
 #: Subcommand dispatch of the harmonized CLI.
 COMMANDS = {
     "run": run_command,
     "diagnose": diagnose_command,
     "compare": compare_runs,
+    "chaos": chaos_command,
 }
 
 

@@ -1,0 +1,346 @@
+"""Chaos harness: seeded fault sweeps with invariant checking.
+
+The robustness counterpart of the perf harness: instead of asking *how
+fast*, it asks *does anything break*.  :func:`run_chaos` builds a
+small multi-query workload, derives a :class:`~repro.faults.FaultPlan`
+from one seed (so every chaos run is reproducible bit-for-bit),
+injects it into the shared simulation — with one query cancelled
+mid-run for good measure — and then audits the wreckage against the
+engine's conservation invariants:
+
+* **activation conservation** — per operation,
+  ``enqueued == processed + retries + aborts + discarded``; a fault
+  may delay or destroy work, but never invent or leak it;
+* **monotone virtual time** — every span is well-formed and inside
+  the run, the workload event stream never goes backwards;
+* **no orphaned threads** — every pool thread of every query emits
+  its ``thread.finish``, including cancelled and aborted queries;
+* **fault-free-subset parity** — an *empty* fault plan is
+  bit-identical to no fault plan at all (the injection hooks are
+  free when nothing is injected).
+
+:func:`degradation_curve` is the graceful-degradation experiment: the
+same join is executed under a widening processor slowdown, once with
+the paper's pooled dynamic consumption (threads steal from the slowed
+threads' queues) and once with the static one-thread-per-instance
+binding.  Pooled execution must degrade strictly less.
+
+CLI: ``python -m repro chaos --seed 0 --seeds 3`` (exit 1 on any
+violation) — also reachable as ``make chaos-demo``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.database import DBS3
+from repro.engine.executor import (
+    ExecutionOptions,
+    Executor,
+    ObservabilityOptions,
+    OperationSchedule,
+    QuerySchedule,
+)
+from repro.engine.metrics import STATUS_DONE, QueryExecution
+from repro.engine.strategies import LPT
+from repro.faults import FaultPlan, SlowdownWindow
+from repro.obs.bus import THREAD_FINISH
+from repro.storage.wisconsin import generate_wisconsin
+from repro.workload.options import WorkloadOptions
+
+#: The chaos workload: three joins sharing one simulation.
+CHAOS_QUERIES = (
+    "SELECT * FROM A JOIN B ON A.unique1 = B.unique1",
+    "SELECT * FROM C JOIN D ON C.unique1 = D.unique1",
+    "SELECT * FROM A JOIN D ON A.unique1 = D.unique1",
+)
+
+#: Virtual instant at which the third query is cancelled (roughly
+#: mid-flight for the workload sizes below).
+CANCEL_AT = 0.08
+
+#: Tolerance for span/endpoint containment checks (floating point).
+_EPS = 1e-9
+
+
+def _chaos_db(observe: bool = True) -> DBS3:
+    """The small four-relation database every chaos run executes on."""
+    options = ExecutionOptions(observability=ObservabilityOptions(
+        trace=observe, observe=observe))
+    db = DBS3(processors=48, options=options)
+    db.create_table(generate_wisconsin("A", 2_000, seed=1), "unique1",
+                    degree=20)
+    db.create_table(generate_wisconsin("B", 200, seed=2), "unique1",
+                    degree=20)
+    db.create_table(generate_wisconsin("C", 1_500, seed=3), "unique1",
+                    degree=20)
+    db.create_table(generate_wisconsin("D", 150, seed=4), "unique1",
+                    degree=20)
+    return db
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one seeded chaos run."""
+
+    seed: int
+    plan: str
+    statuses: dict[str, str]
+    makespan: float
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        lines = [f"chaos seed {self.seed}: "
+                 f"{'PASS' if self.passed else 'FAIL'} "
+                 f"(makespan {self.makespan:.3f}s virtual)"]
+        lines.append(f"  plan     : {self.plan}")
+        lines.append("  statuses : " + ", ".join(
+            f"{tag}={status}" for tag, status in self.statuses.items()))
+        for violation in self.violations:
+            lines.append(f"  VIOLATION: {violation}")
+        return "\n".join(lines)
+
+
+# -- invariants ---------------------------------------------------------------
+
+def check_conservation(tag: str, execution: QueryExecution) -> list[str]:
+    """``enqueued == processed + retries + aborts + discarded``."""
+    problems = []
+    for name, op in execution.operations.items():
+        enqueued = sum(op.queue_activations)
+        accounted = (op.activations + op.fault_retries + op.fault_aborts
+                     + op.discarded)
+        if enqueued != accounted:
+            problems.append(
+                f"{tag}/{name}: conservation broken — {enqueued} enqueued "
+                f"!= {op.activations} processed + {op.fault_retries} "
+                f"retries + {op.fault_aborts} aborts + {op.discarded} "
+                f"discarded")
+    return problems
+
+
+def check_monotone_time(tag: str, execution: QueryExecution,
+                        makespan: float) -> list[str]:
+    """Spans well-formed and inside the run; op windows ordered."""
+    problems = []
+    for name, op in execution.operations.items():
+        if op.finished_at + _EPS < op.started_at:
+            problems.append(
+                f"{tag}/{name}: finished_at {op.finished_at} before "
+                f"started_at {op.started_at}")
+        if op.finished_at > makespan + _EPS:
+            problems.append(
+                f"{tag}/{name}: finished_at {op.finished_at} past the "
+                f"makespan {makespan}")
+    if execution.trace is not None:
+        for span in execution.trace.events:
+            if span.end + _EPS < span.start:
+                problems.append(
+                    f"{tag}: span {span.operation}/{span.kind} runs "
+                    f"backwards ({span.start} -> {span.end})")
+                break
+    return problems
+
+
+def check_no_orphans(tag: str, execution: QueryExecution) -> list[str]:
+    """Every pool thread terminated (cancelled queries included)."""
+    if execution.obs is None:
+        return []
+    problems = []
+    finishes: dict[str, int] = {}
+    for event in execution.obs.events:
+        if event.kind == THREAD_FINISH and event.operation is not None:
+            finishes[event.operation] = finishes.get(event.operation, 0) + 1
+    for name, op in execution.operations.items():
+        finished = finishes.get(name, 0)
+        if finished != op.threads:
+            problems.append(
+                f"{tag}/{name}: {op.threads} threads but {finished} "
+                f"thread.finish events — orphaned threads")
+    return problems
+
+
+def check_workload_stream(bus) -> list[str]:
+    """The workload event stream never moves backwards in time."""
+    last = 0.0
+    for event in bus.events:
+        if event.t + _EPS < last:
+            return [f"workload bus went backwards: {event.kind} at "
+                    f"{event.t} after t={last}"]
+        last = max(last, event.t)
+    return []
+
+
+def check_empty_plan_parity() -> list[str]:
+    """An empty fault plan must be bit-identical to no plan at all."""
+    def signature(faults):
+        db = _chaos_db(observe=False)
+        session = db.session(options=WorkloadOptions(faults=faults))
+        for sql in CHAOS_QUERIES:
+            session.submit(sql)
+        result = session.run()
+        return [
+            (tag,
+             execution.response_time,
+             {name: (op.busy_time, op.idle_time, op.polls, op.enqueues,
+                     op.dequeue_batches, op.secondary_accesses,
+                     op.finished_at)
+              for name, op in execution.operations.items()})
+            for tag, execution in result.executions.items()
+        ], result.makespan
+
+    plain = signature(None)
+    empty = signature(FaultPlan(seed=0))
+    if plain != empty:
+        return ["empty FaultPlan diverged from faults=None — the "
+                "injection hooks are not free"]
+    return []
+
+
+# -- the seeded sweep ---------------------------------------------------------
+
+def run_chaos(seed: int, parity: bool = True) -> ChaosReport:
+    """One seeded chaos run: inject, cancel, audit.
+
+    The fault plan is drawn deterministically from *seed* (same seed,
+    same faults, same virtual trajectory — chaos runs are replayable).
+    The third query is cancelled mid-run on top of whatever the plan
+    injects, so the cancellation path is exercised under fire.
+    """
+    db = _chaos_db()
+    operations = sorted({node.name
+                         for sql in CHAOS_QUERIES
+                         for node in db.compile(sql).plan.nodes})
+    plan = FaultPlan.generate(seed, operations, horizon=0.4)
+    session = db.session(options=WorkloadOptions(faults=plan))
+    handles = [session.submit(sql, at=0.01 * i, tag=f"q{i}")
+               for i, sql in enumerate(CHAOS_QUERIES)]
+    handles[-1].cancel(at=CANCEL_AT)
+    result = session.run()
+
+    violations: list[str] = []
+    for tag in result.order:
+        execution = result.execution(tag)
+        violations += check_conservation(tag, execution)
+        violations += check_monotone_time(tag, execution, result.makespan)
+        violations += check_no_orphans(tag, execution)
+    violations += check_workload_stream(result.bus)
+    if result.status_of("q2") not in ("cancelled", "failed"):
+        violations.append(
+            f"q2 was cancelled at t={CANCEL_AT} but ended "
+            f"{result.status_of('q2')!r}")
+    for tag in ("q0", "q1"):
+        if result.status_of(tag) not in (STATUS_DONE, "failed"):
+            violations.append(
+                f"{tag} ended {result.status_of(tag)!r}; only the "
+                f"injected faults may stop it (done or failed)")
+    if parity:
+        violations += check_empty_plan_parity()
+
+    return ChaosReport(
+        seed=seed,
+        plan=plan.describe(),
+        statuses={tag: result.status_of(tag) for tag in result.order},
+        makespan=result.makespan,
+        violations=violations,
+    )
+
+
+# -- graceful degradation ----------------------------------------------------
+
+@dataclass(frozen=True)
+class DegradationPoint:
+    """Makespan under one slowdown factor, pooled vs static."""
+
+    factor: float
+    pooled: float
+    static: float
+
+    @property
+    def pooled_ratio(self) -> float:
+        return self.pooled / self.static
+
+
+def degradation_curve(factors: tuple[float, ...] = (1.0, 3.0, 6.0, 12.0),
+                      threads: int = 10) -> list[DegradationPoint]:
+    """Response time of one join as two of its threads slow down.
+
+    The same compiled join runs under a permanent
+    :class:`~repro.faults.SlowdownWindow` on threads 0 and 1 of the
+    join pool, once with pooled dynamic consumption (the paper's
+    engine: fast threads drain the slowed threads' queues through
+    secondary access) and once with the static one-thread-per-instance
+    binding (Gamma-style; the slowed threads' work is stranded).  The
+    pooled makespan must degrade strictly less at every factor > 1 —
+    that is what "graceful" means here.
+    """
+    db = _chaos_db(observe=False)
+    compiled = db.compile(CHAOS_QUERIES[0])
+    names = [node.name for node in compiled.plan.nodes]
+    join_name = names[-1]
+    points = []
+    for factor in factors:
+        faults = None if factor == 1.0 else FaultPlan(
+            seed=0,
+            slowdowns=(SlowdownWindow(0.0, float("inf"), factor,
+                                      operation=join_name,
+                                      thread_ids=(0, 1)),))
+        timings = {}
+        for label, allow_secondary in (("pooled", True), ("static", False)):
+            schedule = QuerySchedule({
+                name: OperationSchedule(threads, strategy=LPT,
+                                        allow_secondary=allow_secondary)
+                for name in names})
+            executor = Executor(db.machine, ExecutionOptions(faults=faults))
+            execution = executor.execute(compiled.plan, schedule)
+            timings[label] = execution.response_time
+        points.append(DegradationPoint(factor, timings["pooled"],
+                                       timings["static"]))
+    return points
+
+
+def render_degradation(points: list[DegradationPoint]) -> str:
+    lines = ["degradation curve (virtual response time, join with 2 "
+             "slowed threads):",
+             "  factor   pooled      static      pooled/static"]
+    for point in points:
+        lines.append(f"  {point.factor:6.1f}  {point.pooled:9.4f}s  "
+                     f"{point.static:9.4f}s  {point.pooled_ratio:8.3f}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro chaos``: seeded sweep + degradation curve."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="seeded fault-injection sweep with invariant "
+                    "checks, plus the graceful-degradation curve")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="first chaos seed (default 0)")
+    parser.add_argument("--seeds", type=int, default=1,
+                        help="how many consecutive seeds to sweep")
+    parser.add_argument("--no-degradation", action="store_true",
+                        help="skip the pooled-vs-static slowdown curve")
+    args = parser.parse_args(argv)
+
+    failed = False
+    for seed in range(args.seed, args.seed + args.seeds):
+        report = run_chaos(seed)
+        print(report.render())
+        failed = failed or not report.passed
+    if not args.no_degradation:
+        points = degradation_curve()
+        print()
+        print(render_degradation(points))
+        for point in points:
+            if point.factor > 1.0 and not point.pooled < point.static:
+                print(f"  VIOLATION: pooled did not beat static at "
+                      f"factor {point.factor}")
+                failed = True
+    return 1 if failed else 0

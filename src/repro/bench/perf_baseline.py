@@ -78,6 +78,12 @@ OBS_DEGREE = 200
 #: this fraction of wall clock over the dedicated executor path.
 SESSION_OVERHEAD_THRESHOLD = 0.05
 
+#: The fault-injection hooks must be free when nothing is injected:
+#: attaching an *empty* FaultPlan may cost at most this fraction of
+#: wall clock over running with no plan at all (every hook is one
+#: ``injector is not None`` check on the hot path).
+FAULTS_OVERHEAD_THRESHOLD = 0.05
+
 #: The workload cells are an order of magnitude faster than a matrix
 #: cell, so they can afford more repeats — the best-of-N is what the
 #: 5 %/20 % gates compare, and two samples of a ~50 ms region are too
@@ -324,6 +330,100 @@ def render_session(record: dict) -> str:
             f"({record['session_over_direct']:.2f}x)")
 
 
+def run_faults_overhead(quick: bool = False, seed: int = 0) -> dict:
+    """Time the pipelined workload with no fault plan vs an empty one.
+
+    ``plain`` runs with ``faults=None`` (no injector, the pre-faults
+    hot path); ``hooked`` attaches an empty :class:`FaultPlan`, so
+    every injector hook is live but injects nothing.  The two must be
+    bit-identical in virtual time and results, and ``hooked`` may cost
+    at most 5 % wall clock (:func:`compare_faults`) — robustness
+    instrumentation must be free when nothing breaks.
+    """
+    from repro.engine.executor import ExecutionOptions, Executor
+    from repro.faults import FaultPlan
+    from repro.lera.plans import assoc_join_plan
+    from repro.scheduler.adaptive import AdaptiveScheduler
+
+    card_a = QUICK_CARD_A if quick else FULL_CARD_A
+    card_b = QUICK_CARD_B if quick else FULL_CARD_B
+    repeats = WORKLOAD_REPEATS
+    database = make_join_database(card_a, card_b, OBS_DEGREE, theta=0.0)
+    machine = default_machine()
+
+    def run_with(faults):
+        plan = assoc_join_plan(database.entry_a, database.entry_b,
+                               "key", "key")
+        schedule = AdaptiveScheduler(machine).schedule(plan, THREADS)
+        options = ExecutionOptions(seed=seed, faults=faults)
+        return Executor(machine, options).execute(plan, schedule)
+
+    modes = {}
+    for label, faults in (("plain", None), ("hooked", FaultPlan())):
+        times = []
+        execution = None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            execution = run_with(faults)
+            times.append(time.perf_counter() - started)
+        modes[label] = {
+            "mean_s": round(statistics.fmean(times), 6),
+            "min_s": round(min(times), 6),
+            "runs": [round(t, 6) for t in times],
+            "result_rows": execution.result_cardinality,
+            "virtual_response_s": execution.response_time,
+        }
+    return {
+        "workload": {"card_a": card_a, "card_b": card_b,
+                     "degree": OBS_DEGREE, "mode": "pipelined",
+                     "threads": THREADS, "repeats": repeats, "seed": seed},
+        "modes": modes,
+        "hooked_over_plain": round(
+            modes["hooked"]["min_s"] / modes["plain"]["min_s"], 4),
+    }
+
+
+def compare_faults(current: dict,
+                   threshold: float = FAULTS_OVERHEAD_THRESHOLD,
+                   abs_slack_s: float = ABSOLUTE_SLACK_S) -> list[str]:
+    """Flag faults-overhead problems (within one run, no baseline).
+
+    Two gates: the empty-plan run may cost at most *threshold* plus
+    *abs_slack_s* wall clock over the no-plan run, and the fault-free
+    parity contract — identical virtual response time and result
+    cardinality with the hooks live.
+    """
+    problems = []
+    plain = current["modes"]["plain"]
+    hooked = current["modes"]["hooked"]
+    limit = plain["min_s"] * (1.0 + threshold) + abs_slack_s
+    if hooked["min_s"] > limit:
+        problems.append(
+            f"empty-fault-plan wall-clock overhead: plain "
+            f"{plain['min_s']:.4f}s vs hooked {hooked['min_s']:.4f}s "
+            f"(> {threshold:.0%} + {abs_slack_s * 1000:.0f}ms slack)")
+    if hooked["virtual_response_s"] != plain["virtual_response_s"]:
+        problems.append(
+            "empty fault plan moved virtual time: "
+            f"{plain['virtual_response_s']!r} -> "
+            f"{hooked['virtual_response_s']!r}")
+    if hooked["result_rows"] != plain["result_rows"]:
+        problems.append(
+            f"empty fault plan changed results: {plain['result_rows']} -> "
+            f"{hooked['result_rows']}")
+    return problems
+
+
+def render_faults(record: dict) -> str:
+    """Human-readable line for one faults-overhead run."""
+    plain = record["modes"]["plain"]
+    hooked = record["modes"]["hooked"]
+    return (f"faults overhead (pipelined@{record['workload']['degree']}): "
+            f"plain {plain['min_s']:.4f}s, "
+            f"empty plan {hooked['min_s']:.4f}s "
+            f"({record['hooked_over_plain']:.2f}x)")
+
+
 def run_concurrent_cell(quick: bool = False, seed: int = 0) -> dict:
     """Time the MPL-4 concurrent workload (wall clock + virtual shape).
 
@@ -474,6 +574,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workload", action="store_true",
                         help="also time the session-overhead pair (gated "
                              "at 5%%) and the MPL-4 concurrent cell")
+    parser.add_argument("--faults", action="store_true",
+                        help="also time the no-plan vs empty-fault-plan "
+                             "pair (gated at 5%%)")
     args = parser.parse_args(argv)
 
     baseline = None
@@ -498,6 +601,11 @@ def main(argv: list[str] | None = None) -> int:
         concurrent_record = run_concurrent_cell(quick=args.quick)
         matrix["concurrent"] = concurrent_record
         print(render_concurrent(concurrent_record))
+    faults_record = None
+    if args.faults:
+        faults_record = run_faults_overhead(quick=args.quick)
+        matrix["faults"] = faults_record
+        print(render_faults(faults_record))
     if args.out:
         Path(args.out).write_text(json.dumps(matrix, indent=2) + "\n")
     if baseline is not None:
@@ -520,6 +628,8 @@ def main(argv: list[str] | None = None) -> int:
             else:
                 problems.extend(compare_concurrent(concurrent_baseline,
                                                    concurrent_record))
+        if faults_record is not None:
+            problems.extend(compare_faults(faults_record))
         if problems:
             print("\nREGRESSIONS:")
             for problem in problems:

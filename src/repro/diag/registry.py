@@ -63,6 +63,7 @@ class RunRecord:
     critical_path: dict
     findings: list[dict]
     explanation: list[dict] | None = None
+    status: str = "done"
     schema: int = RECORD_SCHEMA
 
     @classmethod
@@ -104,6 +105,7 @@ class RunRecord:
             critical_path=diagnosis.critical_path.to_json(),
             findings=[finding.to_json() for finding in diagnosis.findings],
             explanation=explanation,
+            status=getattr(run, "status", "done"),
         )
 
     @classmethod
@@ -129,6 +131,7 @@ class RunRecord:
             "critical_path": self.critical_path,
             "findings": self.findings,
             "explanation": self.explanation,
+            "status": self.status,
         }
 
     @classmethod
@@ -150,6 +153,7 @@ class RunRecord:
             critical_path=document["critical_path"],
             findings=document.get("findings", []),
             explanation=document.get("explanation"),
+            status=document.get("status", "done"),
             schema=document.get("schema", RECORD_SCHEMA),
         )
 

@@ -88,6 +88,10 @@ class ObservedRun:
     events: list[Event]
     trace: ExecutionTrace
     source: str = "live"
+    status: str = "done"
+    """Terminal status of the run (``done`` / ``cancelled`` /
+    ``timed_out`` / ``failed``): a cancelled run's diagnosis is a
+    partial post-mortem, not a performance report."""
 
     #: consumer operation -> producer operations, derived lazily from
     #: the ``queue.enqueue`` events (which carry ``consumer=...``).
@@ -134,6 +138,7 @@ class ObservedRun:
             events=list(execution.obs.events),
             trace=execution.trace,
             source="live",
+            status=execution.status,
         )
 
     @classmethod
@@ -174,6 +179,7 @@ class ObservedRun:
             events=list(loaded.events),
             trace=loaded.trace,
             source="jsonl",
+            status=loaded.status,
         )
 
     @classmethod

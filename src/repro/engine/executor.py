@@ -125,13 +125,19 @@ class ExecutionOptions:
     golden-trace tests can prove it."""
     observability: ObservabilityOptions = field(
         default_factory=ObservabilityOptions)
+    faults: object | None = None
+    """Optional :class:`~repro.faults.plan.FaultPlan` to inject into
+    the run.  ``None`` (the default) leaves the engine bit-identical
+    to one without the faults layer; an empty plan must behave the
+    same (the fault-free-parity invariant)."""
 
     def __init__(self, placement: str = PLACEMENT_WARM,
                  queue_capacity: int | None = None, seed: int = 0,
                  use_ready_index: bool = True,
                  observability: ObservabilityOptions | None = None,
                  trace: bool | None = None,
-                 observe: bool | None = None) -> None:
+                 observe: bool | None = None,
+                 faults=None) -> None:
         # A user-defined __init__ suppresses the generated one; the
         # extra trace/observe parameters are the deprecated flat
         # spelling of the observability block.
@@ -157,6 +163,7 @@ class ExecutionOptions:
         object.__setattr__(self, "seed", seed)
         object.__setattr__(self, "use_ready_index", use_ready_index)
         object.__setattr__(self, "observability", observability)
+        object.__setattr__(self, "faults", faults)
 
     # Read-only views of the nested block, so call sites can keep
     # asking ``options.observe`` (non-annotated, hence not fields).
@@ -192,6 +199,10 @@ class Executor:
         self.attach_observability(runtimes, bus, tracer)
         simulator = Simulator(self.machine, seed=self.options.seed,
                               use_ready_index=self.options.use_ready_index)
+        if self.options.faults is not None:
+            from repro.faults.injector import FaultInjector
+            simulator.attach_faults(
+                FaultInjector(self.options.faults, bus=bus))
         waves = plan.chain_waves()
         next_thread_id = 0
         current_time = startup

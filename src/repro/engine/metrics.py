@@ -18,6 +18,14 @@ from repro.errors import ExecutionError
 from repro.obs.bus import EventBus
 from repro.storage.tuples import Row
 
+#: Terminal states of a query execution.  ``STATUS_DONE`` is the only
+#: one a plain single-query run can produce; the others come from the
+#: workload layer's cancellation/timeout/fault-abort paths.
+STATUS_DONE = "done"
+STATUS_CANCELLED = "cancelled"
+STATUS_TIMED_OUT = "timed_out"
+STATUS_FAILED = "failed"
+
 
 @dataclass(frozen=True)
 class OperationMetrics:
@@ -41,6 +49,15 @@ class OperationMetrics:
     secondary_accesses: int
     memory_penalty: float
     result_count: int
+    #: Fault-layer accounting (all zero on fault-free runs): failed
+    #: attempts injected, retries re-enqueued, attempts that aborted
+    #: the query, activations discarded by a cancellation/abort drain,
+    #: and virtual time frozen by injected stalls.
+    faults_injected: int = 0
+    fault_retries: int = 0
+    fault_aborts: int = 0
+    discarded: int = 0
+    stalled_time: float = 0.0
 
     @classmethod
     def of(cls, runtime: OperationRuntime) -> "OperationMetrics":
@@ -66,6 +83,11 @@ class OperationMetrics:
             secondary_accesses=runtime.secondary_accesses,
             memory_penalty=runtime.memory_penalty,
             result_count=len(runtime.result_rows),
+            faults_injected=runtime.faults_injected,
+            fault_retries=runtime.fault_retries,
+            fault_aborts=runtime.fault_aborts,
+            discarded=runtime.discarded,
+            stalled_time=sum(t.stalled_time for t in runtime.threads),
         )
 
     @property
@@ -132,6 +154,10 @@ class QueryExecution:
     """Structured events, probe series and counters, present when the
     execution ran with ``ExecutionOptions(observe=True)``; export via
     :mod:`repro.obs.export`."""
+    status: str = STATUS_DONE
+    """Terminal state: ``done``, or — for workload queries —
+    ``cancelled`` / ``timed_out`` / ``failed``.  Non-done executions
+    carry partial metrics (only the operations that ran)."""
 
     @property
     def result_cardinality(self) -> int:

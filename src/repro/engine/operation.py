@@ -100,6 +100,16 @@ class OperationRuntime:
         self.dequeue_batches = 0
         self.secondary_accesses = 0
         self.memory_penalty = 0.0
+        # Fault accounting (repro.faults): failed attempts injected,
+        # how many were re-enqueued as retries, how many aborted the
+        # query, and activations discarded by cancellation/abort
+        # drains.  Together they close the activation-conservation
+        # invariant the chaos harness checks:
+        # enqueued == processed + retries + aborts + discarded.
+        self.faults_injected = 0
+        self.fault_retries = 0
+        self.fault_aborts = 0
+        self.discarded = 0
 
     # -- identity ------------------------------------------------------------
 

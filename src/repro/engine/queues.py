@@ -117,6 +117,23 @@ class ActivationQueue:
             return None
         return self._heap[0][0]
 
+    def discard_pending(self, now: float) -> int:
+        """Drop every pending activation (query cancellation/abort).
+
+        The entries are neither consumed nor delivered — the caller
+        accounts them as discarded work.  Returns how many were
+        dropped.
+        """
+        count = len(self._heap)
+        if count == 0:
+            return 0
+        self._heap.clear()
+        if self.listener is not None:
+            self.listener.notify(self.instance, None)
+        if self.obs is not None:
+            self.obs.on_dequeue(self.operation_name, now, count)
+        return count
+
     def dequeue_ready(self, now: float, limit: int) -> list[Activation]:
         """Pop up to *limit* activations ready at *now* (FIFO order).
 

@@ -50,11 +50,13 @@ from repro.engine.threads import (
     WAITING,
     WorkerThread,
 )
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, ExecutionFaultError
 from repro.obs.bus import (
     BLOCK,
     DEQUEUE,
     ENQUEUE,
+    FAULT_ACTIVATION,
+    FAULT_STALL,
     OP_FINALIZE,
     OP_FINISH,
     THREAD_FINISH,
@@ -101,6 +103,19 @@ class Simulator:
         #: single-query execution.
         self.on_operation_complete: Callable[
             [OperationRuntime, WorkerThread], None] | None = None
+        #: Invoked as ``callback(operation, error, at)`` when an
+        #: activation exhausts its fault retries.  The workload engine
+        #: drains the owning query's wave here (and the simulation
+        #: continues for the survivors); when ``None`` the
+        #: :class:`~repro.errors.ExecutionFaultError` propagates out
+        #: of :meth:`run`.
+        self.on_query_abort: Callable[
+            [OperationRuntime, ExecutionFaultError, float], None] | None = None
+        #: Optional :class:`~repro.faults.injector.FaultInjector`.
+        #: Every consultation is guarded by ``is not None``, so a run
+        #: without one is bit-identical to an engine without the
+        #: faults layer.
+        self._injector = None
         self._heap: list[tuple[float, int, WorkerThread]] = []
         self._seq = 0
         self._active = 0
@@ -114,6 +129,10 @@ class Simulator:
         self._pending_batch: dict[int, list[Activation]] = {}
 
     # -- public API -----------------------------------------------------------
+
+    def attach_faults(self, injector) -> None:
+        """Attach a fault injector for this run (``None`` detaches)."""
+        self._injector = injector
 
     def run_wave(self, operations: list[OperationRuntime]) -> float:
         """Simulate *operations* until every thread terminates.
@@ -183,10 +202,17 @@ class Simulator:
         arrivals with the running simulation.
         """
         heap = self._heap
+        injector = self._injector
         while heap:
             if until is not None and heap[0][0] > until:
                 return heap[0][0]
-            _, _, thread = heapq.heappop(heap)
+            clock, _, thread = heapq.heappop(heap)
+            if (injector is not None
+                    and injector.next_time_at is not None
+                    and injector.next_time_at <= clock):
+                # Time-triggered faults (memory pressure) fire between
+                # events, at the granularity of event pops.
+                injector.apply_time(clock, self.machine)
             if thread.state != RUNNABLE:
                 continue
             if thread.thread_id in self._in_progress:
@@ -194,6 +220,48 @@ class Simulator:
             else:
                 self._step(thread)
         return None
+
+    def drain_operations(self, operations: list[OperationRuntime],
+                         at: float) -> int:
+        """Cancel in-flight operations: discard their pending work.
+
+        Used for query cancellation/abort.  Queued activations are
+        dropped (counted as ``discarded``), input is closed, the
+        end-of-input emission is suppressed, and every parked thread is
+        woken so it observes the drained state and terminates through
+        the normal :meth:`_finish_thread` path — completion callbacks
+        still fire, and co-running operations are untouched.  Returns
+        the number of discarded activations.
+        """
+        discarded = 0
+        for operation in operations:
+            if not operation.threads or operation.complete:
+                continue
+            # Suppress the operator's end-of-input emission: a
+            # cancelled aggregate must not deliver partial groups.
+            operation.finalized = True
+            for queue in operation.queues:
+                dropped = queue.discard_pending(at)
+                if dropped:
+                    operation.pending_activations -= dropped
+                    operation.discarded += dropped
+                    discarded += dropped
+            operation.close_input()
+            for thread in operation.threads:
+                tid = thread.thread_id
+                # Abandon partially charged slices (the activation was
+                # already processed, only its delivery is dropped) and
+                # discard fetched-but-unprocessed batch entries.
+                self._in_progress.pop(tid, None)
+                batch = self._pending_batch.pop(tid, None)
+                if batch:
+                    operation.discarded += len(batch)
+                    discarded += len(batch)
+            self._wake_all(operation)
+            for queue in operation.queues:
+                if queue.blocked_producers:
+                    self._wake_blocked(queue, at)
+        return discarded
 
     @property
     def idle(self) -> bool:
@@ -282,10 +350,42 @@ class Simulator:
             used_secondary = True
         return ready, polls, future, used_secondary
 
+    def _charge_factor(self, thread: WorkerThread) -> float:
+        """Dilation times any injected slowdown at the thread's clock."""
+        factor = self._dilation()
+        injector = self._injector
+        if injector is not None and injector.perturbs_cpu:
+            factor *= injector.speed_factor(
+                thread.operation.name, thread.thread_id, thread.clock)
+        return factor
+
+    def _stalled(self, thread: WorkerThread) -> bool:
+        """Park the thread to the end of a stall window covering it."""
+        injector = self._injector
+        if injector is None or not injector.perturbs_cpu:
+            return False
+        operation = thread.operation
+        until = injector.stall_until(
+            operation.name, thread.thread_id, thread.clock)
+        if until is None:
+            return False
+        if operation.bus is not None:
+            operation.bus.emit(FAULT_STALL, thread.clock, operation.name,
+                               thread.thread_id, until=until)
+        thread.stall(until)
+        self._push(thread)
+        return True
+
     def _step(self, thread: WorkerThread) -> None:
         operation = thread.operation
         costs = self.machine.costs
-        dilation = self._dilation()
+        injector = self._injector
+        if injector is not None and injector.perturbs_cpu:
+            if self._stalled(thread):
+                return
+            dilation = self._charge_factor(thread)
+        else:
+            dilation = self._dilation()
         now = thread.clock
 
         index = operation.ready_index if self.use_ready_index else None
@@ -344,8 +444,22 @@ class Simulator:
             return
 
         filled: set[int] = set()
-        for activation in batch:
-            self._charge_whole(thread, activation, filled)
+        if (injector is not None and injector.can_fail
+                and injector.may_fail(operation.name)):
+            for i, activation in enumerate(batch):
+                decision = injector.attempt(operation, activation,
+                                            thread.clock)
+                if decision is None:
+                    self._charge_whole(thread, activation, filled)
+                    continue
+                self._fail_attempt(thread, activation, decision)
+                if decision.aborts:
+                    operation.discarded += len(batch) - i - 1
+                    self._abort_query(thread, activation, decision)
+                    return
+        else:
+            for activation in batch:
+                self._charge_whole(thread, activation, filled)
         self._after_batch(thread, filled)
 
     def _after_batch(self, thread: WorkerThread, filled: set[int]) -> None:
@@ -375,7 +489,15 @@ class Simulator:
                       filled: set[int]) -> None:
         result = self._run_dbfunc(thread, activation)
         start = thread.clock
-        thread.advance(self._total_cost(thread.operation, result), busy=True)
+        cost = self._total_cost(thread.operation, result)
+        if self._injector is not None and self._injector.adjusts_charges:
+            # Disk latency spikes and slowdown windows fold into the
+            # single whole-activation charge (dilation is identically
+            # 1 on this path, so the factor applies here, not in
+            # _dilation).
+            cost = self._injector.charge(thread.operation, thread.thread_id,
+                                         activation, start, cost)
+        thread.advance(cost, busy=True)
         if thread.operation.tracer is not None:
             thread.operation.tracer.record(
                 thread.thread_id, thread.operation.name,
@@ -388,16 +510,46 @@ class Simulator:
         batch = self._pending_batch.get(thread.thread_id)
         if not batch:
             return
-        activation = batch.pop(0)
+        operation = thread.operation
+        injector = self._injector
+        if (injector is not None and injector.can_fail
+                and injector.may_fail(operation.name)):
+            while batch:
+                activation = batch.pop(0)
+                decision = injector.attempt(operation, activation,
+                                            thread.clock)
+                if decision is None:
+                    self._start_work(thread, activation)
+                    return
+                self._fail_attempt(thread, activation, decision)
+                if decision.aborts:
+                    operation.discarded += len(batch)
+                    self._pending_batch.pop(thread.thread_id, None)
+                    self._abort_query(thread, activation, decision)
+                    return
+            return
+        self._start_work(thread, batch.pop(0))
+
+    def _start_work(self, thread: WorkerThread,
+                    activation: Activation) -> None:
         result = self._run_dbfunc(thread, activation)
         total = self._total_cost(thread.operation, result)
+        if self._injector is not None and self._injector.has_disk:
+            # Disk latency adds to the total; slowdown windows apply
+            # per slice (via _charge_factor), re-sampled as windows
+            # open and close.
+            total += self._injector.disk_extra(thread.operation, activation,
+                                               thread.clock)
         self._in_progress[thread.thread_id] = _WorkInProgress(
             result, thread.clock, total)
 
     def _advance_slice(self, thread: WorkerThread) -> None:
+        if (self._injector is not None and self._injector.perturbs_cpu
+                and self._stalled(thread)):
+            return
         work = self._in_progress[thread.thread_id]
         slice_cost = min(work.remaining, work.slice)
-        thread.advance(slice_cost * self._dilation(), busy=True)
+        thread.advance(slice_cost * self._charge_factor(thread), busy=True)
         work.remaining -= slice_cost
         if work.remaining > 1e-15:
             self._push(thread)
@@ -418,6 +570,62 @@ class Simulator:
         self._pending_batch.pop(thread.thread_id, None)
         self._after_batch(thread, filled)
 
+    # -- fault handling -------------------------------------------------------------
+
+    def _fail_attempt(self, thread: WorkerThread, activation: Activation,
+                      decision) -> None:
+        """Charge one failed processing attempt and schedule the retry.
+
+        The DBFunc did *not* run (stateful operators must not observe
+        failed attempts); the wasted work is the static per-instance
+        cost estimate (or the spec's override).  A retried activation
+        re-enters its own instance queue at ``now + backoff``, where
+        the normal main/secondary consumption discipline — including
+        stealing — redistributes it.
+        """
+        operation = thread.operation
+        operation.faults_injected += 1
+        start = thread.clock
+        if decision.wasted > 0.0:
+            thread.advance(decision.wasted * self._charge_factor(thread),
+                           busy=True)
+            if operation.tracer is not None:
+                operation.tracer.record(thread.thread_id, operation.name,
+                                        "fault", start, thread.clock)
+        if operation.bus is not None:
+            operation.bus.emit(FAULT_ACTIVATION, thread.clock, operation.name,
+                               thread.thread_id, instance=activation.instance,
+                               attempt=decision.attempt,
+                               wasted=decision.wasted,
+                               backoff=decision.backoff,
+                               aborts=decision.aborts)
+        if decision.aborts:
+            operation.fault_aborts += 1
+            return
+        operation.fault_retries += 1
+        operation.queues[activation.instance].enqueue(
+            thread.clock + decision.backoff, activation)
+        operation.pending_activations += 1
+
+    def _abort_query(self, thread: WorkerThread, activation: Activation,
+                     decision) -> None:
+        """An activation exhausted its retries: abort the owning query.
+
+        With a workload attached (:attr:`on_query_abort`), the callback
+        drains the query's wave and the simulation continues for the
+        survivors; this thread then terminates through the normal
+        finish path.  Stand-alone runs raise.
+        """
+        operation = thread.operation
+        error = ExecutionFaultError(
+            f"activation of operation {operation.name!r} instance "
+            f"{activation.instance} failed {decision.attempt} times "
+            f"(retries exhausted) at t={thread.clock:.6f}")
+        if self.on_query_abort is None:
+            raise error
+        self.on_query_abort(operation, error, thread.clock)
+        self._finish_thread(thread)
+
     # -- shared activation machinery ----------------------------------------------
 
     def _finalize_operation(self, thread: WorkerThread) -> None:
@@ -433,7 +641,8 @@ class Simulator:
             operation.memory_penalty += ctx.penalty
             operation.finalize_cost += result.cost
             started_at = thread.clock
-            thread.advance(result.cost * self._dilation(), busy=True)
+            thread.advance(result.cost * self._charge_factor(thread),
+                           busy=True)
             if operation.tracer is not None:
                 operation.tracer.record(thread.thread_id, operation.name,
                                         "finalize", started_at, thread.clock)

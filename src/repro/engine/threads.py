@@ -39,7 +39,7 @@ class WorkerThread:
 
     __slots__ = ("thread_id", "pool_index", "operation", "clock", "state",
                  "main_queues", "main_queue_set", "busy_time", "idle_time",
-                 "started_at", "finished_at")
+                 "stalled_time", "started_at", "finished_at")
 
     def __init__(self, thread_id: int, pool_index: int,
                  operation: "OperationRuntime", start_time: float) -> None:
@@ -53,6 +53,7 @@ class WorkerThread:
         self.main_queue_set: set[int] = set()
         self.busy_time = 0.0
         self.idle_time = 0.0
+        self.stalled_time = 0.0
         self.finished_at: float | None = None
 
     def __repr__(self) -> str:
@@ -75,6 +76,18 @@ class WorkerThread:
     def wait_until(self, instant: float) -> None:
         """Idle-advance the clock to *instant* (no-op if in the past)."""
         if instant > self.clock:
+            self.idle_time += instant - self.clock
+            self.clock = instant
+
+    def stall(self, instant: float) -> None:
+        """Freeze under an injected stall window until *instant*.
+
+        Counts as idle time but is additionally tracked as stalled, so
+        the chaos harness can separate injected freezes from ordinary
+        waiting.
+        """
+        if instant > self.clock:
+            self.stalled_time += instant - self.clock
             self.idle_time += instant - self.clock
             self.clock = instant
 

@@ -51,3 +51,19 @@ class WorkloadError(ReproError):
 
 class AdmissionError(WorkloadError):
     """The admission controller can never admit a submitted query."""
+
+
+class FaultError(ReproError):
+    """An injected fault fired (or a fault plan is malformed)."""
+
+
+class ExecutionFaultError(FaultError):
+    """An activation exhausted its retries; the query aborted."""
+
+
+class QueryCancelledError(WorkloadError):
+    """The result of a cancelled query was requested."""
+
+
+class QueryTimeoutError(QueryCancelledError):
+    """A query exceeded its submission timeout and was cancelled."""

@@ -83,6 +83,23 @@ class LocalCache:
         if size is not None:
             self.used_bytes -= size
 
+    def resize(self, capacity_bytes: int) -> list[object]:
+        """Change the capacity, evicting LRU segments that no longer fit.
+
+        Returns the evicted keys; like :meth:`touch`, a lone oversized
+        segment is tolerated until something else arrives.
+        """
+        if capacity_bytes < 0:
+            raise MachineError("capacity_bytes must be >= 0")
+        self.capacity_bytes = capacity_bytes
+        evicted: list[object] = []
+        while self.used_bytes > self.capacity_bytes and len(self._segments) > 1:
+            key, size = self._segments.popitem(last=False)
+            self.used_bytes -= size
+            self.stats.capacity_evictions += 1
+            evicted.append(key)
+        return evicted
+
 
 @dataclass
 class AllcacheDirectory:
@@ -149,6 +166,18 @@ class AllcacheDirectory:
         cache.stats.remote_misses += 1
         cache.stats.lines_shipped += lines
         return lines * self.costs.remote_penalty_per_line()
+
+    def shrink_to(self, capacity_bytes: int) -> None:
+        """Shrink every local cache (existing and future) to a new budget.
+
+        Mid-run memory pressure: evicted segments fall back to main
+        memory, so the next touch pays the remote penalty again.
+        """
+        self.capacity_bytes = capacity_bytes
+        for cache in self.caches.values():
+            for gone in cache.resize(capacity_bytes):
+                if self.home.get(gone) == cache.owner:
+                    self.home[gone] = REMOTE_HOME
 
     def total_stats(self) -> CacheStats:
         """Aggregate counters across all local caches."""

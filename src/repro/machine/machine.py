@@ -98,3 +98,20 @@ class Machine:
         """Declare a segment's initial cache residency (no-op if uniform)."""
         if self.directory is not None:
             self.directory.place(segment_key, size_bytes, owner)
+
+    def shrink_cache_budget(self, factor: float) -> int:
+        """Shrink the Allcache data budget to ``factor`` of its size.
+
+        Models mid-run memory pressure (another workload claiming local
+        cache): the directory capacity and every existing local cache
+        shrink; over-full caches evict LRU segments on their next
+        touch.  Returns the new per-cache budget (unchanged on uniform
+        machines, where memory is not modelled).
+        """
+        if not 0.0 < factor < 1.0:
+            raise MachineError(
+                f"cache shrink factor must be in (0, 1), got {factor}")
+        self.data_cache_bytes = int(self.data_cache_bytes * factor)
+        if self.directory is not None:
+            self.directory.shrink_to(self.data_cache_bytes)
+        return self.data_cache_bytes

@@ -60,11 +60,25 @@ QUERY_SUBMIT = "query.submit"    # entered the admission queue
 QUERY_ADMIT = "query.admit"      # passed admission, starts executing
 QUERY_GRANT = "query.grant"      # (re)granted a thread budget
 QUERY_FINISH = "query.finish"    # last operation finished
+QUERY_CANCEL = "query.cancel"    # cancelled or timed out (reason in data)
+QUERY_ABORT = "query.abort"      # aborted by an exhausted fault retry
+
+#: Fault injection (:mod:`repro.faults`).  Per-operation kinds appear
+#: on the query's bus; ``fault.memory`` is machine-level and appears
+#: on the workload (or single-query) bus.
+FAULT_ACTIVATION = "fault.activation"  # one failed processing attempt
+FAULT_DISK = "fault.disk"              # disk latency/error spike active
+FAULT_MEMORY = "fault.memory"          # Allcache budget shrank mid-run
+FAULT_STALL = "fault.stall"            # a thread froze for a window
+FAULT_SLOWDOWN = "fault.slowdown"      # a slowdown window took effect
 
 EVENT_KINDS = (
     WAVE_START, WAVE_END, OP_START, OP_SEED, OP_FINALIZE, OP_FINISH,
     ENQUEUE, DEQUEUE, BLOCK, UNBLOCK, THREAD_FINISH, MEMORY,
     QUERY_SUBMIT, QUERY_ADMIT, QUERY_GRANT, QUERY_FINISH,
+    QUERY_CANCEL, QUERY_ABORT,
+    FAULT_ACTIVATION, FAULT_DISK, FAULT_MEMORY, FAULT_STALL,
+    FAULT_SLOWDOWN,
 )
 
 #: Scalar-counter name prefixes (ready-index churn).

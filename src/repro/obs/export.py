@@ -89,6 +89,7 @@ def jsonl_records(execution: "QueryExecution") -> Iterator[dict]:
     yield {
         "type": "meta",
         "schema": SCHEMA_VERSION,
+        "status": execution.status,
         "response_time": execution.response_time,
         "startup_time": execution.startup_time,
         "total_threads": execution.total_threads,
@@ -115,6 +116,11 @@ def jsonl_records(execution: "QueryExecution") -> Iterator[dict]:
             "secondary_accesses": op.secondary_accesses,
             "polls": op.polls,
             "memory_penalty": op.memory_penalty,
+            "faults_injected": op.faults_injected,
+            "fault_retries": op.fault_retries,
+            "fault_aborts": op.fault_aborts,
+            "discarded": op.discarded,
+            "stalled_time": op.stalled_time,
         }
     for event in bus.events:
         yield _event_record(event)
@@ -168,6 +174,12 @@ class LoadedRun:
     @property
     def schema(self) -> int:
         return self.meta.get("schema", 1)
+
+    @property
+    def status(self) -> str:
+        """Terminal status; logs written before the fault layer
+        existed carry no status field and default to ``done``."""
+        return self.meta.get("status", "done")
 
     @property
     def response_time(self) -> float:

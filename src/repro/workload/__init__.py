@@ -22,17 +22,21 @@ from repro.workload.engine import (
 )
 from repro.workload.options import WorkloadOptions
 from repro.workload.session import (
+    CANCELLED,
     DONE,
     FAILED,
     PENDING,
+    TIMED_OUT,
     QueryHandle,
     Session,
 )
 
 __all__ = [
+    "CANCELLED",
     "DONE",
     "FAILED",
     "PENDING",
+    "TIMED_OUT",
     "QueryHandle",
     "QuerySubmission",
     "Session",

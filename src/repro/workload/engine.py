@@ -31,19 +31,28 @@ Life of a query here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.compiler.parallelizer import CompiledQuery
 from repro.engine.executor import ExecutionOptions, Executor, QuerySchedule
-from repro.engine.metrics import OperationMetrics, QueryExecution
+from repro.engine.metrics import (
+    STATUS_CANCELLED,
+    STATUS_DONE,
+    STATUS_FAILED,
+    STATUS_TIMED_OUT,
+    OperationMetrics,
+    QueryExecution,
+)
 from repro.engine.operation import OperationRuntime
 from repro.engine.simulator import Simulator
 from repro.engine.threads import WorkerThread
 from repro.engine.trace import ExecutionTrace
-from repro.errors import AdmissionError, WorkloadError
+from repro.errors import AdmissionError, ExecutionFaultError, WorkloadError
 from repro.machine.machine import Machine
 from repro.obs.bus import (
+    QUERY_ABORT,
     QUERY_ADMIT,
+    QUERY_CANCEL,
     QUERY_FINISH,
     QUERY_GRANT,
     QUERY_SUBMIT,
@@ -56,10 +65,18 @@ from repro.scheduler.complexity import query_complexity
 from repro.workload.admission import AdmissionController, runtime_footprint
 from repro.workload.options import WorkloadOptions
 
-#: Job states.
+#: Job states.  The terminal ones reuse the ``QueryExecution`` status
+#: strings, so a job's final state doubles as its execution's status.
 QUEUED = "queued"
 RUNNING = "running"
-DONE = "done"
+CANCELLING = "cancelling"    # drain requested, threads still unwinding
+DONE = STATUS_DONE
+CANCELLED = STATUS_CANCELLED
+TIMED_OUT = STATUS_TIMED_OUT
+FAILED = STATUS_FAILED
+
+#: States a job can legally end the run in.
+TERMINAL_STATES = (DONE, CANCELLED, TIMED_OUT, FAILED)
 
 
 @dataclass(frozen=True)
@@ -72,17 +89,33 @@ class QuerySubmission:
         schedule: Its own four-step schedule — the per-operation
             thread demands step 0 rescales.
         arrival: Virtual-time submission offset (>= 0).
+        timeout: Abort the query ``timeout`` virtual seconds after
+            arrival (terminal state ``timed_out``), if it has not
+            finished by then.
+        cancel_at: Cancel the query at this absolute virtual time
+            (terminal state ``cancelled``).  Must be >= ``arrival``;
+            at exactly ``arrival`` the query is withdrawn before
+            admission and never runs.
     """
 
     tag: str
     compiled: CompiledQuery
     schedule: QuerySchedule
     arrival: float = 0.0
+    timeout: float | None = None
+    cancel_at: float | None = None
 
     def __post_init__(self) -> None:
         if self.arrival < 0:
             raise WorkloadError(
                 f"arrival must be >= 0, got {self.arrival} for {self.tag!r}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise WorkloadError(
+                f"timeout must be > 0, got {self.timeout} for {self.tag!r}")
+        if self.cancel_at is not None and self.cancel_at < self.arrival:
+            raise WorkloadError(
+                f"cancel_at ({self.cancel_at}) must be >= arrival "
+                f"({self.arrival}) for {self.tag!r}")
 
 
 @dataclass(frozen=True)
@@ -97,7 +130,10 @@ class WorkloadResult:
     """Virtual time at which the last query finished."""
     bus: EventBus
     """Workload-level event stream: query.submit / query.admit /
-    query.grant / query.finish, tagged with query names."""
+    query.grant / query.finish (plus query.cancel / query.abort when
+    faults or cancellation are in play), tagged with query names."""
+    errors: dict[str, str] = field(default_factory=dict)
+    """Abort messages for queries that ended ``failed``, keyed by tag."""
 
     def __post_init__(self) -> None:
         if self.makespan < 0:
@@ -105,10 +141,17 @@ class WorkloadResult:
 
     @property
     def throughput(self) -> float:
-        """Queries completed per virtual second."""
+        """Successfully completed queries per virtual second."""
         if self.makespan <= 0:
             raise WorkloadError("zero makespan")
-        return len(self.executions) / self.makespan
+        done = sum(1 for e in self.executions.values()
+                   if e.status == STATUS_DONE)
+        return done / self.makespan
+
+    def status_of(self, tag: str) -> str:
+        """Terminal status of one query: ``done`` / ``cancelled`` /
+        ``timed_out`` / ``failed``."""
+        return self.execution(tag).status
 
     @property
     def mean_response_time(self) -> float:
@@ -135,6 +178,8 @@ class _QueryJob:
         self.plan = submission.compiled.plan
         self.schedule = submission.schedule
         self.arrival = submission.arrival
+        self.timeout = submission.timeout
+        self.cancel_at = submission.cancel_at
         self.order = order
         self.plan.validate()
         self.runtimes = executor.build_runtimes(self.plan, self.schedule)
@@ -166,14 +211,34 @@ class _QueryJob:
         self.admitted_at: float | None = None
         self.finished_at: float | None = None
         self.execution: QueryExecution | None = None
+        #: Terminal state this job is headed for while CANCELLING.
+        self.outcome = DONE
+        self.error: ExecutionFaultError | None = None
+        self.cancel_requested_at: float | None = None
 
-    def build_execution(self, executor: Executor) -> QueryExecution:
+    @property
+    def deadline(self) -> tuple[float, str] | None:
+        """Earliest scheduled cancellation instant ``(t, outcome)``."""
+        candidates = []
+        if self.cancel_at is not None:
+            candidates.append((self.cancel_at, CANCELLED))
+        if self.timeout is not None:
+            candidates.append((self.arrival + self.timeout, TIMED_OUT))
+        return min(candidates) if candidates else None
+
+    def build_execution(self, executor: Executor,
+                        status: str = STATUS_DONE) -> QueryExecution:
         """Freeze metrics once the last wave finished.
 
         ``response_time`` is measured from *submission*, so it
         includes any admission-queue wait — for a query submitted at
         t=0 and admitted immediately it equals the absolute finish
         time, exactly as the single-query executor reports it.
+
+        A non-``done`` status freezes a *partial* execution: only the
+        operations that actually finished (normally or via a drain)
+        contribute metrics, and ``result_rows`` holds whatever the
+        final operator emitted before the query was stopped.
         """
         assert self.finished_at is not None
         return QueryExecution(
@@ -182,10 +247,12 @@ class _QueryJob:
             total_threads=self.max_threads,
             dilation=self.max_dilation,
             operations={name: OperationMetrics.of(rt)
-                        for name, rt in self.runtimes.items()},
+                        for name, rt in self.runtimes.items()
+                        if rt.finished_at is not None},
             result_rows=executor.collect_results(self.plan, self.runtimes),
             trace=self.tracer,
             obs=self.bus,
+            status=status,
         )
 
 
@@ -227,6 +294,11 @@ class _WorkloadRun:
             machine, seed=exec_options.seed,
             use_ready_index=exec_options.use_ready_index)
         self.simulator.on_operation_complete = self._on_operation_complete
+        self.simulator.on_query_abort = self._on_query_abort
+        if workload.faults is not None:
+            from repro.faults.injector import FaultInjector
+            self.simulator.attach_faults(
+                FaultInjector(workload.faults, bus=self.bus))
         self.running: list[_QueryJob] = []
         self.queue: list[_QueryJob] = []
         self.next_thread_id = 0
@@ -238,24 +310,49 @@ class _WorkloadRun:
     # -- outer loop -----------------------------------------------------------
 
     def run(self) -> WorkloadResult:
-        arrivals = sorted(self.jobs, key=lambda j: (j.arrival, j.order))
+        # Control points: query arrivals plus scheduled cancellation /
+        # timeout deadlines, in one merged timeline.  Arrivals sort
+        # before deadlines at the same instant (a query cancelled at
+        # its own arrival must exist before it can be withdrawn).
+        events: list[tuple[float, int, int, str]] = []
+        for job in self.jobs:
+            events.append((job.arrival, 0, job.order, "arrive"))
+            deadline = job.deadline
+            if deadline is not None:
+                events.append((deadline[0], 1, job.order, deadline[1]))
+        events.sort()
         index = 0
-        while index < len(arrivals):
-            now = arrivals[index].arrival
-            # Drain the simulation up to (and including) the arrival
+        while index < len(events):
+            now = events[index][0]
+            # Drain the simulation up to (and including) the control
             # instant, so admission sees the machine state at that
             # virtual time — completions at t <= now already applied.
             self.simulator.run(until=now)
-            while index < len(arrivals) and arrivals[index].arrival <= now:
-                job = arrivals[index]
+            self._maybe_recycle_thread_ids()
+            arrived = False
+            deadlines: list[tuple[_QueryJob, str]] = []
+            while index < len(events) and events[index][0] <= now:
+                _, _, order, kind = events[index]
                 index += 1
-                self.bus.emit(QUERY_SUBMIT, job.arrival, job.tag,
-                              demand=job.demand, footprint=job.footprint)
-                self.admission.check_admissible(job.tag, job.footprint)
-                self.queue.append(job)
-            self._try_admit(now)
+                job = self.jobs[order]
+                if kind == "arrive":
+                    self.bus.emit(QUERY_SUBMIT, job.arrival, job.tag,
+                                  demand=job.demand, footprint=job.footprint)
+                    self.admission.check_admissible(job.tag, job.footprint)
+                    self.queue.append(job)
+                    arrived = True
+                else:
+                    deadlines.append((job, kind))
+            # Deadlines apply before admission: a query cancelled at
+            # its arrival instant is withdrawn from the FIFO queue and
+            # never touches the machine.
+            for job, outcome in deadlines:
+                self._apply_deadline(job, now, outcome)
+            if arrived:
+                self._try_admit(now)
         self.simulator.run()
-        stuck = [job.tag for job in self.jobs if job.state != DONE]
+        stuck = [job.tag for job in self.jobs
+                 if job.state not in TERMINAL_STATES]
         if stuck:
             raise WorkloadError(
                 f"workload did not complete: queries {stuck} never "
@@ -266,7 +363,94 @@ class _WorkloadRun:
             order=tuple(job.tag for job in self.jobs),
             makespan=makespan,
             bus=self.bus,
+            errors={job.tag: str(job.error) for job in self.jobs
+                    if job.error is not None},
         )
+
+    def _maybe_recycle_thread_ids(self) -> None:
+        """Reset thread-id allocation when the machine is quiescent.
+
+        With nothing running and nothing queued, every prior thread
+        has terminated, so a query arriving now can reuse ids from 0 —
+        giving it the *same* thread ids (hence bit-identical events
+        and trace) as if the earlier queries had never been submitted.
+        That is what makes cancellation side-effect-free for late
+        survivors.  Allcache machines are exempt: thread ids name
+        per-processor local caches there, and reusing an id would
+        alias warmed cache state that a fresh run would not have.
+        """
+        if (self.next_thread_id and not self.running and not self.queue
+                and self.machine.directory is None):
+            self.next_thread_id = 0
+            self.startup_free_at = 0.0
+
+    # -- cancellation / abort --------------------------------------------------
+
+    def _apply_deadline(self, job: _QueryJob, now: float,
+                        outcome: str) -> None:
+        """Cancel or time out one query at its requested instant.
+
+        A queued query is withdrawn immediately.  A running one enters
+        ``CANCELLING``: its pending activations are discarded *now*,
+        but threads are cooperative — each finishes its in-flight
+        activation and then terminates, so the terminal bookkeeping
+        happens in :meth:`_on_operation_complete` when the truncated
+        wave reaches its forced boundary.
+        """
+        if job.state not in (QUEUED, RUNNING):
+            return  # already finished, failed, or being drained
+        reason = "timeout" if outcome == TIMED_OUT else "cancel"
+        if job.state == QUEUED:
+            self.queue.remove(job)
+            job.state = outcome
+            job.finished_at = now
+            job.execution = job.build_execution(self.executor, status=outcome)
+            self.bus.emit(QUERY_CANCEL, now, job.tag, reason=reason,
+                          admitted=False, discarded=0)
+            return
+        job.state = CANCELLING
+        job.outcome = outcome
+        job.cancel_requested_at = now
+        discarded = self.simulator.drain_operations(job.current_wave_ops, now)
+        self.bus.emit(QUERY_CANCEL, now, job.tag, reason=reason,
+                      admitted=True, discarded=discarded)
+
+    def _on_query_abort(self, operation: OperationRuntime,
+                        error: ExecutionFaultError, at: float) -> None:
+        """Simulator callback: an activation exhausted its retries.
+
+        The owning query fails cleanly — its wave is drained and its
+        capacity eventually regranted to survivors — instead of the
+        fault tearing down the whole workload.
+        """
+        job = self._job_of.get(id(operation))
+        if job is None:
+            raise error
+        if job.state == CANCELLING:
+            return  # already draining; the failing thread just winds down
+        job.state = CANCELLING
+        job.outcome = FAILED
+        job.error = error
+        job.cancel_requested_at = at
+        discarded = self.simulator.drain_operations(job.current_wave_ops, at)
+        self.bus.emit(QUERY_ABORT, at, job.tag, error=str(error),
+                      failed_operation=operation.name, discarded=discarded)
+
+    def _terminate(self, job: _QueryJob, finish: float) -> None:
+        """Terminal bookkeeping once a stopped query's truncated wave
+        has fully unwound (mirrors :meth:`_complete`)."""
+        job.state = job.outcome
+        job.finished_at = finish
+        job.execution = job.build_execution(self.executor,
+                                            status=job.outcome)
+        self.running.remove(job)
+        self.admission.release(job.footprint)
+        self.bus.emit(QUERY_FINISH, finish, job.tag,
+                      response_time=finish - job.arrival,
+                      threads=job.max_threads, status=job.outcome)
+        self._try_admit(finish)
+        if self.running:
+            self._refresh_grants(finish, grow=self.workload.rebalance)
 
     # -- admission ------------------------------------------------------------
 
@@ -371,7 +555,18 @@ class _WorkloadRun:
     def _on_operation_complete(self, operation: OperationRuntime,
                                thread: WorkerThread) -> None:
         job = self._job_of.get(id(operation))
-        if job is None or job.state != RUNNING:
+        if job is None:
+            return
+        if job.state == CANCELLING:
+            # A drained wave completes operation by operation as each
+            # thread finishes its in-flight activation; once the last
+            # one lands the query reaches its terminal state.
+            if any(not op.complete for op in job.current_wave_ops):
+                return
+            finish = max(op.finished_at for op in job.current_wave_ops)
+            self._terminate(job, max(finish, job.cancel_requested_at))
+            return
+        if job.state != RUNNING:
             return
         if any(not op.complete for op in job.current_wave_ops):
             return
@@ -393,9 +588,12 @@ class _WorkloadRun:
                       response_time=finish - job.arrival,
                       threads=job.max_threads)
         # Freed capacity: first let queued queries in, then re-grant
-        # the remaining budget across everyone still running.
+        # the remaining budget across everyone still running.  With
+        # zero survivors there is nothing to re-grant and no event to
+        # emit — the workload bus ends on this query.finish.
         self._try_admit(finish)
-        self._refresh_grants(finish, grow=self.workload.rebalance)
+        if self.running:
+            self._refresh_grants(finish, grow=self.workload.rebalance)
 
     # -- dynamic reallocation ---------------------------------------------------
 

@@ -38,6 +38,11 @@ class WorkloadOptions:
     """Reserved for workload-level recording knobs; the workload
     event stream (submit/admit/grant/finish) is always collected —
     it is O(queries), not O(activations)."""
+    faults: object | None = None
+    """Optional :class:`~repro.faults.FaultPlan` applied to the whole
+    workload's shared simulation.  ``None`` (the default) leaves the
+    engine hot path untouched — fault-free runs are bit-identical
+    with or without the faults layer imported."""
 
     def __post_init__(self) -> None:
         if self.max_concurrent < 1:

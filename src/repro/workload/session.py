@@ -23,8 +23,18 @@ from typing import TYPE_CHECKING
 from repro.compiler.parallelizer import CompiledQuery
 from repro.core.results import QueryResult
 from repro.engine.executor import QuerySchedule
-from repro.engine.metrics import QueryExecution
-from repro.errors import WorkloadError
+from repro.engine.metrics import (
+    STATUS_CANCELLED,
+    STATUS_FAILED,
+    STATUS_TIMED_OUT,
+    QueryExecution,
+)
+from repro.errors import (
+    ExecutionFaultError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    WorkloadError,
+)
 from repro.lera.graph import LeraGraph
 from repro.lera.operators import JOIN_NESTED_LOOP
 from repro.storage.schema import Schema
@@ -39,17 +49,20 @@ from repro.workload.options import WorkloadOptions
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from repro.core.database import DBS3
 
-#: Handle states.
+#: Handle states.  The terminal ones mirror the execution statuses.
 PENDING = "pending"
 DONE = "done"
 FAILED = "failed"
+CANCELLED = STATUS_CANCELLED
+TIMED_OUT = STATUS_TIMED_OUT
 
 
 class QueryHandle:
     """One submitted query's future result."""
 
     def __init__(self, session: Session, tag: str, compiled: CompiledQuery,
-                 schedule: QuerySchedule, arrival: float) -> None:
+                 schedule: QuerySchedule, arrival: float,
+                 timeout: float | None = None) -> None:
         self._session = session
         self.tag = tag
         self.compiled = compiled
@@ -58,26 +71,73 @@ class QueryHandle:
         time (its per-operation thread demands; step 0 may rescale
         them when other queries run concurrently)."""
         self.arrival = arrival
+        self.timeout = timeout
+        self.cancel_at: float | None = None
 
     def __repr__(self) -> str:
         return (f"QueryHandle(tag={self.tag!r}, at={self.arrival}, "
                 f"status={self.status!r})")
 
+    def cancel(self, at: float | None = None) -> None:
+        """Schedule this query's cancellation at virtual time *at*.
+
+        With ``at=None`` the query is cancelled at its own arrival
+        instant — it is withdrawn before admission and never runs.
+        The simulation is virtual-time, so cancellation is scheduled
+        *before* :meth:`Session.run`, not raced against it; cancelling
+        after the workload ran is an error.
+        """
+        if self._session.result is not None:
+            raise WorkloadError(
+                f"cannot cancel {self.tag!r}: the workload already ran")
+        instant = self.arrival if at is None else at
+        if instant < self.arrival:
+            raise WorkloadError(
+                f"cancel_at ({instant}) must be >= arrival "
+                f"({self.arrival}) for {self.tag!r}")
+        self.cancel_at = instant
+
     @property
     def status(self) -> str:
-        """``pending`` before the workload ran, then ``done``/``failed``."""
+        """``pending`` before the workload ran; afterwards the query's
+        terminal status: ``done`` / ``cancelled`` / ``timed_out`` /
+        ``failed``."""
         return self._session._status_of(self.tag)
 
     @property
     def execution(self) -> QueryExecution:
-        """Execution metrics; drives the workload if it has not run."""
+        """Execution metrics; drives the workload if it has not run.
+
+        Available for *every* terminal status — a cancelled or failed
+        query exposes its partial metrics here even though
+        :meth:`result` raises."""
         return self._session.run().execution(self.tag)
 
     def result(self) -> QueryResult:
         """The query's relational result; drives the workload if it
         has not run yet (so ``result()`` before completion simply
-        executes everything submitted so far)."""
+        executes everything submitted so far).
+
+        Raises :class:`~repro.errors.QueryCancelledError` /
+        :class:`~repro.errors.QueryTimeoutError` /
+        :class:`~repro.errors.ExecutionFaultError` when the query did
+        not run to completion — a partial result set must never be
+        mistaken for the real one (inspect :attr:`execution` instead).
+        """
         execution = self.execution
+        if execution.status == STATUS_TIMED_OUT:
+            raise QueryTimeoutError(
+                f"query {self.tag!r} timed out after {self.timeout} virtual "
+                f"seconds; partial metrics are on handle.execution")
+        if execution.status == STATUS_CANCELLED:
+            raise QueryCancelledError(
+                f"query {self.tag!r} was cancelled; partial metrics are on "
+                f"handle.execution")
+        if execution.status == STATUS_FAILED:
+            message = self._session.run().errors.get(
+                self.tag, "activation retries exhausted")
+            raise ExecutionFaultError(
+                f"query {self.tag!r} aborted: {message}")
         rows = self.compiled.shape_rows(execution.result_rows)
         return QueryResult(
             rows=rows,
@@ -115,26 +175,31 @@ class Session:
     def submit(self, sql: str, at: float = 0.0, threads: int | None = None,
                algorithm: str = JOIN_NESTED_LOOP,
                schedule: QuerySchedule | None = None,
-               tag: str | None = None) -> QueryHandle:
+               tag: str | None = None,
+               timeout: float | None = None) -> QueryHandle:
         """Compile *sql* and queue it for execution at offset *at*."""
         compiled = self.db.compile(sql, algorithm)
         return self.submit_compiled(compiled, at=at, threads=threads,
-                                    schedule=schedule, tag=tag)
+                                    schedule=schedule, tag=tag,
+                                    timeout=timeout)
 
     def submit_plan(self, plan: LeraGraph, output_schema: Schema,
                     at: float = 0.0, threads: int | None = None,
                     schedule: QuerySchedule | None = None,
                     tag: str | None = None,
+                    timeout: float | None = None,
                     description: str = "custom plan") -> QueryHandle:
         """Queue a hand-built Lera-par plan."""
         compiled = CompiledQuery(plan, output_schema, None, description)
         return self.submit_compiled(compiled, at=at, threads=threads,
-                                    schedule=schedule, tag=tag)
+                                    schedule=schedule, tag=tag,
+                                    timeout=timeout)
 
     def submit_compiled(self, compiled: CompiledQuery, at: float = 0.0,
                         threads: int | None = None,
                         schedule: QuerySchedule | None = None,
-                        tag: str | None = None) -> QueryHandle:
+                        tag: str | None = None,
+                        timeout: float | None = None) -> QueryHandle:
         """Queue an already-compiled query.
 
         The schedule is computed here (submit time), so
@@ -142,6 +207,9 @@ class Session:
         A query whose lone memory footprint exceeds the workload's
         limit fails *now* with :class:`~repro.errors.AdmissionError`
         rather than poisoning the whole batch at :meth:`run`.
+        ``timeout`` (virtual seconds after arrival) bounds the query's
+        time on the machine; see :meth:`QueryHandle.cancel` for
+        explicit cancellation.
         """
         if self._result is not None or self._failed is not None:
             raise WorkloadError(
@@ -157,10 +225,12 @@ class Session:
             AdmissionController(self.options).check_admissible(tag, footprint)
         if schedule is None:
             schedule = self.db.scheduler.schedule(compiled.plan, threads)
-        handle = QueryHandle(self, tag, compiled, schedule, at)
-        # QuerySubmission re-validates the arrival offset; building it
-        # here keeps bad offsets from surfacing only at run().
-        QuerySubmission(tag, compiled, schedule, at)
+        handle = QueryHandle(self, tag, compiled, schedule, at,
+                             timeout=timeout)
+        # QuerySubmission re-validates the arrival offset and timeout;
+        # building it here keeps bad values from surfacing only at
+        # run().
+        QuerySubmission(tag, compiled, schedule, at, timeout=timeout)
         self.handles.append(handle)
         return handle
 
@@ -179,7 +249,9 @@ class Session:
                 f"session already failed: {self._failed}") from self._failed
         if self._result is not None:
             return self._result
-        submissions = [QuerySubmission(h.tag, h.compiled, h.schedule, h.arrival)
+        submissions = [QuerySubmission(h.tag, h.compiled, h.schedule,
+                                       h.arrival, timeout=h.timeout,
+                                       cancel_at=h.cancel_at)
                        for h in self.handles]
         executor = WorkloadExecutor(self.db.machine, self.db.executor.options,
                                     self.options)
@@ -202,4 +274,4 @@ class Session:
             return FAILED
         if self._result is None:
             return PENDING
-        return DONE
+        return self._result.execution(tag).status

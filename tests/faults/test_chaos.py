@@ -1,0 +1,28 @@
+"""Chaos sweeps (``pytest -m chaos``; deselected from tier-1).
+
+Thin pytest wrappers over :mod:`repro.bench.chaos`: each seed's full
+invariant audit must pass, and the pooled engine must degrade strictly
+less than the static binding at every slowdown factor above 1.  CI
+runs these through ``make chaos``.
+"""
+
+import pytest
+
+from repro.bench.chaos import degradation_curve, run_chaos
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_seeded_sweep_upholds_invariants(seed):
+    report = run_chaos(seed)
+    assert report.passed, "\n".join(report.violations)
+
+
+def test_pooled_degrades_less_than_static():
+    points = degradation_curve()
+    assert points[0].factor == 1.0
+    for point in points[1:]:
+        assert point.pooled < point.static, (
+            f"pooled did not beat static at factor {point.factor}: "
+            f"{point.pooled} vs {point.static}")
