@@ -7,7 +7,7 @@ PYTHONPATH := src
 export PYTHONPATH
 
 .PHONY: test bench perf perf-full perf-baseline trace-demo diagnose-demo \
-	compare-demo concurrent-demo chaos chaos-demo
+	compare-demo concurrent-demo shared-demo chaos chaos-demo
 
 ## Tier-1: the fast deterministic test suite (what CI gates on).
 test:
@@ -44,6 +44,12 @@ chaos-demo:
 ## simulation, with the admission/grant/finish timeline printed.
 concurrent-demo:
 	$(PYTHON) -m repro --concurrent 4
+
+## Shared-work demo: eight queries (each shape twice) with identical
+## subplans folded onto shared operators; prints the makespan gain of
+## folding over private concurrent execution.
+shared-demo:
+	$(PYTHON) -m repro --concurrent 8 --shared
 
 ## Observed demo query: scheduler explain + Chrome trace (Perfetto) +
 ## JSONL event log + metrics snapshot into benchmarks/results/.

@@ -38,3 +38,43 @@ def test_fig_concurrent_throughput(benchmark, record_result):
 
     # Speed-up never collapses back to serial at higher MPLs.
     assert min(speedup.values[1:]) > 1.2
+
+
+def test_fig_sharing_fold_gains(benchmark, record_result):
+    """The shared-work overlap sweep: folding identical subplans must
+    collapse the fully-overlapping workload toward one physical
+    execution, never hurt disjoint workloads, and scale with the
+    overlap fraction in between."""
+    if FULL:
+        result = run_once(benchmark, lambda: fig_concurrent.run_sharing(
+            fig_concurrent.PAPER_CARD_A, fig_concurrent.PAPER_CARD_B,
+            fig_concurrent.PAPER_DEGREE))
+    else:
+        result = run_once(benchmark, fig_concurrent.run_sharing)
+    record_result(result)
+
+    levels = result.x_values
+    at = {level: i for i, level in enumerate(levels)}
+
+    # 0 % overlap: the fold pass finds nothing — the shared engine
+    # must cost zero virtual time over the private one, at every MPL.
+    private0 = result.get("private_s_o0")
+    shared0 = result.get("shared_s_o0")
+    for i, level in enumerate(levels):
+        assert shared0.values[i] <= private0.values[i] * (1 + 1e-9), \
+            f"sharing hurt a disjoint workload at MPL {level}"
+
+    # 100 % overlap: one physical execution serves every subscriber —
+    # the shared makespan stays flat at the single-query time while
+    # the private makespan grows with MPL.
+    shared100 = result.get("shared_s_o100")
+    gain100 = result.get("gain_o100")
+    single = shared100.values[at[1]]
+    assert shared100.spread() < 0.01, "shared makespan should stay flat"
+    assert abs(shared100.values[-1] - single) < 0.01 * single
+    assert gain100.values[-1] >= 2.0, \
+        f"only {gain100.values[-1]:.2f}x at MPL {levels[-1]} full overlap"
+
+    # 50 % overlap sits between the two extremes at the top MPL.
+    gain50 = result.get("gain_o50")
+    assert 1.0 <= gain50.values[-1] <= gain100.values[-1]

@@ -13,22 +13,26 @@ import pathlib
 import pytest
 
 from repro.bench.perf_baseline import (
+    SHARED_SPEEDUP_MIN,
     compare_concurrent,
     compare_faults,
     compare_matrices,
     compare_obs,
     compare_session,
+    compare_shared,
     load_baseline,
     render,
     render_concurrent,
     render_faults,
     render_obs,
     render_session,
+    render_shared,
     run_concurrent_cell,
     run_faults_overhead,
     run_matrix,
     run_obs_overhead,
     run_session_overhead,
+    run_shared_cell,
 )
 
 BASELINE_PATH = pathlib.Path(__file__).parent.parent / "BENCH_engine.json"
@@ -98,6 +102,45 @@ def test_concurrent_cell_has_not_regressed():
     print(render_concurrent(current))
     problems = compare_concurrent(baseline["concurrent"]["quick"], current)
     assert not problems, "\n".join(problems)
+
+
+@pytest.mark.perf
+def test_shared_workload_cell_holds_its_gates():
+    """The MPL-8 shared-work cell: the fully-overlapping workload must
+    fold to >= 2x virtual speed-up over its private twin, the
+    zero-overlap workload must never be worse with sharing on (exact
+    in virtual time, within the matrix threshold in within-run wall
+    clock), sharing must not change any result cardinality, every
+    virtual makespan must match the committed record bit for bit, and
+    the default (``shared=False``) probe must reproduce the committed
+    pre-sharing concurrent makespan exactly."""
+    baseline = load_baseline(BASELINE_PATH)
+    current = run_shared_cell(quick=True, seed=0)
+    print()
+    print(render_shared(current))
+    problems = compare_shared(baseline["shared"]["quick"], current,
+                              baseline["concurrent"]["quick"])
+    assert not problems, "\n".join(problems)
+
+
+@pytest.mark.perf
+def test_committed_shared_baseline_documents_the_fold():
+    """The committed shared section must document the headline claim —
+    >= 2x at MPL 8 with full overlap, never worse at zero overlap, and
+    an escape hatch bit-identical to the pre-sharing engine — at both
+    scales."""
+    baseline = load_baseline(BASELINE_PATH)
+    for scale in ("quick", "full"):
+        record = baseline["shared"][scale]
+        assert record["workload"]["mpl"] >= 8
+        assert record["overlap_gain_virtual"] >= SHARED_SPEEDUP_MIN, scale
+        assert record["disjoint_ratio_virtual"] <= 1.0, scale
+        modes = record["modes"]
+        for pair in ("disjoint", "overlap"):
+            assert (modes[f"{pair}_shared"]["result_rows"]
+                    == modes[f"{pair}_private"]["result_rows"]), scale
+        assert (modes["concurrent_default"]["makespan_virtual_s"]
+                == baseline["concurrent"][scale]["makespan_virtual_s"]), scale
 
 
 @pytest.mark.perf

@@ -8,6 +8,12 @@ Usage::
                                     # printing the admission/grant
                                     # timeline and the speed-up over
                                     # back-to-back execution
+    python -m repro --concurrent 8 --shared
+                                    # same, with shared-work folding:
+                                    # identical subplans of concurrent
+                                    # queries execute once and fan out
+                                    # to every subscriber (also prints
+                                    # the gain over private execution)
     python -m repro --figures       # regenerate the paper's figures
                                     # (alias of repro.bench.reporting)
     python -m repro run --explain --trace-out trace.json \\
@@ -79,12 +85,14 @@ def demo() -> None:
     print("for skew handling, partitioning tuning and the Allcache model.")
 
 
-def concurrent_demo(count: int) -> int:
+def concurrent_demo(count: int, shared: bool = False) -> int:
     """Run *count* queries concurrently in one shared simulation."""
     from repro.obs.bus import QUERY_ADMIT, QUERY_FINISH, QUERY_GRANT
+    from repro.workload.options import WorkloadOptions
 
     print(f"DBS3 concurrent workload demo — {count} queries, "
-          f"one shared simulation\n")
+          f"one shared simulation"
+          + (", shared-work folding ON" if shared else "") + "\n")
     db = DBS3(processors=72)
     db.create_table(generate_wisconsin("A", 12_000, seed=1), "unique1", 60)
     db.create_table(generate_wisconsin("B", 1_200, seed=2), "unique1", 60)
@@ -102,10 +110,26 @@ def concurrent_demo(count: int) -> int:
     for sql in queries:
         serial += db.query(sql).execution.response_time
 
-    session = db.session()
-    for sql in queries:
-        session.submit(sql)
-    result = session.run()
+    def run_session(fold: bool):
+        # The admission bound is lifted to the query count so every
+        # duplicate arrives inside the foldability window (a queued
+        # query cannot fold onto work that already started); the
+        # private reference run gets the same bound for a fair gain.
+        session = db.session(options=WorkloadOptions(
+            max_concurrent=count, shared=fold))
+        for sql in queries:
+            session.submit(sql)
+        return session.run()
+
+    private_makespan = None
+    if shared:
+        private_makespan = run_session(False).makespan
+        result = run_session(True)
+    else:
+        session = db.session()
+        for sql in queries:
+            session.submit(sql)
+        result = session.run()
 
     print("timeline (virtual time):")
     interesting = {QUERY_ADMIT: "admit ", QUERY_FINISH: "finish",
@@ -119,11 +143,19 @@ def concurrent_demo(count: int) -> int:
     print("\nper-query response times (from submission):")
     for tag in result.order:
         execution = result.execution(tag)
+        folded = sum(1 for op in execution.operations.values()
+                     if op.cost_share < 1.0)
+        note = (f", {folded} shared op{'s' if folded != 1 else ''}"
+                if folded else "")
         print(f"  {tag}: {execution.response_time:.4f}s, "
-              f"peak {execution.total_threads} threads")
+              f"peak {execution.total_threads} threads{note}")
     print(f"\nback-to-back serial : {serial:.4f}s")
     print(f"concurrent makespan : {result.makespan:.4f}s "
           f"({serial / result.makespan:.2f}x)")
+    if private_makespan is not None:
+        print(f"private makespan    : {private_makespan:.4f}s — folding "
+              f"gains {private_makespan / result.makespan:.2f}x on top of "
+              f"concurrency")
     print(f"throughput          : {result.throughput:.2f} queries/s")
     return 0
 
@@ -367,6 +399,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--concurrent", type=int, metavar="N", default=None,
                         help="run the N-query concurrent workload demo "
                              "(one shared simulation)")
+    parser.add_argument("--shared", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="with --concurrent: fold identical subplans "
+                             "of concurrent queries onto shared operators "
+                             "(--no-shared restores the default private "
+                             "execution)")
     parser.add_argument("--figures", action="store_true",
                         help="regenerate the paper's figures instead of "
                              "running the demo")
@@ -384,7 +422,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.concurrent is not None:
         if args.concurrent < 1:
             parser.error("--concurrent needs at least one query")
-        return concurrent_demo(args.concurrent)
+        return concurrent_demo(args.concurrent, shared=args.shared)
     if args.diagnose or args.from_events:
         if args.threads is None:
             args.threads = 10

@@ -250,6 +250,167 @@ def run_chaos(seed: int, parity: bool = True) -> ChaosReport:
     )
 
 
+# -- shared-work audit --------------------------------------------------------
+
+#: The shared-work chaos workload: three copies of one join (they fold
+#: onto a single physical execution) plus one disjoint join (it must
+#: stay private), with the *middle subscriber* cancelled mid-run.
+SHARED_CHAOS_DUPLICATES = 3
+SHARED_CHAOS_QUERY = CHAOS_QUERIES[0]
+SHARED_CHAOS_PRIVATE = CHAOS_QUERIES[1]
+
+
+def check_shared_orphans(result) -> list[str]:
+    """No orphaned threads, fold-aware.
+
+    A folded operation's pool belongs to its host, so its
+    ``thread.finish`` events appear on the host's bus only: every
+    private appearance must account for all its threads, every
+    fractional appearance carries either all of them (the host) or
+    none (a subscriber), and each physical folded operation must have
+    exactly one carrier across the workload.
+    """
+    problems = []
+    carriers: dict[tuple, int] = {}
+    appearances: dict[tuple, int] = {}
+    for tag in result.order:
+        execution = result.execution(tag)
+        if execution.obs is None:
+            continue
+        finishes: dict[str, int] = {}
+        for event in execution.obs.events:
+            if event.kind == THREAD_FINISH and event.operation is not None:
+                finishes[event.operation] = (
+                    finishes.get(event.operation, 0) + 1)
+        for name, op in execution.operations.items():
+            finished = finishes.get(name, 0)
+            if op.cost_share >= 1.0:
+                if finished != op.threads:
+                    problems.append(
+                        f"{tag}/{name}: {op.threads} threads but {finished} "
+                        f"thread.finish events — orphaned threads")
+                continue
+            key = (op.started_at, op.finished_at, op.activations,
+                   round(sum(op.activation_costs), 9))
+            appearances[key] = appearances.get(key, 0) + 1
+            if finished == op.threads:
+                carriers[key] = carriers.get(key, 0) + 1
+            elif finished != 0:
+                problems.append(
+                    f"{tag}/{name}: folded operation shows {finished} of "
+                    f"{op.threads} thread.finish events (must be all of "
+                    f"them on the host or none on a subscriber)")
+    for key, count in appearances.items():
+        if carriers.get(key, 0) != 1:
+            problems.append(
+                f"folded operation with {count} appearances has "
+                f"{carriers.get(key, 0)} thread-finish carriers "
+                f"(expected exactly the host)")
+    return problems
+
+
+def check_shared_attribution(result) -> list[str]:
+    """Shared work is counted exactly once across subscribers.
+
+    Folded operations appear in every subscriber's execution with the
+    same raw counters but a fractional ``cost_share``; grouping the
+    appearances by their physical identity (start, finish, activation
+    profile — one folded runtime executes once, so every appearance
+    carries identical raw numbers), the shares of one group must never
+    sum past 1.0.  A subscriber cancelled before the operation
+    finished simply drops its appearance, so the sum may fall short —
+    attribution is conservative, never double-counted.
+    """
+    problems = []
+    groups: dict[tuple, list] = {}
+    folded_seen = False
+    for tag in result.order:
+        execution = result.execution(tag)
+        for name, op in execution.operations.items():
+            if op.cost_share >= 1.0:
+                continue
+            folded_seen = True
+            key = (op.started_at, op.finished_at, op.activations,
+                   round(sum(op.activation_costs), 9))
+            groups.setdefault(key, []).append((tag, name, op))
+    if not folded_seen:
+        problems.append(
+            "shared chaos run folded nothing — the duplicate queries "
+            "should share one physical execution")
+    for key, members in groups.items():
+        total = sum(op.cost_share for _, _, op in members)
+        if total > 1.0 + _EPS:
+            who = ", ".join(f"{tag}/{name}" for tag, name, _ in members)
+            problems.append(
+                f"shared work double-counted: {who} attribute "
+                f"{total:.4f} of one operation (> 1.0)")
+    return problems
+
+
+def run_shared_chaos(cancel_at: float = CANCEL_AT) -> ChaosReport:
+    """The shared-work conservation audit: fold, cancel, verify.
+
+    Three identical joins fold onto one physical execution while a
+    fourth, disjoint join stays private; one *subscriber* (not the
+    host) is cancelled mid-run.  The audit then checks the standard
+    conservation invariants per query, that shared work is attributed
+    at most once across subscribers, and that the surviving
+    subscribers' results are exactly what a fault-free private run
+    produces — a cancelled co-subscriber must not disturb them.
+    """
+    db = _chaos_db()
+    session = db.session(options=WorkloadOptions(shared=True))
+    queries = ([SHARED_CHAOS_QUERY] * SHARED_CHAOS_DUPLICATES
+               + [SHARED_CHAOS_PRIVATE])
+    handles = [session.submit(sql, tag=f"q{i}")
+               for i, sql in enumerate(queries)]
+    handles[1].cancel(at=cancel_at)  # a subscriber, not the host (q0)
+    result = session.run()
+
+    violations: list[str] = []
+    for tag in result.order:
+        execution = result.execution(tag)
+        violations += check_conservation(tag, execution)
+        violations += check_monotone_time(tag, execution, result.makespan)
+    violations += check_shared_orphans(result)
+    violations += check_workload_stream(result.bus)
+    violations += check_shared_attribution(result)
+
+    if result.status_of("q1") != "cancelled":
+        violations.append(
+            f"q1 was cancelled at t={cancel_at} but ended "
+            f"{result.status_of('q1')!r}")
+    reference = _chaos_db(observe=False)
+    expected = {
+        SHARED_CHAOS_QUERY: sorted(reference.query(SHARED_CHAOS_QUERY).rows),
+        SHARED_CHAOS_PRIVATE: sorted(
+            reference.query(SHARED_CHAOS_PRIVATE).rows),
+    }
+    for index, sql in enumerate(queries):
+        tag = f"q{index}"
+        if tag == "q1":
+            continue
+        if result.status_of(tag) != STATUS_DONE:
+            violations.append(
+                f"{tag} should survive its co-subscriber's cancellation "
+                f"but ended {result.status_of(tag)!r}")
+            continue
+        rows = sorted(result.execution(tag).result_rows)
+        if rows != expected[sql]:
+            violations.append(
+                f"{tag}: results diverged from the private reference "
+                f"run ({len(rows)} vs {len(expected[sql])} rows)")
+
+    return ChaosReport(
+        seed=-1,
+        plan=(f"shared fold x{SHARED_CHAOS_DUPLICATES} + private join, "
+              f"subscriber q1 cancelled at t={cancel_at}"),
+        statuses={tag: result.status_of(tag) for tag in result.order},
+        makespan=result.makespan,
+        violations=violations,
+    )
+
+
 # -- graceful degradation ----------------------------------------------------
 
 @dataclass(frozen=True)
@@ -334,6 +495,9 @@ def main(argv: list[str] | None = None) -> int:
         report = run_chaos(seed)
         print(report.render())
         failed = failed or not report.passed
+    shared_report = run_shared_chaos()
+    print(shared_report.render())
+    failed = failed or not shared_report.passed
     if not args.no_degradation:
         points = degradation_curve()
         print()

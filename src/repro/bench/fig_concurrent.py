@@ -26,12 +26,17 @@ from repro.bench.runners import (
     run_assoc_join,
     run_concurrent_workload,
     run_ideal_join,
+    run_overlap_workload,
 )
 from repro.bench.workloads import make_join_database
 from repro.workload.options import WorkloadOptions
 
 #: Multiprogramming levels to sweep.
 LEVELS = (1, 2, 3, 4, 6, 8)
+
+#: The shared-work sweep: MPLs crossed with scan-overlap fractions.
+SHARING_LEVELS = (1, 2, 4, 8)
+OVERLAPS = (0.0, 0.5, 1.0)
 
 #: Reduced-scale default workload (a CI-friendly cousin of the
 #: Figure 13/14 databases); the paper-scale run is `--scale paper`.
@@ -91,13 +96,81 @@ def run(card_a: int = CARD_A, card_b: int = CARD_B, degree: int = DEGREE,
     return result
 
 
+def run_sharing(card_a: int = CARD_A, card_b: int = CARD_B,
+                degree: int = DEGREE,
+                levels: tuple[int, ...] = SHARING_LEVELS,
+                overlaps: tuple[float, ...] = OVERLAPS,
+                threads: int = THREADS, seed: int = 0) -> ExperimentResult:
+    """Shared-work vs private execution across MPL and scan overlap.
+
+    The same submissions run twice at every (MPL, overlap) point —
+    once with ``shared=False`` (each query builds every operator) and
+    once with ``shared=True`` (identical subplans fold onto one
+    operator fanning out to all subscribers).  Shapes:
+
+    * at 100 % overlap the shared makespan collapses toward the
+      single-query time — one physical execution serves all N;
+    * at 0 % overlap the fold pass finds nothing and the shared
+      engine must cost no virtual time over the private one;
+    * the gain at 50 % sits in between, scaling with the folded half.
+    """
+    machine = default_machine()
+    databases = [make_join_database(card_a, card_b, degree, theta=0.0)
+                 for _ in range(max(levels))]
+    result = ExperimentResult(
+        experiment_id="fig_sharing",
+        title=(f"Shared-work execution (|A|={card_a}, |B'|={card_b}, "
+               f"degree={degree}, {machine.processors} processors, "
+               f"{threads} threads/query)"),
+        x_label="multiprogramming level",
+        x_values=tuple(float(n) for n in levels),
+    )
+    for overlap in overlaps:
+        pct = int(round(overlap * 100))
+        private, shared, gain = [], [], []
+        for level in levels:
+            subset = databases[:level]
+            base = run_overlap_workload(subset, overlap, shared=False,
+                                        threads=threads, machine=machine,
+                                        seed=seed)
+            folded = run_overlap_workload(subset, overlap, shared=True,
+                                          threads=threads, machine=machine,
+                                          seed=seed)
+            for tag in base.order:  # sharing must not change any result
+                expected = base.execution(tag).result_cardinality
+                got = folded.execution(tag).result_cardinality
+                if got != expected:
+                    raise AssertionError(
+                        f"sharing changed {tag}'s cardinality at MPL "
+                        f"{level}, overlap {pct}%: {expected} -> {got}")
+            private.append(base.makespan)
+            shared.append(folded.makespan)
+            gain.append(base.makespan / folded.makespan)
+        result.add_series(f"private_s_o{pct}", private)
+        result.add_series(f"shared_s_o{pct}", shared)
+        result.add_series(f"gain_o{pct}", gain)
+    result.notes["threads_per_query"] = threads
+    result.notes["processors"] = machine.processors
+    result.notes["overlaps"] = list(overlaps)
+    return result
+
+
 def main(argv: list[str] | None = None) -> int:  # pragma: no cover - CLI
     import argparse
 
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", choices=("small", "paper"),
                         default="small")
+    parser.add_argument("--sharing", action="store_true",
+                        help="run the shared-work overlap sweep instead")
     args = parser.parse_args(argv)
+    if args.sharing:
+        if args.scale == "paper":
+            print(run_sharing(PAPER_CARD_A, PAPER_CARD_B,
+                              PAPER_DEGREE).render())
+        else:
+            print(run_sharing().render())
+        return 0
     if args.scale == "paper":
         print(run(PAPER_CARD_A, PAPER_CARD_B, PAPER_DEGREE).render())
     else:

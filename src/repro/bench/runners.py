@@ -127,6 +127,39 @@ def run_concurrent_workload(database: JoinDatabase, count: int,
     return result
 
 
+def run_overlap_workload(databases: list[JoinDatabase], overlap: float,
+                         shared: bool, threads: int | None = None,
+                         machine: Machine | None = None,
+                         seed: int = 0) -> WorkloadResult:
+    """One MPL-``len(databases)`` workload with controlled scan overlap.
+
+    Query ``i`` is the triggered IdealJoin over ``databases[0]`` when
+    ``i < round(overlap * mpl)`` and over its own ``databases[i]``
+    otherwise, so *overlap* is exactly the fraction of queries whose
+    scans (and join — the plans are identical) can fold onto common
+    work.  At ``overlap=0.0`` every query reads disjoint fragments and
+    the fold pass finds nothing; at ``overlap=1.0`` the whole workload
+    is one physical query fanned out ``mpl`` ways.  All queries arrive
+    at t=0 with the admission bound lifted to the MPL, so every
+    duplicate lands inside the foldability window.
+    """
+    count = len(databases)
+    machine = machine or default_machine()
+    scheduler = AdaptiveScheduler(machine)
+    common = round(overlap * count)
+    submissions = []
+    for index in range(count):
+        database = databases[0] if index < common else databases[index]
+        plan = ideal_join_plan(database.entry_a, database.entry_b,
+                               "key", "key")
+        schedule = scheduler.schedule(plan, threads)
+        submissions.append(QuerySubmission(f"q{index}", _compiled(plan),
+                                           schedule))
+    options = ExecutionOptions(seed=seed)
+    workload = WorkloadOptions(max_concurrent=count, shared=shared)
+    return WorkloadExecutor(machine, options, workload).execute(submissions)
+
+
 def _compiled(plan):
     """Wrap a bench plan for the workload engine (no row shaping)."""
     from repro.compiler.parallelizer import CompiledQuery

@@ -239,10 +239,19 @@ class Executor:
 
     # -- construction helpers (shared with the workload engine) -----------------
 
-    def build_runtimes(self, plan: LeraGraph,
-                       schedule: QuerySchedule) -> dict[str, OperationRuntime]:
+    def build_runtimes(self, plan: LeraGraph, schedule: QuerySchedule,
+                       only: set[str] | None = None) -> dict[str, OperationRuntime]:
+        """Instantiate the extended view for *plan*.
+
+        ``only`` restricts construction to a subset of node names —
+        the shared-work fold pass uses it to build runtimes for just
+        the nodes a query executes privately (folded nodes ride on
+        another query's runtimes).
+        """
         runtimes: dict[str, OperationRuntime] = {}
         for node in plan.nodes:
+            if only is not None and node.name not in only:
+                continue
             op_schedule = schedule.of(node.name)
             cache_size = op_schedule.cache_size
             if cache_size is None:

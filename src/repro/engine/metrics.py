@@ -58,14 +58,21 @@ class OperationMetrics:
     fault_aborts: int = 0
     discarded: int = 0
     stalled_time: float = 0.0
+    cost_share: float = 1.0
+    """Fraction of this operation's cost attributed to the owning
+    query.  1.0 for private operations; a shared (folded) operation
+    appears in every subscriber's execution with the same raw
+    counters but ``cost_share = 1/len(subscribers)``, so that
+    :attr:`work` sums to the work actually performed."""
 
     @classmethod
-    def of(cls, runtime: OperationRuntime) -> "OperationMetrics":
+    def of(cls, runtime: OperationRuntime, cost_share: float = 1.0,
+           name: str | None = None) -> "OperationMetrics":
         if runtime.finished_at is None:
             raise ExecutionError(
                 f"operation {runtime.name!r} did not finish")
         return cls(
-            name=runtime.name,
+            name=runtime.name if name is None else name,
             trigger_mode=runtime.node.trigger_mode,
             instances=runtime.instances,
             threads=len(runtime.threads),
@@ -88,6 +95,7 @@ class OperationMetrics:
             fault_aborts=runtime.fault_aborts,
             discarded=runtime.discarded,
             stalled_time=sum(t.stalled_time for t in runtime.threads),
+            cost_share=cost_share,
         )
 
     @property
@@ -100,8 +108,9 @@ class OperationMetrics:
 
     @property
     def work(self) -> float:
-        """Total sequential (un-dilated) activation cost."""
-        return sum(self.activation_costs)
+        """Sequential (un-dilated) activation cost attributed to the
+        owning query (raw cost scaled by :attr:`cost_share`)."""
+        return sum(self.activation_costs) * self.cost_share
 
     @property
     def emitted(self) -> int:

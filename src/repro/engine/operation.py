@@ -33,6 +33,37 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only import
 READY_INDEX_MIN_INSTANCES = 96
 
 
+class DeliveryTap:
+    """One extra delivery edge out of a shared operation.
+
+    When the workload engine folds a subscriber query's node onto an
+    already-admitted host operation, the host keeps its normal
+    ``consumer``/``result_rows`` path (so the host query is
+    bit-identical to a private run) and gains one tap per extra
+    subscriber.  A tap either feeds a downstream pipeline consumer of
+    the subscriber (``consumer`` + ``router`` set) or collects result
+    rows for a subscriber-terminal node (``collector`` set).
+
+    ``active`` is the reference count contribution: deactivating a
+    tap (subscriber cancelled/timed out/faulted) stops deliveries to
+    it without disturbing the host or the other taps.
+    """
+
+    __slots__ = ("tag", "node_name", "consumer", "router", "collector",
+                 "active")
+
+    def __init__(self, tag: str, node_name: str,
+                 consumer: "OperationRuntime | None" = None,
+                 router: Callable[[Row], int] | None = None,
+                 collector: list[Row] | None = None) -> None:
+        self.tag = tag
+        self.node_name = node_name
+        self.consumer = consumer
+        self.router = router
+        self.collector = collector
+        self.active = True
+
+
 class OperationRuntime:
     """One operator of the plan, ready to execute.
 
@@ -82,6 +113,14 @@ class OperationRuntime:
         self.tracer = None
         self.consumer: OperationRuntime | None = None
         self.router: Callable[[Row], int] | None = None
+        #: Shared-work fan-out: extra delivery edges added when other
+        #: queries fold onto this operation.  Empty on the private
+        #: fast path (the simulator only branches on truthiness).
+        self.taps: list[DeliveryTap] = []
+        #: True when the host query detached (was cancelled) while
+        #: taps still have live subscribers: primary delivery and its
+        #: enqueue charge stop, taps keep flowing.
+        self.primary_detached = False
         self.producers_remaining = 0
         self.input_closed = False
         self.waiting_threads: deque[WorkerThread] = deque()

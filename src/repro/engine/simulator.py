@@ -672,7 +672,17 @@ class Simulator:
     def _total_cost(self, operation: OperationRuntime,
                     result: ProcessResult) -> float:
         cost = result.cost
-        if operation.consumer is not None and result.emitted:
+        if operation.taps:
+            if result.emitted:
+                targets = 0
+                if (operation.consumer is not None
+                        and not operation.primary_detached):
+                    targets += 1
+                for tap in operation.taps:
+                    if tap.active and tap.consumer is not None:
+                        targets += 1
+                cost += len(result.emitted) * self.machine.costs.enqueue * targets
+        elif operation.consumer is not None and result.emitted:
             cost += len(result.emitted) * self.machine.costs.enqueue
         return cost
 
@@ -687,6 +697,9 @@ class Simulator:
         operation = thread.operation
         emitted = result.emitted
         if not emitted:
+            return
+        if operation.taps:
+            self._deliver_fanout(thread, result, started_at, filled)
             return
         consumer = operation.consumer
         if consumer is None:
@@ -723,6 +736,69 @@ class Simulator:
             for _ in range(waiting if waiting < count else count):
                 self._wake_one(consumer)
 
+    def _deliver_fanout(self, thread: WorkerThread, result: ProcessResult,
+                        started_at: float, filled: set[int]) -> None:
+        """Deliver one activation's output to the primary path plus
+        every active shared-work tap.
+
+        Only the primary consumer participates in back-pressure
+        (``filled``): a slow subscriber must not stall the shared
+        producer or its co-subscribers, so tap edges are exempt by
+        design.  Enqueue charges are handled in :meth:`_total_cost`
+        (one per live delivery target).
+        """
+        operation = thread.operation
+        emitted = result.emitted
+        duration = thread.clock - started_at
+        if not operation.primary_detached:
+            consumer = operation.consumer
+            if consumer is None:
+                operation.result_rows.extend(emitted)
+            else:
+                router = operation.router
+                if router is None:
+                    raise ExecutionError(
+                        f"operation {operation.name!r} has a consumer but "
+                        f"no router")
+                self._route_rows(thread, consumer, router, emitted,
+                                 started_at, duration, filled)
+        for tap in operation.taps:
+            if not tap.active:
+                continue
+            if tap.consumer is None:
+                if tap.collector is not None:
+                    tap.collector.extend(emitted)
+                continue
+            self._route_rows(thread, tap.consumer, tap.router, emitted,
+                             started_at, duration, None)
+
+    def _route_rows(self, thread: WorkerThread, consumer: OperationRuntime,
+                    router, emitted, started_at: float, duration: float,
+                    filled: set[int] | None) -> None:
+        """Enqueue *emitted* into *consumer* (shared by primary and tap
+        delivery; ``filled=None`` skips back-pressure registration)."""
+        operation = thread.operation
+        count = len(emitted)
+        queues = consumer.queues
+        single = len(queues) == 1
+        for i, row in enumerate(emitted):
+            instance = 0 if single else router(row)
+            ready_time = started_at + duration * (i + 1) / count
+            queues[instance].enqueue(
+                ready_time, Activation(DATA, instance, row))
+            if filled is not None:
+                filled.add(instance)
+        consumer.pending_activations += count
+        operation.enqueues += count
+        if operation.bus is not None:
+            operation.bus.emit(ENQUEUE, thread.clock, operation.name,
+                               thread.thread_id, consumer=consumer.name,
+                               count=count)
+        waiting = len(consumer.waiting_threads)
+        if waiting:
+            for _ in range(waiting if waiting < count else count):
+                self._wake_one(consumer)
+
     def _finish_thread(self, thread: WorkerThread) -> None:
         operation = thread.operation
         if operation.live_threads == 1 and not operation.finalized:
@@ -754,5 +830,11 @@ class Simulator:
             if consumer.producers_remaining <= 0:
                 consumer.close_input()
                 self._wake_all(consumer)
+        for tap in operation.taps:
+            if tap.active and tap.consumer is not None:
+                tap.consumer.producers_remaining -= 1
+                if tap.consumer.producers_remaining <= 0:
+                    tap.consumer.close_input()
+                    self._wake_all(tap.consumer)
         if self.on_operation_complete is not None:
             self.on_operation_complete(operation, thread)

@@ -105,6 +105,7 @@ class LeraGraph:
     def __init__(self) -> None:
         self._nodes: dict[str, LeraNode] = {}
         self._edges: list[LeraEdge] = []
+        self._fingerprints: dict[str, tuple | None] | None = None
 
     # -- construction ---------------------------------------------------------
 
@@ -114,6 +115,7 @@ class LeraGraph:
             raise PlanError(f"duplicate node name {name!r}")
         node = LeraNode(name, spec)
         self._nodes[name] = node
+        self._fingerprints = None
         return node
 
     def add_edge(self, producer: str, consumer: str, kind: str = PIPELINE) -> LeraEdge:
@@ -125,6 +127,7 @@ class LeraGraph:
             raise PlanError(f"self-edge on {producer!r}")
         edge = LeraEdge(producer, consumer, kind)
         self._edges.append(edge)
+        self._fingerprints = None
         return edge
 
     # -- access ---------------------------------------------------------------
@@ -163,6 +166,18 @@ class LeraGraph:
         """Nodes feeding *name* through pipeline edges."""
         return [e.producer for e in self._edges
                 if e.consumer == name and e.kind == PIPELINE]
+
+    def fingerprints(self) -> dict[str, tuple | None]:
+        """Canonical subplan fingerprints, memoized on the plan.
+
+        Maps node name to a hashable identity tuple (``None`` when the
+        node must never be shared); see :mod:`repro.lera.fingerprint`
+        for the rules.  The memo is invalidated by graph mutation.
+        """
+        if self._fingerprints is None:
+            from repro.lera.fingerprint import compute_fingerprints
+            self._fingerprints = compute_fingerprints(self)
+        return self._fingerprints
 
     # -- validation ------------------------------------------------------------
 

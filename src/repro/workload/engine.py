@@ -34,7 +34,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.compiler.parallelizer import CompiledQuery
-from repro.engine.executor import ExecutionOptions, Executor, QuerySchedule
+from repro.engine.executor import (
+    ExecutionOptions,
+    Executor,
+    QuerySchedule,
+    _router_for,
+)
 from repro.engine.metrics import (
     STATUS_CANCELLED,
     STATUS_DONE,
@@ -43,11 +48,12 @@ from repro.engine.metrics import (
     OperationMetrics,
     QueryExecution,
 )
-from repro.engine.operation import OperationRuntime
+from repro.engine.operation import DeliveryTap, OperationRuntime
 from repro.engine.simulator import Simulator
 from repro.engine.threads import WorkerThread
 from repro.engine.trace import ExecutionTrace
 from repro.errors import AdmissionError, ExecutionFaultError, WorkloadError
+from repro.lera.graph import PIPELINE
 from repro.machine.machine import Machine
 from repro.obs.bus import (
     QUERY_ABORT,
@@ -61,9 +67,16 @@ from repro.obs.bus import (
     EventBus,
 )
 from repro.scheduler.allocation import _largest_remainder, allocate_to_queries
-from repro.scheduler.complexity import query_complexity
+from repro.scheduler.complexity import operator_complexity, query_complexity
 from repro.workload.admission import AdmissionController, runtime_footprint
 from repro.workload.options import WorkloadOptions
+from repro.workload.sharing import (
+    FoldRegistry,
+    SharedOperator,
+    node_footprints,
+    plan_folds,
+    projected_footprint,
+)
 
 #: Job states.  The terminal ones reuse the ``QueryExecution`` status
 #: strings, so a job's final state doubles as its execution's status.
@@ -172,7 +185,8 @@ class _QueryJob:
 
     def __init__(self, submission: QuerySubmission, order: int,
                  machine: Machine, executor: Executor,
-                 exec_options: ExecutionOptions) -> None:
+                 exec_options: ExecutionOptions,
+                 shared: bool = False) -> None:
         self.tag = submission.tag
         self.compiled = submission.compiled
         self.plan = submission.compiled.plan
@@ -182,26 +196,57 @@ class _QueryJob:
         self.cancel_at = submission.cancel_at
         self.order = order
         self.plan.validate()
-        self.runtimes = executor.build_runtimes(self.plan, self.schedule)
-        executor.wire_pipelines(self.plan, self.runtimes)
-        self.startup = executor.startup_time(self.runtimes, self.schedule)
         self.waves = self.plan.chain_waves()
-        self.wave_totals = [
-            sum(self.schedule.of(node.name).threads
-                for chain in wave for node in chain.nodes)
-            for wave in self.waves
-        ]
-        #: Step-0 demand: more threads than the widest wave asks for
-        #: could never be used.
-        self.demand = max(self.wave_totals)
         self.complexity = query_complexity(self.plan, machine.costs)
-        self.footprint = runtime_footprint(self.runtimes)
+        self.shared_mode = shared
+        #: Shared-work state.  All empty/None on the private path, so
+        #: every sharing branch below reduces to the legacy behaviour.
+        self.folds: dict[str, SharedOperator] = {}
+        self.hosted: list[SharedOperator] = []
+        self.shared_results: dict[str, list] = {}
+        self.current_wave_shared: list[SharedOperator] = []
+        self.node_complexities: dict[str, float] | None = None
+        self.node_footprints: dict[str, int] | None = None
+        if not shared:
+            self.runtimes = executor.build_runtimes(self.plan, self.schedule)
+            executor.wire_pipelines(self.plan, self.runtimes)
+            self.startup = executor.startup_time(self.runtimes, self.schedule)
+            self.wave_totals = [
+                sum(self.schedule.of(node.name).threads
+                    for chain in wave for node in chain.nodes)
+                for wave in self.waves
+            ]
+            #: Step-0 demand: more threads than the widest wave asks
+            #: for could never be used.
+            self.demand = max(self.wave_totals)
+            self.footprint = runtime_footprint(self.runtimes)
+            self.materialized = True
+        else:
+            # Runtime construction is deferred to admission time: the
+            # fold pass needs the registry state *then*, and folded
+            # nodes never build runtimes at all.
+            self.runtimes = {}
+            self.node_complexities = {
+                node.name: operator_complexity(node.spec, machine.costs)
+                for node in self.plan.nodes}
+            self.node_footprints = node_footprints(self.plan, machine.costs)
+            self.wave_totals = [
+                sum(self.schedule.of(node.name).threads
+                    for chain in wave for node in chain.nodes)
+                for wave in self.waves
+            ]
+            self.demand = max(self.wave_totals)
+            self.startup = 0.0
+            self.footprint = sum(self.node_footprints.values())
+            self.materialized = False
         self.bus = EventBus() if exec_options.observe else None
         self.tracer = (ExecutionTrace()
                        if exec_options.trace or exec_options.observe
                        else None)
-        executor.attach_observability(self.runtimes, self.bus, self.tracer)
+        if self.materialized:
+            executor.attach_observability(self.runtimes, self.bus, self.tracer)
         self.state = QUEUED
+        self.wave_started_at = 0.0
         self.grant = 0
         self.wave_index = -1
         self.current_wave_ops: list[OperationRuntime] = []
@@ -226,6 +271,113 @@ class _QueryJob:
             candidates.append((self.arrival + self.timeout, TIMED_OUT))
         return min(candidates) if candidates else None
 
+    # -- shared-work materialization -------------------------------------------
+
+    def materialize(self, executor: Executor, registry: FoldRegistry,
+                    folds: dict[str, SharedOperator], footprint: int,
+                    now: float) -> None:
+        """Build this query's private runtimes given its fold set.
+
+        Runs at admission time (shared mode only).  Folded nodes get
+        no runtimes — instead the host operator gains a delivery tap
+        at each *frontier* folded node (one whose pipeline consumer is
+        private, or which is terminal here); interior folded nodes
+        need nothing, their data flows inside the host's own wiring.
+        Afterwards the query's start-up, demand and footprint are
+        recomputed over the private remainder: what folded rides free.
+        """
+        self.folds = folds
+        own = {node.name for node in self.plan.nodes} - set(folds)
+        self.runtimes = executor.build_runtimes(self.plan, self.schedule,
+                                                only=own)
+        for edge in self.plan.edges:
+            if (edge.kind != PIPELINE or edge.producer in folds
+                    or edge.consumer in folds):
+                continue
+            producer = self.runtimes[edge.producer]
+            consumer = self.runtimes[edge.consumer]
+            producer.consumer = consumer
+            producer.router = _router_for(consumer)
+            consumer.producers_remaining += 1
+        for name, shared in folds.items():
+            consumer_name = self.plan.pipeline_consumer(name)
+            if consumer_name is not None and consumer_name in folds:
+                continue  # interior fold: data flows inside the host
+            if consumer_name is None:
+                collector: list = []
+                self.shared_results[name] = collector
+                tap = DeliveryTap(self.tag, name, collector=collector)
+            else:
+                consumer = self.runtimes[consumer_name]
+                tap = DeliveryTap(self.tag, name, consumer=consumer,
+                                  router=_router_for(consumer))
+                consumer.producers_remaining += 1
+            shared.runtime.taps.append(tap)
+            shared.attach(self.tag, tap)
+        # Offer this query's own shareable first-wave operators as fold
+        # targets for later arrivals (first live entry wins; duplicate
+        # subplans within one plan stay private).
+        wave0 = {node.name for chain in self.waves[0] for node in chain.nodes}
+        fingerprints = self.plan.fingerprints()
+        for node in self.plan.nodes:
+            name = node.name
+            if name in folds or name not in wave0:
+                continue
+            fingerprint = fingerprints[name]
+            if fingerprint is None:
+                continue
+            shared = SharedOperator(
+                runtime=self.runtimes[name], host_tag=self.tag,
+                fingerprint=fingerprint,
+                complexity=self.node_complexities[name],
+                footprint=self.node_footprints[name])
+            if registry.register(shared, now):
+                self.hosted.append(shared)
+        self.startup = executor.startup_time(self.runtimes, self.schedule)
+        self.wave_totals = [
+            sum(self.schedule.of(node.name).threads
+                for chain in wave for node in chain.nodes
+                if node.name not in folds)
+            for wave in self.waves
+        ]
+        self.demand = max(1, max(self.wave_totals))
+        self.footprint = footprint
+        executor.attach_observability(self.runtimes, self.bus, self.tracer)
+        self.materialized = True
+
+    @property
+    def effective_complexity(self) -> float:
+        """Step-0 weight with shared operators priced fractionally.
+
+        A subscriber pays ``complexity/len(active_tags)`` for each
+        operator it folded onto; a host's own shared operators shrink
+        the same way once they gain subscribers.  Without any sharing
+        this is exactly :attr:`complexity`, keeping the private path
+        bit-identical.
+        """
+        if not self.folds and not self.hosted:
+            return self.complexity
+        total = self.complexity
+        seen: set[int] = set()
+        for name, shared in self.folds.items():
+            total -= self.node_complexities[name]
+            if id(shared) in seen:
+                continue
+            seen.add(id(shared))
+            total += shared.complexity / max(1, len(shared.active_tags))
+        for shared in self.hosted:
+            count = len(shared.active_tags)
+            if count > 1:
+                total -= shared.complexity * (count - 1) / count
+        return max(total, 1e-9)
+
+    def _share_of(self, runtime: OperationRuntime) -> float:
+        """Metrics cost share of one of this query's own runtimes."""
+        for shared in self.hosted:
+            if shared.runtime is runtime and len(shared.all_tags) > 1:
+                return 1.0 / len(shared.all_tags)
+        return 1.0
+
     def build_execution(self, executor: Executor,
                         status: str = STATUS_DONE) -> QueryExecution:
         """Freeze metrics once the last wave finished.
@@ -239,17 +391,52 @@ class _QueryJob:
         operations that actually finished (normally or via a drain)
         contribute metrics, and ``result_rows`` holds whatever the
         final operator emitted before the query was stopped.
+
+        With shared work in play, folded operators appear here under
+        this query's node names, carrying the host runtime's raw
+        counters at ``cost_share = 1/len(all subscribers)``; a host's
+        own shared operators get the same fractional share.  Result
+        rows of a folded terminal node come from its delivery tap's
+        collector.
         """
         assert self.finished_at is not None
+        if not self.materialized:
+            # Withdrawn before admission (shared mode defers building).
+            operations: dict[str, OperationMetrics] = {}
+            result_rows: list = []
+        elif not self.folds and not self.hosted:
+            operations = {name: OperationMetrics.of(rt)
+                          for name, rt in self.runtimes.items()
+                          if rt.finished_at is not None}
+            result_rows = executor.collect_results(self.plan, self.runtimes)
+        else:
+            operations = {}
+            result_rows = []
+            for node in self.plan.nodes:
+                name = node.name
+                shared = self.folds.get(name)
+                if shared is not None:
+                    rt = shared.runtime
+                    if rt.finished_at is not None:
+                        operations[name] = OperationMetrics.of(
+                            rt, cost_share=1.0 / len(shared.all_tags),
+                            name=name)
+                    if name in self.shared_results:
+                        result_rows.extend(self.shared_results[name])
+                else:
+                    rt = self.runtimes[name]
+                    if rt.finished_at is not None:
+                        operations[name] = OperationMetrics.of(
+                            rt, cost_share=self._share_of(rt))
+                    if rt.consumer is None:
+                        result_rows.extend(rt.result_rows)
         return QueryExecution(
             response_time=self.finished_at - self.arrival,
             startup_time=self.startup,
             total_threads=self.max_threads,
             dilation=self.max_dilation,
-            operations={name: OperationMetrics.of(rt)
-                        for name, rt in self.runtimes.items()
-                        if rt.finished_at is not None},
-            result_rows=executor.collect_results(self.plan, self.runtimes),
+            operations=operations,
+            result_rows=result_rows,
             trace=self.tracer,
             obs=self.bus,
             status=status,
@@ -285,8 +472,16 @@ class _WorkloadRun:
         self.machine = machine
         self.workload = workload
         self.executor = Executor(machine, exec_options)
-        self.jobs = [_QueryJob(s, i, machine, self.executor, exec_options)
+        #: Shared-work state: ``None`` keeps every sharing branch off
+        #: the hot path (shared=False is bit-identical to the
+        #: pre-sharing engine).
+        self.sharing = FoldRegistry() if workload.shared else None
+        self.jobs = [_QueryJob(s, i, machine, self.executor, exec_options,
+                               shared=workload.shared)
                      for i, s in enumerate(submissions)]
+        #: Subscribers waiting on a shared runtime (keyed by id) to
+        #: complete before their current wave can advance.
+        self._waiters_of: dict[int, list[_QueryJob]] = {}
         self.bus = EventBus()
         self.admission = AdmissionController(workload)
         self.budget = workload.thread_budget or machine.processors
@@ -411,9 +606,16 @@ class _WorkloadRun:
         job.state = CANCELLING
         job.outcome = outcome
         job.cancel_requested_at = now
+        if self.sharing is not None:
+            self._release_shared(job, now)
         discarded = self.simulator.drain_operations(job.current_wave_ops, now)
         self.bus.emit(QUERY_CANCEL, now, job.tag, reason=reason,
                       admitted=True, discarded=discarded)
+        if self.sharing is not None:
+            # A wave emptied by detaching shared operators (or one
+            # that was only waiting on shared work) has no thread left
+            # to unwind, so the terminal bookkeeping happens here.
+            self._maybe_finish_cancelling(job, now)
 
     def _on_query_abort(self, operation: OperationRuntime,
                         error: ExecutionFaultError, at: float) -> None:
@@ -426,15 +628,41 @@ class _WorkloadRun:
         job = self._job_of.get(id(operation))
         if job is None:
             raise error
-        if job.state == CANCELLING:
+        shared = (self.sharing.by_runtime(id(operation))
+                  if self.sharing is not None else None)
+        cohort: list[_QueryJob] = []
+        if job.state != CANCELLING:
+            cohort.append(job)
+        if shared is not None:
+            # A shared operator failed: every live subscriber loses the
+            # rows it was counting on, so the whole cohort aborts.
+            shared.dead = True
+            for other in self.jobs:
+                if (other is not job and other.tag in shared.active_tags
+                        and other.state == RUNNING):
+                    cohort.append(other)
+        if not cohort:
             return  # already draining; the failing thread just winds down
-        job.state = CANCELLING
-        job.outcome = FAILED
-        job.error = error
-        job.cancel_requested_at = at
-        discarded = self.simulator.drain_operations(job.current_wave_ops, at)
-        self.bus.emit(QUERY_ABORT, at, job.tag, error=str(error),
-                      failed_operation=operation.name, discarded=discarded)
+        for member in cohort:
+            member.state = CANCELLING
+            member.outcome = FAILED
+            member.error = error if member is job else ExecutionFaultError(
+                f"shared operation {operation.name!r} (hosted by "
+                f"{job.tag!r}) aborted: {error}")
+            member.cancel_requested_at = at
+        if self.sharing is not None:
+            for member in cohort:
+                self._release_shared(member, at, detach=False)
+        for member in cohort:
+            discarded = self.simulator.drain_operations(
+                member.current_wave_ops, at)
+            self.bus.emit(QUERY_ABORT, at, member.tag,
+                          error=str(member.error),
+                          failed_operation=operation.name,
+                          discarded=discarded)
+        if self.sharing is not None:
+            for member in cohort:
+                self._maybe_finish_cancelling(member, at)
 
     def _terminate(self, job: _QueryJob, finish: float) -> None:
         """Terminal bookkeeping once a stopped query's truncated wave
@@ -452,6 +680,59 @@ class _WorkloadRun:
         if self.running:
             self._refresh_grants(finish, grow=self.workload.rebalance)
 
+    def _release_shared(self, job: _QueryJob, now: float,
+                        detach: bool = True) -> None:
+        """Unsubscribe *job* from every shared operator it touches.
+
+        Subscriptions: taps deactivate (the host stops delivering to
+        this query) and the reference count drops; an operator whose
+        host already detached and whose last subscriber just left is
+        an orphan and is drained.  Hosted operators: with surviving
+        subscribers the runtime is *detached* — primary delivery and
+        its enqueue charge stop, the operator leaves the host's drain
+        set and keeps running for the survivors; without survivors it
+        stays in the host's wave and is drained with it.  Idempotent.
+        """
+        if self.sharing is None or not job.materialized:
+            return
+        seen: set[int] = set()
+        for shared in job.folds.values():
+            if id(shared) in seen:
+                continue
+            seen.add(id(shared))
+            shared.active_tags.discard(job.tag)
+            for tap in shared.taps.pop(job.tag, ()):
+                tap.active = False
+            waiters = self._waiters_of.get(id(shared.runtime))
+            if waiters is not None and job in waiters:
+                waiters.remove(job)
+            runtime = shared.runtime
+            if (not shared.active_tags and runtime.primary_detached
+                    and runtime.threads and not runtime.complete):
+                self.simulator.drain_operations([runtime], now)
+        for shared in job.hosted:
+            shared.active_tags.discard(job.tag)
+            shared.dead = True
+            runtime = shared.runtime
+            if runtime.complete:
+                continue
+            if detach and shared.active_tags and runtime.threads:
+                runtime.primary_detached = True
+                if runtime in job.current_wave_ops:
+                    job.current_wave_ops.remove(runtime)
+
+    def _maybe_finish_cancelling(self, job: _QueryJob, now: float) -> None:
+        """Terminate a CANCELLING query whose wave has nothing left to
+        unwind (every remaining own operation already complete — e.g.
+        after detaching shared operators left the wave empty)."""
+        if job.state != CANCELLING:
+            return
+        if any(not op.complete for op in job.current_wave_ops):
+            return
+        finish = max((op.finished_at for op in job.current_wave_ops),
+                     default=now)
+        self._terminate(job, max(finish, now))
+
     # -- admission ------------------------------------------------------------
 
     def _try_admit(self, now: float) -> None:
@@ -467,16 +748,28 @@ class _WorkloadRun:
         admitted: list[_QueryJob] = []
         while self.queue:
             job = self.queue[0]
-            if not self.admission.fits(job.footprint):
+            if self.sharing is not None and not job.materialized:
+                # Fold pass: price the query with its foldable subplans
+                # shared before asking the memory gate.
+                folds = plan_folds(job.plan, self.sharing, now)
+                footprint = projected_footprint(
+                    job.plan, job.node_footprints, folds)
+            else:
+                folds = None
+                footprint = job.footprint
+            if not self.admission.fits(footprint):
                 if not self.running and not admitted:
                     # Nothing runs, yet the head still does not fit:
                     # no future completion can free capacity.
                     raise AdmissionError(
                         f"query {job.tag!r} cannot be admitted on an idle "
-                        f"machine (footprint {job.footprint} bytes, "
+                        f"machine (footprint {footprint} bytes, "
                         f"{len(self.queue)} queued)")
                 break
             self.queue.pop(0)
+            if folds is not None:
+                job.materialize(self.executor, self.sharing, folds,
+                                footprint, now)
             job.state = RUNNING
             job.admitted_at = now
             self.running.append(job)
@@ -510,11 +803,18 @@ class _WorkloadRun:
             self._start_wave(job, begin + job.startup)
 
     def _grants(self) -> dict[str, int]:
-        """Step 0 over the currently running set."""
+        """Step 0 over the currently running set.
+
+        Weights are :attr:`_QueryJob.effective_complexity`: shared
+        operators count fractionally toward every subscriber, so a
+        query riding mostly on folded work asks for (and is granted)
+        proportionally less of the machine.  Without sharing the
+        property degenerates to the plain complexity.
+        """
         grants = allocate_to_queries(
             self.budget,
             [job.demand for job in self.running],
-            [job.complexity for job in self.running],
+            [job.effective_complexity for job in self.running],
         )
         return {job.tag: grant
                 for job, grant in zip(self.running, grants)}
@@ -522,7 +822,11 @@ class _WorkloadRun:
     # -- waves ---------------------------------------------------------------
 
     def _start_wave(self, job: _QueryJob, at: float) -> None:
+        if self.sharing is not None and job.folds:
+            self._start_wave_shared(job, at)
+            return
         job.wave_index += 1
+        job.wave_started_at = at
         wave = job.waves[job.wave_index]
         wave_ops = [job.runtimes[node.name]
                     for chain in wave for node in chain.nodes]
@@ -552,25 +856,118 @@ class _WorkloadRun:
                          threads=wave_threads)
         self.simulator.add_operations(wave_ops)
 
+    def _start_wave_shared(self, job: _QueryJob, at: float) -> None:
+        """Start the next wave of a query with folded subplans.
+
+        Only the query's *own* (unfolded) operations get pools and
+        threads; shared operators it rides on are tracked in
+        ``current_wave_shared`` and the wave completes when both sets
+        do (a pending shared runtime registers this job as a waiter).
+        A wave whose work is entirely folded-and-finished advances
+        immediately — possibly through several waves, or straight to
+        completion for a fully duplicate query.
+        """
+        while True:
+            job.wave_index += 1
+            job.wave_started_at = at
+            wave = job.waves[job.wave_index]
+            own_ops: list[OperationRuntime] = []
+            shared_list: list[SharedOperator] = []
+            seen: set[int] = set()
+            for chain in wave:
+                for node in chain.nodes:
+                    shared = job.folds.get(node.name)
+                    if shared is None:
+                        own_ops.append(job.runtimes[node.name])
+                    elif id(shared) not in seen:
+                        seen.add(id(shared))
+                        shared_list.append(shared)
+            job.current_wave_shared = shared_list
+            if own_ops:
+                base = [job.schedule.of(op.name).threads for op in own_ops]
+                base_total = sum(base)
+                wave_total = min(base_total, max(job.grant, len(own_ops)))
+                shares = (base if wave_total == base_total
+                          else _largest_remainder(wave_total, base))
+                counts = {op.name: share
+                          for op, share in zip(own_ops, shares)}
+                self.next_thread_id, wave_threads = self.executor.prepare_wave(
+                    own_ops, counts, at, self.next_thread_id)
+            else:
+                wave_threads = 0
+            job.current_wave_ops = own_ops
+            job.wave_threads = wave_threads
+            job.max_threads = max(job.max_threads, wave_threads)
+            if wave_threads:
+                job.max_dilation = max(job.max_dilation,
+                                       self.machine.dilation(wave_threads))
+            for op in own_ops:
+                self._job_of[id(op)] = job
+            if job.bus is not None:
+                job.bus.emit(WAVE_START, at, wave=job.wave_index,
+                             operations=[op.name for op in own_ops],
+                             shared=[s.runtime.name for s in shared_list],
+                             threads=wave_threads)
+            if own_ops:
+                self.simulator.add_operations(own_ops)
+            pending = [s for s in shared_list if not s.runtime.complete]
+            for shared in pending:
+                self._waiters_of.setdefault(
+                    id(shared.runtime), []).append(job)
+            if own_ops or pending:
+                return
+            # Everything in this wave folded onto already-finished
+            # work: close it and move on (or finish the query).
+            finish = max((s.runtime.finished_at for s in shared_list),
+                         default=at)
+            finish = max(finish, at)
+            if job.bus is not None:
+                job.bus.emit(WAVE_END, finish, wave=job.wave_index)
+            if job.wave_index + 1 >= len(job.waves):
+                self._complete(job, finish)
+                return
+            at = finish
+
     def _on_operation_complete(self, operation: OperationRuntime,
                                thread: WorkerThread) -> None:
+        if self._waiters_of:
+            waiters = self._waiters_of.pop(id(operation), None)
+            if waiters:
+                for waiter in list(waiters):
+                    self._advance_if_wave_done(waiter)
         job = self._job_of.get(id(operation))
         if job is None:
             return
+        self._advance_if_wave_done(job)
+
+    def _advance_if_wave_done(self, job: _QueryJob) -> None:
+        """Advance (or terminate) *job* if its current wave is done.
+
+        A wave is done when every own operation is complete and — for
+        shared-work queries — every shared operator it rides on in
+        this wave is too.
+        """
         if job.state == CANCELLING:
             # A drained wave completes operation by operation as each
             # thread finishes its in-flight activation; once the last
             # one lands the query reaches its terminal state.
             if any(not op.complete for op in job.current_wave_ops):
                 return
-            finish = max(op.finished_at for op in job.current_wave_ops)
+            finishes = [op.finished_at for op in job.current_wave_ops]
+            finish = max(finishes) if finishes else job.cancel_requested_at
             self._terminate(job, max(finish, job.cancel_requested_at))
             return
         if job.state != RUNNING:
             return
         if any(not op.complete for op in job.current_wave_ops):
             return
-        finish = max(op.finished_at for op in job.current_wave_ops)
+        for shared in job.current_wave_shared:
+            if not shared.runtime.complete:
+                return
+        finishes = [op.finished_at for op in job.current_wave_ops]
+        finishes.extend(s.runtime.finished_at
+                        for s in job.current_wave_shared)
+        finish = max(max(finishes), job.wave_started_at)
         if job.bus is not None:
             job.bus.emit(WAVE_END, finish, wave=job.wave_index)
         if job.wave_index + 1 < len(job.waves):
@@ -581,6 +978,8 @@ class _WorkloadRun:
     def _complete(self, job: _QueryJob, finish: float) -> None:
         job.state = DONE
         job.finished_at = finish
+        if self.sharing is not None:
+            self._release_shared(job, finish)
         job.execution = job.build_execution(self.executor)
         self.running.remove(job)
         self.admission.release(job.footprint)

@@ -28,6 +28,13 @@ class WorkloadOptions:
     thread_budget: int | None = None
     """Machine thread budget "step 0" distributes across running
     queries; defaults to the machine's processor count."""
+    shared: bool = False
+    """Shared-work execution: at admission time, fold an incoming
+    query's subplans onto identical subplans of already-admitted
+    queries (canonical fingerprints over the Lera-par graph), so one
+    shared operator's output fans out to every subscriber.  Off (the
+    default), the engine is bit-identical to the pre-sharing engine —
+    the escape hatch every layer keeps."""
     rebalance: bool = True
     """Dynamic reallocation: when a query completes, re-grant its
     share of the budget to the remaining queries *mid-wave* (helper

@@ -8,7 +8,7 @@ runs these through ``make chaos``.
 
 import pytest
 
-from repro.bench.chaos import degradation_curve, run_chaos
+from repro.bench.chaos import degradation_curve, run_chaos, run_shared_chaos
 
 pytestmark = pytest.mark.chaos
 
@@ -16,6 +16,15 @@ pytestmark = pytest.mark.chaos
 @pytest.mark.parametrize("seed", [0, 1, 2])
 def test_seeded_sweep_upholds_invariants(seed):
     report = run_chaos(seed)
+    assert report.passed, "\n".join(report.violations)
+
+
+def test_shared_fold_survives_subscriber_cancellation():
+    """Three folded subscribers, one cancelled mid-run: conservation
+    holds per query, shared work is attributed at most once across the
+    cohort, and the survivors' results match a private reference run
+    exactly."""
+    report = run_shared_chaos()
     assert report.passed, "\n".join(report.violations)
 
 

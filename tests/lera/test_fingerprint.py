@@ -1,0 +1,98 @@
+"""Canonical subplan fingerprints: identity rules and memoization."""
+
+from repro.bench.workloads import make_join_database
+from repro.lera.fingerprint import compute_fingerprints
+from repro.lera.graph import MATERIALIZED, PIPELINE, LeraGraph
+from repro.lera.operators import ScanFilterSpec, StoreSpec
+from repro.lera.plans import assoc_join_plan, ideal_join_plan
+from repro.lera.predicates import TRUE, attribute_predicate
+from repro.storage.fragment import Fragment
+from repro.storage.schema import Schema
+
+SCHEMA = Schema.of_ints("key", "payload")
+
+
+def _db(card_a=200, card_b=20, degree=4):
+    return make_join_database(card_a, card_b, degree, theta=0.0)
+
+
+def _fragments(name, count=2):
+    return [Fragment(name, i, SCHEMA, [(i, i)]) for i in range(count)]
+
+
+class TestIdentityRules:
+    def test_same_relations_same_shape_fingerprint_equal(self):
+        db = _db()
+        one = ideal_join_plan(db.entry_a, db.entry_b, "key", "key")
+        two = ideal_join_plan(db.entry_a, db.entry_b, "key", "key")
+        assert one.fingerprints() == {
+            name: fp for name, fp in two.fingerprints().items()}
+
+    def test_distinct_databases_never_equal(self):
+        """Same SQL shape over different catalogs: fragment identity
+        keeps the fingerprints apart."""
+        one = _db()
+        two = _db()
+        fp_one = ideal_join_plan(one.entry_a, one.entry_b,
+                                 "key", "key").fingerprints()
+        fp_two = ideal_join_plan(two.entry_a, two.entry_b,
+                                 "key", "key").fingerprints()
+        assert set(fp_one.values()).isdisjoint(set(fp_two.values()))
+
+    def test_predicate_constants_discriminate(self):
+        fragments = _fragments("A")
+        lo = ScanFilterSpec(fragments,
+                            attribute_predicate(SCHEMA, "key", "<", 5), SCHEMA)
+        hi = ScanFilterSpec(fragments,
+                            attribute_predicate(SCHEMA, "key", "<", 7), SCHEMA)
+        graph = LeraGraph()
+        graph.add_node("lo", lo)
+        graph.add_node("hi", hi)
+        fps = compute_fingerprints(graph)
+        assert fps["lo"] is not None
+        assert fps["lo"] != fps["hi"]
+
+    def test_pipelined_identity_includes_producer_cone(self):
+        """The AssocJoin's pipelined join embeds its transmit producer's
+        fingerprint — the stream's identity, not just the operator's."""
+        db = _db()
+        plan = assoc_join_plan(db.entry_a, db.entry_b, "key", "key")
+        fps = plan.fingerprints()
+        transmit = next(fp for name, fp in fps.items()
+                        if fp is not None and fp[0] == "transmit")
+        join = next(fp for name, fp in fps.items()
+                    if fp is not None and fp[0] == "pipelined_join")
+        assert transmit in join[-1]
+
+    def test_store_is_never_shareable(self):
+        graph = LeraGraph()
+        graph.add_node("scan", ScanFilterSpec(_fragments("A"), TRUE, SCHEMA))
+        graph.add_node("store", StoreSpec(_fragments("tmp"), SCHEMA, "key"))
+        graph.add_edge("scan", "store", PIPELINE)
+        fps = compute_fingerprints(graph)
+        assert fps["scan"] is not None
+        assert fps["store"] is None
+
+    def test_materialized_consumer_is_never_shareable(self):
+        """A node fed through a materialized edge reads per-query
+        temporaries — it and everything downstream must be private."""
+        graph = LeraGraph()
+        graph.add_node("scan", ScanFilterSpec(_fragments("A"), TRUE, SCHEMA))
+        graph.add_node("reader", ScanFilterSpec(_fragments("B"), TRUE,
+                                                SCHEMA))
+        graph.add_edge("scan", "reader", MATERIALIZED)
+        fps = compute_fingerprints(graph)
+        assert fps["scan"] is not None
+        assert fps["reader"] is None
+
+
+class TestMemoization:
+    def test_fingerprints_cached_until_mutation(self):
+        db = _db()
+        plan = ideal_join_plan(db.entry_a, db.entry_b, "key", "key")
+        first = plan.fingerprints()
+        assert plan.fingerprints() is first
+        plan.add_node("extra", ScanFilterSpec(_fragments("X"), TRUE, SCHEMA))
+        second = plan.fingerprints()
+        assert second is not first
+        assert "extra" in second

@@ -1,0 +1,104 @@
+"""Property-based tests: workload step 0 under shared-cost demands.
+
+Shared-work execution feeds :func:`allocate_to_queries` *effective*
+complexities — a subscriber's weight shrinks by the folded nodes and
+re-grows by fractional shares (``complexity / subscribers``) of the
+operators it rides on.  The grant invariants must survive arbitrary
+fractional weights, including zero (a query whose whole plan folded):
+
+* every grant is positive and never exceeds the query's demand;
+* the grants sum exactly to ``min(max(budget, n), sum(demands))`` —
+  the machine is fully used whenever the demands can absorb it, and
+  never oversubscribed beyond the one-thread-per-query floor;
+* a lone query always receives its full demand (the single-query
+  parity rule);
+* grants are monotone in the query's own demand — asking for more
+  never yields less;
+* the split only depends on complexity *ratios*: scaling every weight
+  by a common factor changes nothing (so the ``1/subscribers`` share
+  factors cancel when every query folds equally).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduler.allocation import allocate_to_queries
+
+#: Per-query demands (threads its own schedule asked for).
+demands_lists = st.lists(st.integers(min_value=1, max_value=40),
+                         min_size=1, max_size=8)
+
+budgets = st.integers(min_value=1, max_value=120)
+
+#: Shared-cost weights: private complexities, fractional shares of a
+#: folded operator, and the all-folded degenerate zero.
+weights = st.one_of(
+    st.floats(min_value=0.001, max_value=5.0,
+              allow_nan=False, allow_infinity=False),
+    st.builds(lambda c, k: c / k,
+              st.floats(min_value=0.01, max_value=5.0,
+                        allow_nan=False, allow_infinity=False),
+              st.integers(min_value=2, max_value=8)),
+    st.just(0.0),
+)
+
+
+def _complexities(draw_list, count):
+    return draw_list[:count] + [1.0] * (count - len(draw_list))
+
+
+class TestQueryAllocationProperties:
+    @given(demands=demands_lists, budget=budgets,
+           raw=st.lists(weights, min_size=8, max_size=8))
+    @settings(max_examples=200, deadline=None)
+    def test_grants_positive_and_capped_at_demand(self, demands, budget, raw):
+        complexities = _complexities(raw, len(demands))
+        grants = allocate_to_queries(budget, demands, complexities)
+        assert len(grants) == len(demands)
+        for grant, demand in zip(grants, demands):
+            assert 1 <= grant <= demand
+
+    @given(demands=demands_lists, budget=budgets,
+           raw=st.lists(weights, min_size=8, max_size=8))
+    @settings(max_examples=200, deadline=None)
+    def test_grants_sum_exactly_to_the_usable_budget(self, demands, budget,
+                                                     raw):
+        """Water-filling leaves nothing on the table and oversubscribes
+        only to the one-thread floor: the sum is exactly
+        ``min(max(budget, n), sum(demands))`` — except for the lone
+        query, which gets its full demand whatever the budget."""
+        complexities = _complexities(raw, len(demands))
+        grants = allocate_to_queries(budget, demands, complexities)
+        if len(demands) == 1:
+            assert grants == [demands[0]]
+        else:
+            expected = min(max(budget, len(demands)), sum(demands))
+            assert sum(grants) == expected
+
+    @given(demands=demands_lists, budget=budgets,
+           raw=st.lists(weights, min_size=8, max_size=8),
+           index=st.integers(min_value=0, max_value=7),
+           bump=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=200, deadline=None)
+    def test_grant_monotone_in_own_demand(self, demands, budget, raw,
+                                          index, bump):
+        complexities = _complexities(raw, len(demands))
+        index %= len(demands)
+        grants = allocate_to_queries(budget, demands, complexities)
+        bumped = list(demands)
+        bumped[index] += bump
+        regrants = allocate_to_queries(budget, bumped, complexities)
+        assert regrants[index] >= grants[index]
+
+    @given(demands=demands_lists, budget=budgets,
+           raw=st.lists(weights, min_size=8, max_size=8))
+    @settings(max_examples=200, deadline=None)
+    def test_split_depends_only_on_complexity_ratios(self, demands, budget,
+                                                     raw):
+        """Doubling every weight (a float-exact scaling) must not move
+        a single grant: uniform fold shares cancel out."""
+        complexities = _complexities(raw, len(demands))
+        grants = allocate_to_queries(budget, demands, complexities)
+        scaled = allocate_to_queries(budget, demands,
+                                     [c * 2.0 for c in complexities])
+        assert grants == scaled
