@@ -7,7 +7,7 @@ PYTHONPATH := src
 export PYTHONPATH
 
 .PHONY: test bench perf perf-full perf-baseline trace-demo diagnose-demo \
-	compare-demo concurrent-demo shared-demo chaos chaos-demo
+	compare-demo concurrent-demo shared-demo report-demo chaos chaos-demo
 
 ## Tier-1: the fast deterministic test suite (what CI gates on).
 test:
@@ -50,6 +50,12 @@ concurrent-demo:
 ## folding over private concurrent execution.
 shared-demo:
 	$(PYTHON) -m repro --concurrent 8 --shared
+
+## Workload telemetry demo: the shared MPL-4 workload with the full
+## WorkloadReport (tail latencies, admission, grants, pools, folds)
+## rendered from the virtual-time metrics registry and query spans.
+report-demo:
+	$(PYTHON) -m repro run --concurrent 4 --shared --report
 
 ## Observed demo query: scheduler explain + Chrome trace (Perfetto) +
 ## JSONL event log + metrics snapshot into benchmarks/results/.

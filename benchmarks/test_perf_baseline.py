@@ -18,6 +18,7 @@ from repro.bench.perf_baseline import (
     compare_faults,
     compare_matrices,
     compare_obs,
+    compare_obs_workload,
     compare_session,
     compare_shared,
     load_baseline,
@@ -25,12 +26,14 @@ from repro.bench.perf_baseline import (
     render_concurrent,
     render_faults,
     render_obs,
+    render_obs_workload,
     render_session,
     render_shared,
     run_concurrent_cell,
     run_faults_overhead,
     run_matrix,
     run_obs_overhead,
+    run_obs_workload,
     run_session_overhead,
     run_shared_cell,
 )
@@ -58,6 +61,23 @@ def test_obs_disabled_overhead_has_not_regressed():
     print()
     print(render_obs(current))
     problems = compare_obs(baseline["observability"]["quick"], current)
+    assert not problems, "\n".join(problems)
+
+
+@pytest.mark.perf
+def test_obs_workload_telemetry_overhead_within_gate():
+    """The MPL-4 twin of the obs gate: the disabled mode's virtual
+    makespan and results are pinned exactly against the committed
+    record, and turning the registry and span assembly on may cost at
+    most 5 % wall clock over the disabled twin timed in the same
+    process (within-run — cross-epoch wall gates flap on this box)
+    and must move neither the virtual makespan nor the results."""
+    baseline = load_baseline(BASELINE_PATH)
+    current = run_obs_workload(quick=True, seed=0)
+    print()
+    print(render_obs_workload(current))
+    problems = compare_obs_workload(baseline["obs_workload"]["quick"],
+                                    current)
     assert not problems, "\n".join(problems)
 
 

@@ -80,6 +80,7 @@ from repro.lera import (
     two_phase_join_plan,
 )
 from repro.machine import CostModel, Machine
+from repro.obs import MetricsRegistry, QuerySpan, WorkloadReport
 from repro.scheduler import AdaptiveScheduler, StaticScheduler
 from repro.storage import (
     Catalog,
@@ -122,6 +123,7 @@ __all__ = [
     "Machine",
     "MemoryPressure",
     "MachineError",
+    "MetricsRegistry",
     "ObservabilityOptions",
     "OperationSchedule",
     "OperatorProfile",
@@ -133,6 +135,7 @@ __all__ = [
     "QueryHandle",
     "QueryResult",
     "QuerySchedule",
+    "QuerySpan",
     "QuerySubmission",
     "QueryTimeoutError",
     "Relation",
@@ -147,6 +150,7 @@ __all__ = [
     "WorkloadError",
     "WorkloadExecutor",
     "WorkloadOptions",
+    "WorkloadReport",
     "WorkloadResult",
     "aggregate_plan",
     "assoc_join_plan",

@@ -85,10 +85,14 @@ def demo() -> None:
     print("for skew handling, partitioning tuning and the Allcache model.")
 
 
-def concurrent_demo(count: int, shared: bool = False) -> int:
+def concurrent_demo(count: int, shared: bool = False, report: bool = False,
+                    events_out: str | None = None) -> int:
     """Run *count* queries concurrently in one shared simulation."""
+    from repro.engine.executor import ObservabilityOptions
     from repro.obs.bus import QUERY_ADMIT, QUERY_FINISH, QUERY_GRANT
     from repro.workload.options import WorkloadOptions
+
+    observe = report or events_out is not None
 
     print(f"DBS3 concurrent workload demo — {count} queries, "
           f"one shared simulation"
@@ -116,7 +120,8 @@ def concurrent_demo(count: int, shared: bool = False) -> int:
         # query cannot fold onto work that already started); the
         # private reference run gets the same bound for a fair gain.
         session = db.session(options=WorkloadOptions(
-            max_concurrent=count, shared=fold))
+            max_concurrent=count, shared=fold,
+            observability=ObservabilityOptions(observe=observe)))
         for sql in queries:
             session.submit(sql)
         return session.run()
@@ -126,7 +131,8 @@ def concurrent_demo(count: int, shared: bool = False) -> int:
         private_makespan = run_session(False).makespan
         result = run_session(True)
     else:
-        session = db.session()
+        session = db.session(options=WorkloadOptions(
+            observability=ObservabilityOptions(observe=observe)))
         for sql in queries:
             session.submit(sql)
         result = session.run()
@@ -157,6 +163,13 @@ def concurrent_demo(count: int, shared: bool = False) -> int:
               f"gains {private_makespan / result.makespan:.2f}x on top of "
               f"concurrency")
     print(f"throughput          : {result.throughput:.2f} queries/s")
+    if report:
+        print()
+        print(result.report().render())
+    if events_out:
+        from repro.obs.export import write_workload_jsonl
+        records = write_workload_jsonl(result, events_out)
+        print(f"\nwrote {records} workload JSONL records to {events_out}")
     return 0
 
 
@@ -342,13 +355,36 @@ def _add_diag_args(target, subcommand: bool) -> None:
 
 
 def run_command(argv: list[str]) -> int:
-    """``python -m repro run``: one observed query with exports."""
+    """``python -m repro run``: one observed query with exports, or —
+    with ``--concurrent`` — a telemetry-enabled workload run."""
     parser = argparse.ArgumentParser(
         prog="python -m repro run",
-        description="run one observed query: scheduler explain + "
-                    "trace/event/metrics exports")
+        description="run one observed query (scheduler explain + "
+                    "trace/event/metrics exports), or a concurrent "
+                    "workload with --concurrent/--report")
+    parser.add_argument("--concurrent", type=int, metavar="N", default=None,
+                        help="run the N-query concurrent workload instead "
+                             "of a single observed query")
+    parser.add_argument("--shared", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="with --concurrent: fold identical subplans "
+                             "onto shared operators")
+    parser.add_argument("--report", action="store_true",
+                        help="with --concurrent: collect workload "
+                             "telemetry and print the WorkloadReport "
+                             "(latency percentiles, admission, grants, "
+                             "folds, faults)")
     _add_observed_args(parser)
     args = parser.parse_args(argv)
+    if args.concurrent is not None:
+        if args.concurrent < 1:
+            parser.error("--concurrent needs at least one query")
+        return concurrent_demo(args.concurrent, shared=args.shared,
+                               report=args.report,
+                               events_out=args.events_out)
+    if args.report:
+        parser.error("--report needs --concurrent (it summarizes a "
+                     "workload, not a single query)")
     return observed_run(args.sql, args.trace_out, args.events_out,
                         args.metrics_out, args.explain, args.threads)
 
@@ -405,6 +441,9 @@ def main(argv: list[str] | None = None) -> int:
                              "of concurrent queries onto shared operators "
                              "(--no-shared restores the default private "
                              "execution)")
+    parser.add_argument("--report", action="store_true",
+                        help="with --concurrent: collect workload "
+                             "telemetry and print the WorkloadReport")
     parser.add_argument("--figures", action="store_true",
                         help="regenerate the paper's figures instead of "
                              "running the demo")
@@ -422,7 +461,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.concurrent is not None:
         if args.concurrent < 1:
             parser.error("--concurrent needs at least one query")
-        return concurrent_demo(args.concurrent, shared=args.shared)
+        return concurrent_demo(args.concurrent, shared=args.shared,
+                               report=args.report)
     if args.diagnose or args.from_events:
         if args.threads is None:
             args.threads = 10

@@ -45,6 +45,12 @@ from repro.engine.metrics import STATUS_DONE, QueryExecution
 from repro.engine.strategies import LPT
 from repro.faults import FaultPlan, SlowdownWindow
 from repro.obs.bus import THREAD_FINISH
+from repro.obs.metrics import (
+    FAULT_ABORTS,
+    FAULT_MEMORY_EVENTS,
+    FAULT_RETRIES,
+    FAULTS_INJECTED,
+)
 from repro.storage.wisconsin import generate_wisconsin
 from repro.workload.options import WorkloadOptions
 
@@ -87,6 +93,7 @@ class ChaosReport:
     plan: str
     statuses: dict[str, str]
     makespan: float
+    fault_counters: dict[str, float] = field(default_factory=dict)
     violations: list[str] = field(default_factory=list)
 
     @property
@@ -100,12 +107,65 @@ class ChaosReport:
         lines.append(f"  plan     : {self.plan}")
         lines.append("  statuses : " + ", ".join(
             f"{tag}={status}" for tag, status in self.statuses.items()))
+        if self.fault_counters:
+            lines.append("  faults   : " + ", ".join(
+                f"{key}={value:g}"
+                for key, value in self.fault_counters.items()))
         for violation in self.violations:
             lines.append(f"  VIOLATION: {violation}")
         return "\n".join(lines)
 
 
 # -- invariants ---------------------------------------------------------------
+
+def fault_counter_totals(result) -> dict[str, float]:
+    """Workload-wide fault counters, read off the metrics registry.
+
+    The chaos harness used to re-derive these by walking every
+    execution; now the telemetry layer is the source of truth and
+    :func:`check_fault_accounting` holds the per-operation counters
+    to it.  Empty when the run carried no registry.
+    """
+    metrics = result.metrics
+    if metrics is None:
+        return {}
+    return {
+        "injected": metrics.total(FAULTS_INJECTED),
+        "retries": metrics.total(FAULT_RETRIES),
+        "aborts": metrics.total(FAULT_ABORTS),
+        "memory_events": metrics.total(FAULT_MEMORY_EVENTS),
+    }
+
+
+def check_fault_accounting(result) -> list[str]:
+    """Registry fault counters agree with the per-operation metrics.
+
+    The injector increments the registry the moment each fault lands;
+    every operation's runtime tallies the same events on its own
+    :class:`~repro.engine.metrics.OperationMetrics`.  Two independent
+    counts of one fault stream must agree exactly — cancelled queries
+    included, since their executions snapshot whatever landed before
+    the cut.
+    """
+    counters = fault_counter_totals(result)
+    if not counters:
+        return ["chaos run carried no metrics registry — fault "
+                "counters cannot be audited"]
+    summed = {"injected": 0, "retries": 0, "aborts": 0}
+    for tag in result.order:
+        for op in result.execution(tag).operations.values():
+            summed["injected"] += op.faults_injected
+            summed["retries"] += op.fault_retries
+            summed["aborts"] += op.fault_aborts
+    problems = []
+    for key, expected in summed.items():
+        if counters[key] != expected:
+            problems.append(
+                f"fault accounting diverged: registry counts "
+                f"{counters[key]:g} {key} but the per-operation "
+                f"metrics sum to {expected}")
+    return problems
+
 
 def check_conservation(tag: str, execution: QueryExecution) -> list[str]:
     """``enqueued == processed + retries + aborts + discarded``."""
@@ -229,6 +289,7 @@ def run_chaos(seed: int, parity: bool = True) -> ChaosReport:
         violations += check_monotone_time(tag, execution, result.makespan)
         violations += check_no_orphans(tag, execution)
     violations += check_workload_stream(result.bus)
+    violations += check_fault_accounting(result)
     if result.status_of("q2") not in ("cancelled", "failed"):
         violations.append(
             f"q2 was cancelled at t={CANCEL_AT} but ended "
@@ -246,6 +307,7 @@ def run_chaos(seed: int, parity: bool = True) -> ChaosReport:
         plan=plan.describe(),
         statuses={tag: result.status_of(tag) for tag in result.order},
         makespan=result.makespan,
+        fault_counters=fault_counter_totals(result),
         violations=violations,
     )
 

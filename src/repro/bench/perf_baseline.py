@@ -248,6 +248,130 @@ def render_obs(record: dict) -> str:
             f"({record['enabled_over_disabled']:.2f}x)")
 
 
+def run_obs_workload(quick: bool = False, seed: int = 0) -> dict:
+    """Time the MPL-4 workload with workload telemetry off vs on.
+
+    The concurrency twin of :func:`run_obs_overhead`: ``disabled``
+    runs the MPL-4 concurrent workload with default options (no
+    metrics registry, no span assembly — the hot path pays one
+    ``is not None`` check per site); ``enabled`` turns on
+    ``WorkloadOptions(observability=ObservabilityOptions(
+    observe=True))``, so the same run also populates the
+    :class:`~repro.obs.metrics.MetricsRegistry` and assembles
+    per-query spans.  The disabled mode pins the virtual makespan and
+    results exactly against the committed baseline; the wall-clock
+    gate is the within-run twin — enabled over disabled in the same
+    process (:func:`compare_obs_workload`) — because cross-epoch wall
+    comparisons at this scale flap with machine load.
+    """
+    from repro.engine.executor import ObservabilityOptions
+    from repro.workload.options import WorkloadOptions
+
+    card_a = QUICK_CARD_A if quick else FULL_CARD_A
+    card_b = QUICK_CARD_B if quick else FULL_CARD_B
+    repeats = WORKLOAD_REPEATS
+    database = make_join_database(card_a, card_b, OBS_DEGREE, theta=0.0)
+    machine = default_machine()
+    # The two modes are interleaved A/B within each repeat (not run as
+    # two blocks) so a transient load burst hits both sides equally —
+    # the within-run ratio is the gate, so its bias matters more than
+    # either absolute number.
+    pairs = [(label, WorkloadOptions(
+                  observability=ObservabilityOptions(observe=observe)))
+             for label, observe in (("disabled", False), ("enabled", True))]
+    times = {label: [] for label, _ in pairs}
+    results = {}
+    for _ in range(repeats):
+        for label, workload in pairs:
+            started = time.perf_counter()
+            results[label] = run_concurrent_workload(
+                database, CONCURRENT_MPL, threads=THREADS,
+                machine=machine, workload=workload, seed=seed)
+            times[label].append(time.perf_counter() - started)
+    modes = {}
+    for label, _ in pairs:
+        result = results[label]
+        modes[label] = {
+            "mean_s": round(statistics.fmean(times[label]), 6),
+            "min_s": round(min(times[label]), 6),
+            "runs": [round(t, 6) for t in times[label]],
+            "makespan_virtual_s": result.makespan,
+            "result_rows": sum(e.result_cardinality
+                               for e in result.executions.values()),
+        }
+    return {
+        "workload": {"card_a": card_a, "card_b": card_b,
+                     "degree": OBS_DEGREE, "mpl": CONCURRENT_MPL,
+                     "threads": THREADS, "repeats": repeats, "seed": seed},
+        "modes": modes,
+        "enabled_over_disabled": round(
+            modes["enabled"]["min_s"] / modes["disabled"]["min_s"], 4),
+    }
+
+
+def compare_obs_workload(baseline: dict, current: dict,
+                         threshold: float = OBS_REGRESSION_THRESHOLD,
+                         abs_slack_s: float = ABSOLUTE_SLACK_S) -> list[str]:
+    """Flag workload-telemetry overhead problems against *baseline*.
+
+    The MPL-4 twin of :func:`compare_obs`, but gated the way new perf
+    sections must be on a noisy box: the disabled mode's virtual
+    makespan and results are pinned *exactly* against the committed
+    record (virtual time is deterministic, so any drift is a real
+    engine change), while the wall clock is judged within-run only:
+    the repeats are interleaved disabled/enabled pairs, and in at
+    least one pair the enabled run must land within *threshold* (plus
+    *abs_slack_s*) of its paired disabled run — a load burst slows
+    both halves of a pair together, so a telemetry path that is
+    genuinely free always produces one clean pair.  Enabling
+    telemetry may also move neither the virtual makespan nor the
+    results.
+    """
+    problems = []
+    base = baseline["modes"]["disabled"]
+    disabled = current["modes"]["disabled"]
+    enabled = current["modes"]["enabled"]
+    if disabled["makespan_virtual_s"] != base["makespan_virtual_s"]:
+        problems.append(
+            f"obs-workload virtual makespan changed "
+            f"{base['makespan_virtual_s']!r} -> "
+            f"{disabled['makespan_virtual_s']!r}")
+    if disabled["result_rows"] != base["result_rows"]:
+        problems.append(
+            f"obs-workload results changed {base['result_rows']} -> "
+            f"{disabled['result_rows']}")
+    pairs = list(zip(disabled["runs"], enabled["runs"]))
+    if not any(on <= off * (1.0 + threshold) + abs_slack_s
+               for off, on in pairs):
+        closest = min(pairs, key=lambda pair: pair[1] / pair[0])
+        problems.append(
+            f"workload telemetry wall-clock overhead: no interleaved "
+            f"repeat put enabled within {threshold:.0%} + "
+            f"{abs_slack_s * 1000:.0f}ms of disabled (closest pair "
+            f"{closest[0]:.4f}s off vs {closest[1]:.4f}s on)")
+    if enabled["makespan_virtual_s"] != disabled["makespan_virtual_s"]:
+        problems.append(
+            "workload telemetry moved the virtual makespan: "
+            f"{disabled['makespan_virtual_s']!r} -> "
+            f"{enabled['makespan_virtual_s']!r}")
+    if enabled["result_rows"] != disabled["result_rows"]:
+        problems.append(
+            f"workload telemetry changed results: "
+            f"{disabled['result_rows']} -> {enabled['result_rows']}")
+    return problems
+
+
+def render_obs_workload(record: dict) -> str:
+    """Human-readable line for one obs-workload run."""
+    disabled = record["modes"]["disabled"]
+    enabled = record["modes"]["enabled"]
+    return (f"obs workload (mpl={record['workload']['mpl']}"
+            f"@{record['workload']['degree']}): "
+            f"disabled {disabled['min_s']:.4f}s, "
+            f"enabled {enabled['min_s']:.4f}s "
+            f"({record['enabled_over_disabled']:.2f}x)")
+
+
 def run_session_overhead(quick: bool = False, seed: int = 0) -> dict:
     """Time the single-query path direct vs through the workload layer.
 
@@ -785,11 +909,14 @@ def main(argv: list[str] | None = None) -> int:
 
     matrix = run_matrix(quick=args.quick)
     print(render(matrix))
-    obs_record = None
+    obs_record = obs_workload_record = None
     if args.obs:
         obs_record = run_obs_overhead(quick=args.quick)
         matrix["observability"] = obs_record
         print(render_obs(obs_record))
+        obs_workload_record = run_obs_workload(quick=args.quick)
+        matrix["obs_workload"] = obs_workload_record
+        print(render_obs_workload(obs_workload_record))
     session_record = concurrent_record = shared_record = None
     if args.workload:
         session_record = run_session_overhead(quick=args.quick)
@@ -818,6 +945,15 @@ def main(argv: list[str] | None = None) -> int:
                     f"baseline has no observability[{scale}] section")
             else:
                 problems.extend(compare_obs(obs_baseline, obs_record))
+        if obs_workload_record is not None:
+            obs_workload_baseline = baseline.get(
+                "obs_workload", {}).get(scale)
+            if obs_workload_baseline is None:
+                problems.append(
+                    f"baseline has no obs_workload[{scale}] section")
+            else:
+                problems.extend(compare_obs_workload(
+                    obs_workload_baseline, obs_workload_record))
         if session_record is not None:
             problems.extend(compare_session(session_record))
         if concurrent_record is not None:

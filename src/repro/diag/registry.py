@@ -64,6 +64,12 @@ class RunRecord:
     findings: list[dict]
     explanation: list[dict] | None = None
     status: str = "done"
+    #: Workload tail latency (p50/p95/p99/max/mean/count over the
+    #: completed queries' end-to-end virtual latencies) and terminal
+    #: status counts; ``None`` on single-query records and on records
+    #: written before workload telemetry existed.
+    latency: dict | None = None
+    status_counts: dict | None = None
     schema: int = RECORD_SCHEMA
 
     @classmethod
@@ -114,6 +120,40 @@ class RunRecord:
         record it in one step."""
         return cls.from_diagnosis(diagnose(source), run_id, **kwargs)
 
+    @classmethod
+    def from_workload(cls, result, run_id: str, label: str = "",
+                      workload: dict | None = None,
+                      created_at: str | None = None) -> "RunRecord":
+        """Distil one telemetry-enabled workload run.
+
+        *result* is a :class:`~repro.workload.engine.WorkloadResult`
+        with observability on; the record carries the makespan as
+        ``elapsed`` plus the tail-latency percentiles and terminal
+        status counts, so ``python -m repro compare`` gates workload
+        runs on p95/p99 as well as the clock.
+        """
+        report = result.report()
+        if created_at is None:
+            created_at = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime())
+        return cls(
+            run_id=sanitize_run_id(run_id),
+            label=label,
+            created_at=created_at,
+            workload=dict(workload or {}),
+            elapsed=result.makespan,
+            startup=0.0,
+            total_threads=max(
+                (e.total_threads for e in result.executions.values()),
+                default=0),
+            dilation=1.0,
+            ops=[],
+            critical_path={},
+            findings=[],
+            status="done",
+            latency=dict(report.latency) or None,
+            status_counts=dict(report.statuses),
+        )
+
     # -- (de)serialization ---------------------------------------------------
 
     def to_json(self) -> dict:
@@ -132,6 +172,8 @@ class RunRecord:
             "findings": self.findings,
             "explanation": self.explanation,
             "status": self.status,
+            "latency": self.latency,
+            "status_counts": self.status_counts,
         }
 
     @classmethod
@@ -154,6 +196,8 @@ class RunRecord:
             findings=document.get("findings", []),
             explanation=document.get("explanation"),
             status=document.get("status", "done"),
+            latency=document.get("latency"),
+            status_counts=document.get("status_counts"),
             schema=document.get("schema", RECORD_SCHEMA),
         )
 
@@ -243,6 +287,10 @@ class RunComparison:
     improved: bool
     bottleneck_shifted: bool
     op_deltas: list[OpDelta] = field(default_factory=list)
+    #: Worst relative p95/p99 movement when both records carry
+    #: workload latency percentiles; ``None`` otherwise.  Feeds the
+    #: ``regressed`` gate like ``elapsed_delta`` does.
+    tail_delta: float | None = None
 
     @property
     def clean(self) -> bool:
@@ -253,7 +301,11 @@ class RunComparison:
     @property
     def verdict(self) -> str:
         if self.regressed:
-            base = f"REGRESSION (+{self.elapsed_delta:.1%} elapsed)"
+            if (self.tail_delta is not None
+                    and self.tail_delta > max(self.elapsed_delta, 0.0)):
+                base = f"REGRESSION (+{self.tail_delta:.1%} tail latency)"
+            else:
+                base = f"REGRESSION (+{self.elapsed_delta:.1%} elapsed)"
         elif self.improved:
             base = f"improvement ({self.elapsed_delta:+.1%} elapsed)"
         else:
@@ -275,6 +327,7 @@ class RunComparison:
             "path_delta": self.path_delta,
             "regressed": self.regressed,
             "improved": self.improved,
+            "tail_delta": self.tail_delta,
             "bottleneck_a": self.a.bottleneck,
             "bottleneck_b": self.b.bottleneck,
             "bottleneck_shifted": self.bottleneck_shifted,
@@ -300,8 +353,20 @@ class RunComparison:
             f"  bottleneck    : {a.bottleneck} -> {b.bottleneck}"
             + ("  ** shifted **" if self.bottleneck_shifted else ""),
             f"  threads       : {a.total_threads} -> {b.total_threads}",
-            "  per-operator (busy | on-path blame):",
         ]
+        if self.tail_delta is not None:
+            lat_a, lat_b = a.latency or {}, b.latency or {}
+            lines.append(
+                f"  tail latency  : p95 {lat_a.get('p95', 0.0):.3f}s -> "
+                f"{lat_b.get('p95', 0.0):.3f}s, p99 "
+                f"{lat_a.get('p99', 0.0):.3f}s -> "
+                f"{lat_b.get('p99', 0.0):.3f}s "
+                f"(worst {self.tail_delta:+.1%})")
+        if a.status_counts or b.status_counts:
+            lines.append(
+                f"  statuses      : {a.status_counts or {}} -> "
+                f"{b.status_counts or {}}")
+        lines.append("  per-operator (busy | on-path blame):")
         for delta in self.op_deltas:
             lines.append(
                 f"    {delta.operation:<12} "
@@ -336,12 +401,22 @@ def compare(a: RunRecord, b: RunRecord,
 
     The elapsed gate is relative: ``regressed`` when B's elapsed
     exceeds A's by more than *tolerance*, ``improved`` when it
-    undercuts it by more.  The bottleneck shift compares the
-    critical-path blame winners.  Per-operator rows cover the union of
-    operations (0.0 where one side lacks the operation), ranked by the
-    largest absolute blame movement.
+    undercuts it by more.  When both records carry workload latency
+    percentiles (:meth:`RunRecord.from_workload`), the worst relative
+    p95/p99 movement is gated by the same tolerance — a workload can
+    hold its makespan while its tail collapses, and that is a
+    regression too.  The bottleneck shift compares the critical-path
+    blame winners.  Per-operator rows cover the union of operations
+    (0.0 where one side lacks the operation), ranked by the largest
+    absolute blame movement.
     """
     elapsed_delta = _relative_delta(a.elapsed, b.elapsed)
+    tail_delta = None
+    if a.latency and b.latency:
+        tail_moves = [
+            _relative_delta(a.latency[q], b.latency[q])
+            for q in ("p95", "p99") if q in a.latency and q in b.latency]
+        tail_delta = max(tail_moves) if tail_moves else None
     path_delta = _relative_delta(a.critical_path.get("length", 0.0),
                                  b.critical_path.get("length", 0.0))
     blame_a = a.critical_path.get("blame", {})
@@ -368,8 +443,10 @@ def compare(a: RunRecord, b: RunRecord,
         tolerance=tolerance,
         elapsed_delta=elapsed_delta,
         path_delta=path_delta,
-        regressed=elapsed_delta > tolerance,
+        regressed=(elapsed_delta > tolerance
+                   or (tail_delta is not None and tail_delta > tolerance)),
         improved=elapsed_delta < -tolerance,
         bottleneck_shifted=a.bottleneck != b.bottleneck,
         op_deltas=deltas,
+        tail_delta=tail_delta,
     )

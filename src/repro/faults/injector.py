@@ -68,9 +68,10 @@ class FaultInjector:
     operation's own bus.
     """
 
-    def __init__(self, plan: FaultPlan, bus=None) -> None:
+    def __init__(self, plan: FaultPlan, bus=None, metrics=None) -> None:
         self.plan = plan
         self.bus = bus
+        self.metrics = metrics
         self.rng = random.Random(plan.seed)
         self.perturbs_cpu = bool(plan.slowdowns or plan.stalls)
         # Operators that can fail: explicit targets plus the wildcard.
@@ -187,12 +188,20 @@ class FaultInjector:
             return None
         attempts = self._attempts.get(key, (0, None))[0] + 1
         self.injected += 1
+        if self.metrics is not None:
+            from repro.obs.metrics import FAULTS_INJECTED
+            self.metrics.counter(
+                FAULTS_INJECTED, operation=operation.name).inc(now)
         wasted = spec_wasted = getattr(spec, "wasted_cost", None)
         if spec_wasted is None:
             wasted = operation.queues[activation.instance].cost_estimate
         if attempts > spec.max_retries:
             self._attempts.pop(key, None)
             self.aborts += 1
+            if self.metrics is not None:
+                from repro.obs.metrics import FAULT_ABORTS
+                self.metrics.counter(
+                    FAULT_ABORTS, operation=operation.name).inc(now)
             return FailureDecision(
                 wasted=wasted, backoff=0.0, attempt=attempts,
                 aborts=True, operation=operation.name)
@@ -200,6 +209,11 @@ class FaultInjector:
         self.retries += 1
         backoff = min(spec.backoff * (2.0 ** (attempts - 1)),
                       spec.backoff_cap)
+        if self.metrics is not None:
+            from repro.obs.metrics import FAULT_BACKOFF, FAULT_RETRIES
+            self.metrics.counter(
+                FAULT_RETRIES, operation=operation.name).inc(now)
+            self.metrics.counter(FAULT_BACKOFF).inc(now, backoff)
         return FailureDecision(
             wasted=wasted, backoff=backoff, attempt=attempts,
             aborts=False, operation=operation.name)
@@ -237,6 +251,9 @@ class FaultInjector:
                                  if self._pending_memory else None)
             released = machine.shrink_cache_budget(event.factor)
             self.memory_events += 1
+            if self.metrics is not None:
+                from repro.obs.metrics import FAULT_MEMORY_EVENTS
+                self.metrics.counter(FAULT_MEMORY_EVENTS).inc(now)
             if self.bus is not None:
                 from repro.obs.bus import FAULT_MEMORY
                 self.bus.emit(

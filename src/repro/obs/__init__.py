@@ -1,12 +1,19 @@
-"""Execution observability: event bus, probes, explain, exporters.
+"""Execution observability: event bus, probes, metrics, spans, exporters.
 
-Enable with ``ExecutionOptions(observe=True)``; the resulting
-:class:`~repro.engine.metrics.QueryExecution` then carries an
-:class:`~repro.obs.bus.EventBus` on ``.obs``, exportable via
-:mod:`repro.obs.export`.  Scheduler decisions are explained by passing
-a :class:`~repro.obs.explain.ScheduleExplanation` to
-``AdaptiveScheduler.schedule``.  See the Observability section of
-docs/architecture.md for the event taxonomy and overhead guarantees.
+Enable per-query observability with ``ExecutionOptions(observe=True)``;
+the resulting :class:`~repro.engine.metrics.QueryExecution` then
+carries an :class:`~repro.obs.bus.EventBus` on ``.obs``, exportable
+via :mod:`repro.obs.export`.  Workload-level telemetry — the
+:class:`~repro.obs.metrics.MetricsRegistry`, per-query
+:class:`~repro.obs.spans.QuerySpan` lifecycles and the
+:class:`~repro.obs.report.WorkloadReport` — is enabled with
+``WorkloadOptions(observability=ObservabilityOptions(observe=True))``
+and lives on the :class:`~repro.workload.engine.WorkloadResult`.
+Scheduler decisions are explained by passing a
+:class:`~repro.obs.explain.ScheduleExplanation` to
+``AdaptiveScheduler.schedule``.  See the Observability and Workload
+telemetry sections of docs/architecture.md for the event taxonomy and
+overhead guarantees.
 """
 
 from repro.obs.bus import Event, EventBus
@@ -26,10 +33,27 @@ from repro.obs.export import (
     metrics_snapshot,
     read_jsonl,
     verify_against_metrics,
+    verify_workload_jsonl,
+    workload_jsonl_records,
     write_chrome_trace,
     write_jsonl,
+    write_workload_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
 )
 from repro.obs.probes import Series
+from repro.obs.report import WorkloadReport, build_workload_report
+from repro.obs.spans import (
+    QuerySpan,
+    SpanSet,
+    assemble_spans,
+    verify_spans,
+)
 
 __all__ = [
     "Event",
@@ -48,6 +72,20 @@ __all__ = [
     "metrics_snapshot",
     "read_jsonl",
     "verify_against_metrics",
+    "verify_workload_jsonl",
+    "workload_jsonl_records",
     "write_chrome_trace",
     "write_jsonl",
+    "write_workload_jsonl",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "percentile",
+    "WorkloadReport",
+    "build_workload_report",
+    "QuerySpan",
+    "SpanSet",
+    "assemble_spans",
+    "verify_spans",
 ]

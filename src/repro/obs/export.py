@@ -56,9 +56,12 @@ _US = 1e6
 #: JSONL schema version, recorded in the meta header.  Version 2 added
 #: ``span`` records (the activation trace) and the per-operation timing
 #: fields (``busy_time``, ``queue_activations``, ...) the diagnostics
-#: layer reloads.  Version-1 logs still parse (they simply carry no
-#: spans, so critical-path analysis rejects them).
-SCHEMA_VERSION = 2
+#: layer reloads.  Version 3 added workload telemetry: ``qspan``
+#: records (one per-query :class:`~repro.obs.spans.QuerySpan`) and
+#: ``metric`` records (:meth:`~repro.obs.metrics.MetricsRegistry
+#: .snapshot` rows), written by :func:`write_workload_jsonl`.  Older
+#: logs still parse (they simply carry no workload records).
+SCHEMA_VERSION = 3
 
 
 def _require_obs(execution: "QueryExecution") -> EventBus:
@@ -138,12 +141,51 @@ def jsonl_records(execution: "QueryExecution") -> Iterator[dict]:
 
 def write_jsonl(execution: "QueryExecution", path: str | Path) -> int:
     """Write the JSONL event log; returns the number of records."""
+    return _write_records(jsonl_records(execution), path)
+
+
+def _write_records(records: Iterator[dict], path: str | Path) -> int:
     count = 0
     with open(path, "w", encoding="utf-8") as handle:
-        for record in jsonl_records(execution):
+        for record in records:
             handle.write(json.dumps(record) + "\n")
             count += 1
     return count
+
+
+def workload_jsonl_records(result) -> Iterator[dict]:
+    """All JSONL records of one observed workload run, in order.
+
+    The workload-level sibling of :func:`jsonl_records`: a meta
+    header (``workload: true``), one ``qspan`` record per submitted
+    query, one ``metric`` record per registry snapshot row, and the
+    raw workload-bus events.  *result* is a telemetry-enabled
+    :class:`~repro.workload.engine.WorkloadResult`.
+    """
+    if result.metrics is None or result.spans is None:
+        raise ReproError(
+            "workload was not observed; enable WorkloadOptions("
+            "observability=ObservabilityOptions(observe=True)) to "
+            "export it")
+    yield {
+        "type": "meta",
+        "schema": SCHEMA_VERSION,
+        "workload": True,
+        "makespan": result.makespan,
+        "queries": len(result.spans),
+        "statuses": result.spans.status_counts(),
+    }
+    for span in result.spans:
+        yield {"type": "qspan", **span.to_json()}
+    for row in result.metrics.snapshot():
+        yield {"type": "metric", **row}
+    for event in result.bus.events:
+        yield _event_record(event)
+
+
+def write_workload_jsonl(result, path: str | Path) -> int:
+    """Write the workload JSONL log; returns the number of records."""
+    return _write_records(workload_jsonl_records(result), path)
 
 
 #: Keys of an ``event`` record that are :class:`Event` fields; every
@@ -170,10 +212,24 @@ class LoadedRun:
     trace: ExecutionTrace = field(default_factory=ExecutionTrace)
     series: dict[str, Series] = field(default_factory=dict)
     counters: dict[str, float] = field(default_factory=dict)
+    #: Schema-3 workload records: per-query span dicts and registry
+    #: snapshot rows (both exactly as written; empty for per-query
+    #: logs and pre-3 schemas).
+    qspans: list[dict] = field(default_factory=list)
+    metrics: list[dict] = field(default_factory=list)
 
     @property
     def schema(self) -> int:
         return self.meta.get("schema", 1)
+
+    @property
+    def is_workload(self) -> bool:
+        """True for a :func:`write_workload_jsonl` log."""
+        return bool(self.meta.get("workload"))
+
+    @property
+    def makespan(self) -> float:
+        return self.meta["makespan"]
 
     @property
     def status(self) -> str:
@@ -237,6 +293,10 @@ def read_jsonl(path: str | Path) -> LoadedRun:
                 series.sample(record["t"], record["value"])
             elif kind == "counter":
                 run.counters[record["name"]] = record["value"]
+            elif kind == "qspan":
+                run.qspans.append(record)
+            elif kind == "metric":
+                run.metrics.append(record)
             else:
                 raise ReproError(
                     f"{path}: line {line_no} has unknown record type "
@@ -374,4 +434,85 @@ def verify_against_metrics(execution: "QueryExecution") -> list[str]:
             if observed != metric:
                 problems.append(
                     f"{name}: bus {label}={observed} != metrics {metric}")
+    return problems
+
+
+def verify_workload_jsonl(run: LoadedRun,
+                          executions: dict | None = None) -> list[str]:
+    """Self-audit a reloaded workload log (empty list = consistent).
+
+    The workload-level counterpart of :func:`verify_against_metrics`:
+    the ``qspan`` records, the ``metric`` snapshot rows and the meta
+    header were all derived from the same run, so they must agree —
+    status counts, finished-query counters, latency-histogram counts
+    and percentiles.  Passing the live ``executions`` mapping (tag ->
+    :class:`~repro.engine.metrics.QueryExecution`) additionally checks
+    every span's terminal status against the engine's bookkeeping.
+    """
+    from repro.obs.metrics import (
+        QUERIES_FINISHED,
+        QUERY_LATENCY,
+        percentile,
+    )
+
+    problems: list[str] = []
+    if not run.is_workload:
+        return [f"not a workload log (meta: {run.meta})"]
+
+    statuses: dict[str, int] = {}
+    for record in run.qspans:
+        status = record.get("status") or "unterminated"
+        statuses[status] = statuses.get(status, 0) + 1
+    if statuses != run.meta.get("statuses"):
+        problems.append(
+            f"meta statuses {run.meta.get('statuses')} != qspan "
+            f"statuses {statuses}")
+
+    finished = {row["labels"].get("status"): row["value"]
+                for row in run.metrics
+                if row["name"] == QUERIES_FINISHED}
+    for status, count in statuses.items():
+        if status != "unterminated" and finished.get(status) != count:
+            problems.append(
+                f"{QUERIES_FINISHED}{{status={status}}} = "
+                f"{finished.get(status)} != {count} qspan records")
+
+    latencies: dict[str, list[float]] = {}
+    for record in run.qspans:
+        status = record.get("status")
+        if status is not None and record.get("finished_at") is not None:
+            latencies.setdefault(status, []).append(
+                record["finished_at"] - record["submitted_at"])
+    for row in run.metrics:
+        if row["name"] != QUERY_LATENCY:
+            continue
+        status = row["labels"].get("status")
+        values = latencies.get(status, [])
+        if row["count"] != len(values):
+            problems.append(
+                f"{QUERY_LATENCY}{{status={status}}} count "
+                f"{row['count']} != {len(values)} qspan latencies")
+            continue
+        for quantile in ("p50", "p95", "p99"):
+            if quantile not in row:
+                continue
+            expected = percentile(values, float(quantile[1:]))
+            if abs(row[quantile] - expected) > 1e-9:
+                problems.append(
+                    f"{QUERY_LATENCY}{{status={status}}} {quantile} "
+                    f"{row[quantile]} != {expected} from qspans")
+
+    if executions is not None:
+        by_tag = {record["tag"]: record for record in run.qspans}
+        for tag, execution in executions.items():
+            record = by_tag.get(tag)
+            if record is None:
+                problems.append(f"{tag}: execution has no qspan record")
+            elif record.get("status") != execution.status:
+                problems.append(
+                    f"{tag}: qspan status {record.get('status')!r} != "
+                    f"execution status {execution.status!r}")
+        for tag in by_tag:
+            if tag not in executions:
+                problems.append(f"{tag}: qspan has no execution")
     return problems

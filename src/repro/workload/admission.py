@@ -65,8 +65,9 @@ class AdmissionController:
     starve a large one by slipping past it (no convoy re-ordering).
     """
 
-    def __init__(self, options: WorkloadOptions) -> None:
+    def __init__(self, options: WorkloadOptions, metrics=None) -> None:
         self.options = options
+        self.metrics = metrics
         self.running_count = 0
         self.used_bytes = 0
 
@@ -87,10 +88,18 @@ class AdmissionController:
             return False
         return True
 
-    def acquire(self, footprint: int) -> None:
+    def acquire(self, footprint: int, at: float = 0.0) -> None:
         self.running_count += 1
         self.used_bytes += footprint
+        self._record_usage(at)
 
-    def release(self, footprint: int) -> None:
+    def release(self, footprint: int, at: float = 0.0) -> None:
         self.running_count -= 1
         self.used_bytes -= footprint
+        self._record_usage(at)
+
+    def _record_usage(self, at: float) -> None:
+        if self.metrics is not None:
+            from repro.obs.metrics import ADMISSION_USED_BYTES
+            self.metrics.gauge(ADMISSION_USED_BYTES).set(
+                at, float(self.used_bytes))

@@ -66,6 +66,24 @@ from repro.obs.bus import (
     WAVE_START,
     EventBus,
 )
+from repro.obs.metrics import (
+    ADMISSION_QUEUE_DEPTH,
+    ADMISSION_WAIT,
+    FOLD_ATTEMPTS,
+    FOLD_COST_SHARE,
+    FOLD_HITS,
+    FOLD_SUBSCRIBERS,
+    GRANTED_THREADS,
+    GRANTS,
+    POOL_UTILIZATION,
+    QUERIES_ADMITTED,
+    QUERIES_FINISHED,
+    QUERIES_SUBMITTED,
+    QUERY_LATENCY,
+    RUNNING_QUERIES,
+    MetricsRegistry,
+)
+from repro.obs.spans import SpanSet, assemble_spans
 from repro.scheduler.allocation import _largest_remainder, allocate_to_queries
 from repro.scheduler.complexity import operator_complexity, query_complexity
 from repro.workload.admission import AdmissionController, runtime_footprint
@@ -147,10 +165,26 @@ class WorkloadResult:
     faults or cancellation are in play), tagged with query names."""
     errors: dict[str, str] = field(default_factory=dict)
     """Abort messages for queries that ended ``failed``, keyed by tag."""
+    metrics: MetricsRegistry | None = None
+    """Workload telemetry registry (counters / gauges / latency
+    histograms), populated when workload observability is on —
+    ``WorkloadOptions(observability=ObservabilityOptions(observe=True))``
+    or per-query ``observe``.  ``None`` when disabled: the engine then
+    pays one ``is not None`` check per site and nothing else."""
+    spans: SpanSet | None = None
+    """Per-query lifecycle spans assembled from :attr:`bus` after the
+    run (same gating as :attr:`metrics`)."""
 
     def __post_init__(self) -> None:
         if self.makespan < 0:
             raise WorkloadError(f"negative makespan {self.makespan}")
+
+    def report(self):
+        """Aggregate telemetry as a
+        :class:`~repro.obs.report.WorkloadReport` (requires the run to
+        have been observed)."""
+        from repro.obs.report import build_workload_report
+        return build_workload_report(self)
 
     @property
     def throughput(self) -> float:
@@ -483,7 +517,15 @@ class _WorkloadRun:
         #: complete before their current wave can advance.
         self._waiters_of: dict[int, list[_QueryJob]] = {}
         self.bus = EventBus()
-        self.admission = AdmissionController(workload)
+        #: Workload telemetry: ``None`` keeps every metrics branch off
+        #: the hot path (same guarded no-op pattern as the per-query
+        #: bus); on, it is populated purely from the lifecycle sites
+        #: that already emit bus events.
+        self.metrics = (MetricsRegistry()
+                        if exec_options.observe
+                        or workload.observability.observe else None)
+        self.admission = AdmissionController(workload,
+                                             metrics=self.metrics)
         self.budget = workload.thread_budget or machine.processors
         self.simulator = Simulator(
             machine, seed=exec_options.seed,
@@ -493,7 +535,8 @@ class _WorkloadRun:
         if workload.faults is not None:
             from repro.faults.injector import FaultInjector
             self.simulator.attach_faults(
-                FaultInjector(workload.faults, bus=self.bus))
+                FaultInjector(workload.faults, bus=self.bus,
+                              metrics=self.metrics))
         self.running: list[_QueryJob] = []
         self.queue: list[_QueryJob] = []
         self.next_thread_id = 0
@@ -535,6 +578,10 @@ class _WorkloadRun:
                                   demand=job.demand, footprint=job.footprint)
                     self.admission.check_admissible(job.tag, job.footprint)
                     self.queue.append(job)
+                    if self.metrics is not None:
+                        self.metrics.counter(QUERIES_SUBMITTED).inc(now)
+                        self.metrics.gauge(ADMISSION_QUEUE_DEPTH).set(
+                            now, len(self.queue))
                     arrived = True
                 else:
                     deadlines.append((job, kind))
@@ -553,13 +600,18 @@ class _WorkloadRun:
                 f"workload did not complete: queries {stuck} never "
                 f"finished (deadlock or admission starvation)")
         makespan = max((job.finished_at for job in self.jobs), default=0.0)
+        executions = {job.tag: job.execution for job in self.jobs}
+        spans = (assemble_spans(self.bus, executions)
+                 if self.metrics is not None else None)
         return WorkloadResult(
-            executions={job.tag: job.execution for job in self.jobs},
+            executions=executions,
             order=tuple(job.tag for job in self.jobs),
             makespan=makespan,
             bus=self.bus,
             errors={job.tag: str(job.error) for job in self.jobs
                     if job.error is not None},
+            metrics=self.metrics,
+            spans=spans,
         )
 
     def _maybe_recycle_thread_ids(self) -> None:
@@ -602,6 +654,7 @@ class _WorkloadRun:
             job.execution = job.build_execution(self.executor, status=outcome)
             self.bus.emit(QUERY_CANCEL, now, job.tag, reason=reason,
                           admitted=False, discarded=0)
+            self._record_terminal(job, now, outcome)
             return
         job.state = CANCELLING
         job.outcome = outcome
@@ -672,13 +725,41 @@ class _WorkloadRun:
         job.execution = job.build_execution(self.executor,
                                             status=job.outcome)
         self.running.remove(job)
-        self.admission.release(job.footprint)
+        self.admission.release(job.footprint, at=finish)
         self.bus.emit(QUERY_FINISH, finish, job.tag,
                       response_time=finish - job.arrival,
                       threads=job.max_threads, status=job.outcome)
+        self._record_terminal(job, finish, job.outcome)
         self._try_admit(finish)
         if self.running:
             self._refresh_grants(finish, grow=self.workload.rebalance)
+
+    def _record_terminal(self, job: _QueryJob, finish: float,
+                         status: str) -> None:
+        """Telemetry of one query reaching a terminal state: the
+        end-to-end latency observation, the per-status tally, the
+        machine-level levels, and — from the frozen execution — each
+        pool's thread utilization and fractional cost shares."""
+        if self.metrics is None:
+            return
+        metrics = self.metrics
+        metrics.counter(QUERIES_FINISHED, status=status).inc(finish)
+        metrics.histogram(QUERY_LATENCY, status=status).observe(
+            finish, finish - job.arrival)
+        metrics.gauge(RUNNING_QUERIES).set(finish, len(self.running))
+        metrics.gauge(ADMISSION_QUEUE_DEPTH).set(finish, len(self.queue))
+        execution = job.execution
+        if execution is None:
+            return
+        for name, op in execution.operations.items():
+            window = op.finished_at - op.started_at
+            if op.threads and window > 0:
+                metrics.gauge(POOL_UTILIZATION, query=job.tag,
+                              pool=name).set(
+                    finish, op.busy_time / (op.threads * window))
+            if op.cost_share < 1.0:
+                metrics.gauge(FOLD_COST_SHARE, query=job.tag,
+                              operator=name).set(finish, op.cost_share)
 
     def _release_shared(self, job: _QueryJob, now: float,
                         detach: bool = True) -> None:
@@ -770,21 +851,41 @@ class _WorkloadRun:
             if folds is not None:
                 job.materialize(self.executor, self.sharing, folds,
                                 footprint, now)
+                if self.metrics is not None:
+                    self._record_fold_pass(job, folds, now)
             job.state = RUNNING
             job.admitted_at = now
             self.running.append(job)
-            self.admission.acquire(job.footprint)
+            self.admission.acquire(job.footprint, at=now)
             admitted.append(job)
         if not admitted:
             return
         grants = self._grants()
         for job in admitted:
             job.grant = grants[job.tag]
+            # The folds payload names the hosting query of every folded
+            # node — the span model's subscriber->host link.  Only
+            # attached when non-empty, so unfolded admissions (and
+            # every shared=False run) keep the exact legacy payload.
+            extra = ({"folds": {name: shared.host_tag
+                                for name, shared in job.folds.items()}}
+                     if job.folds else {})
             self.bus.emit(QUERY_ADMIT, now, job.tag,
                           running=len(self.running), queued=len(self.queue),
-                          footprint=job.footprint)
+                          footprint=job.footprint, **extra)
             self.bus.emit(QUERY_GRANT, now, job.tag, threads=job.grant,
                           budget=self.budget, reason="admission")
+            if self.metrics is not None:
+                self.metrics.counter(QUERIES_ADMITTED).inc(now)
+                self.metrics.histogram(ADMISSION_WAIT).observe(
+                    now, now - job.arrival)
+                self.metrics.counter(GRANTS, reason="admission").inc(now)
+                self.metrics.gauge(GRANTED_THREADS, query=job.tag).set(
+                    now, job.grant)
+        if self.metrics is not None:
+            self.metrics.gauge(ADMISSION_QUEUE_DEPTH).set(
+                now, len(self.queue))
+            self.metrics.gauge(RUNNING_QUERIES).set(now, len(self.running))
         # Queries admitted earlier shrink to their new fair share —
         # applied at their next wave boundary (running pools are never
         # revoked mid-wave).  Growth (an admission triggered by a
@@ -797,10 +898,35 @@ class _WorkloadRun:
             job.grant = grants[job.tag]
             self.bus.emit(QUERY_GRANT, now, job.tag, threads=job.grant,
                           budget=self.budget, reason="shrink")
+            if self.metrics is not None:
+                self.metrics.counter(GRANTS, reason="shrink").inc(now)
+                self.metrics.gauge(GRANTED_THREADS, query=job.tag).set(
+                    now, job.grant)
         for job in admitted:
             begin = max(now, self.startup_free_at)
             self.startup_free_at = begin + job.startup
             self._start_wave(job, begin + job.startup)
+
+    def _record_fold_pass(self, job: _QueryJob,
+                          folds: dict[str, SharedOperator],
+                          now: float) -> None:
+        """Fold hit-rate telemetry of one admission-time fold pass:
+        how many of the plan's shareable (fingerprintable) nodes
+        actually folded, and each shared operator's subscriber count.
+        ``plan.fingerprints()`` is memoized — :func:`plan_folds` just
+        computed it — so the attempt count is a dictionary walk."""
+        metrics = self.metrics
+        shareable = sum(1 for fingerprint in job.plan.fingerprints().values()
+                        if fingerprint is not None)
+        if shareable:
+            metrics.counter(FOLD_ATTEMPTS).inc(now, shareable)
+        if folds:
+            metrics.counter(FOLD_HITS).inc(now, len(folds))
+            for shared in {id(s): s for s in folds.values()}.values():
+                metrics.gauge(
+                    FOLD_SUBSCRIBERS,
+                    operator=shared.runtime.name).set(
+                    now, len(shared.active_tags))
 
     def _grants(self) -> dict[str, int]:
         """Step 0 over the currently running set.
@@ -982,10 +1108,11 @@ class _WorkloadRun:
             self._release_shared(job, finish)
         job.execution = job.build_execution(self.executor)
         self.running.remove(job)
-        self.admission.release(job.footprint)
+        self.admission.release(job.footprint, at=finish)
         self.bus.emit(QUERY_FINISH, finish, job.tag,
                       response_time=finish - job.arrival,
                       threads=job.max_threads)
+        self._record_terminal(job, finish, DONE)
         # Freed capacity: first let queued queries in, then re-grant
         # the remaining budget across everyone still running.  With
         # zero survivors there is nothing to re-grant and no event to
@@ -1009,6 +1136,11 @@ class _WorkloadRun:
             self.bus.emit(QUERY_GRANT, now, job.tag, threads=new,
                           budget=self.budget,
                           reason="regrant" if grew else "shrink")
+            if self.metrics is not None:
+                self.metrics.counter(
+                    GRANTS, reason="regrant" if grew else "shrink").inc(now)
+                self.metrics.gauge(GRANTED_THREADS, query=job.tag).set(
+                    now, new)
             if grew and grow and job.current_wave_ops:
                 self._grow_current_wave(job, now)
 
@@ -1044,6 +1176,8 @@ class _WorkloadRun:
             granted += share
             self.bus.emit(QUERY_GRANT, now, job.tag, threads=share,
                           pool=op.name, reason="helpers")
+            if self.metrics is not None:
+                self.metrics.counter(GRANTS, reason="helpers").inc(now)
         job.wave_threads += granted
         job.max_threads = max(job.max_threads, job.wave_threads)
         job.max_dilation = max(job.max_dilation,

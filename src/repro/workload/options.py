@@ -42,9 +42,13 @@ class WorkloadOptions:
     the next wave boundary of each query."""
     observability: ObservabilityOptions = field(
         default_factory=ObservabilityOptions)
-    """Reserved for workload-level recording knobs; the workload
-    event stream (submit/admit/grant/finish) is always collected —
-    it is O(queries), not O(activations)."""
+    """Workload-level telemetry knobs.  ``observe=True`` turns on the
+    :class:`~repro.obs.metrics.MetricsRegistry` and per-query
+    :class:`~repro.obs.spans.QuerySpan` assembly for this run
+    (``result.metrics`` / ``result.spans`` / ``result.report()``);
+    per-query ``ExecutionOptions.observability.observe`` implies it.
+    The raw workload event stream (submit/admit/grant/finish) is
+    always collected — it is O(queries), not O(activations)."""
     faults: object | None = None
     """Optional :class:`~repro.faults.FaultPlan` applied to the whole
     workload's shared simulation.  ``None`` (the default) leaves the

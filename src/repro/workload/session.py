@@ -146,6 +146,22 @@ class QueryHandle:
             description=self.compiled.description,
         )
 
+    @property
+    def span(self):
+        """This query's :class:`~repro.obs.spans.QuerySpan`; drives the
+        workload if it has not run.  Requires workload observability
+        (``WorkloadOptions(observability=...)`` or per-query
+        ``observe``) — raises :class:`~repro.errors.WorkloadError`
+        otherwise, the telemetry twin of :attr:`execution`.
+        """
+        result = self._session.run()
+        if result.spans is None:
+            raise WorkloadError(
+                f"no span for {self.tag!r}: the workload ran without "
+                f"observability; enable WorkloadOptions(observability="
+                f"ObservabilityOptions(observe=True))")
+        return result.spans.of(self.tag)
+
 
 class Session:
     """A batch of queries destined for one shared simulation.
@@ -266,6 +282,24 @@ class Session:
     def result(self) -> WorkloadResult | None:
         """The workload result, or ``None`` before :meth:`run`."""
         return self._result
+
+    def metrics(self):
+        """The run's :class:`~repro.obs.metrics.MetricsRegistry`;
+        drives the workload if it has not run.  Raises
+        :class:`WorkloadError` when the run was not observed.
+        """
+        registry = self.run().metrics
+        if registry is None:
+            raise WorkloadError(
+                "no metrics: the workload ran without observability; "
+                "enable WorkloadOptions(observability="
+                "ObservabilityOptions(observe=True))")
+        return registry
+
+    def report(self):
+        """The run's :class:`~repro.obs.report.WorkloadReport`; drives
+        the workload if it has not run (requires observability)."""
+        return self.run().report()
 
     # -- handle support --------------------------------------------------------
 

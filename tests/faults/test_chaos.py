@@ -19,6 +19,20 @@ def test_seeded_sweep_upholds_invariants(seed):
     assert report.passed, "\n".join(report.violations)
 
 
+def test_fault_counters_come_from_the_registry():
+    """The harness reports fault/retry counters straight off the
+    metrics registry, and they agree with the per-operation
+    ``OperationMetrics`` tallies (``check_fault_accounting`` files a
+    violation otherwise, so a passing report *is* the agreement)."""
+    report = run_chaos(0, parity=False)
+    assert report.passed, "\n".join(report.violations)
+    assert set(report.fault_counters) == {
+        "injected", "retries", "aborts", "memory_events"}
+    assert report.fault_counters["injected"] >= (
+        report.fault_counters["retries"] + report.fault_counters["aborts"])
+    assert "faults   :" in report.render()
+
+
 def test_shared_fold_survives_subscriber_cancellation():
     """Three folded subscribers, one cancelled mid-run: conservation
     holds per query, shared work is attributed at most once across the

@@ -1,0 +1,180 @@
+"""The virtual-time metrics registry: instruments, percentiles, snapshots."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.metrics import (
+    LOG_BUCKET_BOUNDS,
+    MetricsRegistry,
+    bucket_index,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+        assert percentile(values, 50) == 0.5
+        assert percentile(values, 95) == 1.0
+        assert percentile(values, 99) == 1.0
+        assert percentile(values, 100) == 1.0
+        assert percentile(values, 0) == 0.1
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([7.0], 99) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            percentile([], 50)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ReproError):
+            percentile([1.0], 101)
+
+
+class TestCounter:
+    def test_inc_and_value_at(self):
+        counter = MetricsRegistry().counter("events_total")
+        counter.inc(0.1)
+        counter.inc(0.2, 2.0)
+        assert counter.value == 3.0
+        assert counter.value_at(0.05) == 0.0
+        assert counter.value_at(0.1) == 1.0
+        assert counter.value_at(0.15) == 1.0
+        assert counter.value_at(9.0) == 3.0
+
+    def test_negative_delta_rejected(self):
+        counter = MetricsRegistry().counter("events_total")
+        with pytest.raises(ReproError):
+            counter.inc(0.0, -1.0)
+
+    def test_out_of_order_increment_splices_in(self):
+        """Completion bookkeeping can carry an earlier stamp than an
+        already-recorded sample; the cumulative series stays exact."""
+        counter = MetricsRegistry().counter("events_total")
+        counter.inc(0.1)
+        counter.inc(0.5)
+        counter.inc(0.3)  # late arrival, earlier stamp
+        assert counter.value == 3.0
+        assert counter.value_at(0.2) == 1.0
+        assert counter.value_at(0.3) == 2.0
+        assert counter.value_at(0.4) == 2.0
+        assert counter.value_at(0.5) == 3.0
+        assert counter.times == sorted(counter.times)
+
+
+class TestGauge:
+    def test_set_value_and_peak(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(0.0, 2.0)
+        gauge.set(0.1, 5.0)
+        gauge.set(0.2, 1.0)
+        assert gauge.value == 1.0
+        assert gauge.peak == 5.0
+        assert gauge.value_at(0.15) == 5.0
+
+    def test_out_of_order_sample_filed_by_stamp(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(0.5, 3.0)
+        gauge.set(0.2, 1.0)  # late arrival, earlier stamp
+        assert gauge.times == [0.2, 0.5]
+        assert gauge.value_at(0.3) == 1.0
+        assert gauge.value == 3.0
+
+
+class TestHistogram:
+    def test_observe_count_mean_max(self):
+        histogram = MetricsRegistry().histogram("latency")
+        for value in (0.1, 0.2, 0.3, 0.4):
+            histogram.observe(value, value)
+        assert histogram.count == 4
+        assert histogram.max == 0.4
+        assert histogram.mean == pytest.approx(0.25)
+        assert histogram.percentile(50) == 0.2
+
+    def test_observations_at_restricts_by_stamp(self):
+        histogram = MetricsRegistry().histogram("latency")
+        histogram.observe(0.1, 1.0)
+        histogram.observe(0.2, 2.0)
+        histogram.observe(0.3, 3.0)
+        assert histogram.observations_at(0.2) == [1.0, 2.0]
+        assert histogram.percentile(99, at=0.2) == 2.0
+
+    def test_buckets_are_log_scale(self):
+        histogram = MetricsRegistry().histogram("latency")
+        histogram.observe(0.0, 0.3)
+        histogram.observe(0.1, 0.3)
+        histogram.observe(0.2, 1e9)  # overflow bucket
+        buckets = histogram.buckets()
+        assert buckets[0] == (0.5, 2)
+        assert buckets[-1] == (float("inf"), 1)
+
+    def test_empty_statistics_rejected(self):
+        histogram = MetricsRegistry().histogram("latency")
+        with pytest.raises(ReproError):
+            histogram.mean
+        with pytest.raises(ReproError):
+            histogram.max
+
+    def test_bucket_index_covers_the_line(self):
+        assert bucket_index(0.0) == 0
+        assert bucket_index(LOG_BUCKET_BOUNDS[0]) == 0
+        assert bucket_index(LOG_BUCKET_BOUNDS[-1] + 1) == len(
+            LOG_BUCKET_BOUNDS)
+
+
+class TestRegistry:
+    def test_get_or_create_by_name_and_labels(self):
+        registry = MetricsRegistry()
+        a = registry.counter("grants_total", reason="admission")
+        b = registry.counter("grants_total", reason="admission")
+        c = registry.counter("grants_total", reason="shrink")
+        assert a is b
+        assert a is not c
+        assert len(registry) == 2
+
+    def test_type_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ReproError):
+            registry.gauge("x")
+
+    def test_get_never_creates(self):
+        registry = MetricsRegistry()
+        assert registry.get("missing") is None
+        assert len(registry) == 0
+
+    def test_family_and_total(self):
+        registry = MetricsRegistry()
+        registry.counter("grants_total", reason="admission").inc(0.0, 2)
+        registry.counter("grants_total", reason="shrink").inc(0.5)
+        assert len(registry.family("grants_total")) == 2
+        assert registry.total("grants_total") == 3.0
+        assert registry.total("grants_total", at=0.25) == 2.0
+
+    def test_snapshot_rows(self):
+        registry = MetricsRegistry()
+        registry.counter("done_total").inc(0.1)
+        registry.gauge("depth").set(0.2, 4.0)
+        histogram = registry.histogram("latency")
+        histogram.observe(0.3, 0.3)
+        histogram.observe(0.4, 1e9)
+        rows = {row["name"]: row for row in registry.snapshot()}
+        assert rows["done_total"]["value"] == 1.0
+        assert rows["depth"]["value"] == 4.0
+        latency = rows["latency"]
+        assert latency["count"] == 2
+        assert latency["p50"] == 0.3
+        # The overflow bucket bound must be JSON-representable (null).
+        assert latency["buckets"][-1][0] is None
+
+    def test_snapshot_at_virtual_time(self):
+        registry = MetricsRegistry()
+        registry.counter("done_total").inc(0.1)
+        registry.counter("done_total").inc(0.9)
+        rows = registry.snapshot(at=0.5)
+        assert rows[0]["value"] == 1.0

@@ -1,0 +1,148 @@
+"""Property-based tests on the workload telemetry span model.
+
+Random small workloads — mixed queries, staggered arrivals, tight
+admission, optional sharing, an optional cancellation and optional
+timeouts — must always reconstruct to a consistent set of
+:class:`~repro.obs.spans.QuerySpan`:
+
+* every submitted query yields **exactly one** terminal span event;
+* span timestamps nest inside the simulation bounds
+  (submit <= admit <= grants/waves <= finish <= makespan);
+* cancelled / timed-out / folded-subscriber queries carry consistent
+  span links (cancel instants recorded, fold links mirrored by the
+  host, hosts admitted no later than their subscribers).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    DBS3,
+    ExecutionOptions,
+    ObservabilityOptions,
+    WorkloadOptions,
+    generate_wisconsin,
+)
+from repro.obs.spans import (
+    SPAN_CANCELLED,
+    SPAN_DONE,
+    SPAN_STATUSES,
+    SPAN_TIMED_OUT,
+    verify_spans,
+)
+
+_EPS = 1e-9
+
+#: Two overlapping joins (fold candidates under sharing) and one
+#: disjoint join that must always stay private.
+QUERIES = (
+    "SELECT * FROM A JOIN B ON A.unique1 = B.unique1",
+    "SELECT * FROM C JOIN D ON C.unique1 = D.unique1",
+)
+
+
+def _make_db() -> DBS3:
+    options = ExecutionOptions(
+        observability=ObservabilityOptions(observe=True))
+    db = DBS3(processors=24, options=options)
+    db.create_table(generate_wisconsin("A", 300, seed=1), "unique1",
+                    degree=6)
+    db.create_table(generate_wisconsin("B", 50, seed=2), "unique1",
+                    degree=6)
+    db.create_table(generate_wisconsin("C", 250, seed=3), "unique1",
+                    degree=6)
+    db.create_table(generate_wisconsin("D", 40, seed=4), "unique1",
+                    degree=6)
+    return db
+
+
+submissions = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=len(QUERIES) - 1),
+        st.floats(min_value=0.0, max_value=0.05, allow_nan=False),
+        st.one_of(st.none(),
+                  st.floats(min_value=0.005, max_value=0.2,
+                            allow_nan=False))),
+    min_size=1, max_size=5)
+
+workloads = st.fixed_dictionaries({
+    "submissions": submissions,
+    "shared": st.booleans(),
+    "max_concurrent": st.integers(min_value=1, max_value=4),
+    "cancel": st.one_of(
+        st.none(),
+        st.tuples(st.integers(min_value=0, max_value=4),
+                  st.floats(min_value=0.0, max_value=0.1,
+                            allow_nan=False))),
+})
+
+
+def _run(spec):
+    db = _make_db()
+    session = db.session(options=WorkloadOptions(
+        shared=spec["shared"],
+        max_concurrent=spec["max_concurrent"],
+        observability=ObservabilityOptions(observe=True)))
+    handles = []
+    for i, (query, at, timeout) in enumerate(spec["submissions"]):
+        handles.append(session.submit(QUERIES[query], at=at,
+                                      tag=f"q{i}", timeout=timeout))
+    if spec["cancel"] is not None:
+        index, at = spec["cancel"]
+        handle = handles[index % len(handles)]
+        handle.cancel(at=max(at, handle.arrival))
+    return session.run()
+
+
+class TestSpanProperties:
+    @given(spec=workloads)
+    @settings(max_examples=25, deadline=None)
+    def test_exactly_one_terminal_event_per_query(self, spec):
+        result = _run(spec)
+        assert len(result.spans) == len(spec["submissions"])
+        for span in result.spans:
+            assert span.terminal_events == 1, span
+            assert span.status in SPAN_STATUSES, span
+            assert span.status == result.status_of(span.tag)
+
+    @given(spec=workloads)
+    @settings(max_examples=25, deadline=None)
+    def test_spans_nest_within_simulation_bounds(self, spec):
+        result = _run(spec)
+        for span in result.spans:
+            assert span.finished_at is not None
+            assert span.finished_at <= result.makespan + _EPS
+            if span.admitted_at is not None:
+                assert span.submitted_at <= span.admitted_at + _EPS
+                assert span.admitted_at <= span.finished_at + _EPS
+            for grant in span.grants:
+                assert (span.submitted_at - _EPS <= grant.t
+                        <= span.finished_at + _EPS)
+            for wave in span.waves:
+                end = wave.end if wave.end is not None else wave.start
+                assert span.admitted_at is not None
+                assert span.admitted_at <= wave.start + _EPS
+                if span.status == SPAN_DONE:
+                    # Cancelled/timed-out queries are stamped at the
+                    # termination instant; their waves drain past it.
+                    assert end <= span.finished_at + _EPS
+
+    @given(spec=workloads)
+    @settings(max_examples=25, deadline=None)
+    def test_terminal_links_are_consistent(self, spec):
+        """Cancelled spans record the request, timed-out spans its
+        reason, folded subscribers link both ways — and the full
+        self-audit agrees with the execution bookkeeping."""
+        result = _run(spec)
+        for span in result.spans:
+            if span.status == SPAN_CANCELLED:
+                assert span.cancel_requested_at is not None
+            if span.status == SPAN_TIMED_OUT:
+                assert span.cancel_reason == "timeout"
+            for host_tag in span.folds.values():
+                host = result.spans.of(host_tag)
+                assert span.tag in host.subscribers
+                assert host.admitted_at is not None
+                assert span.admitted_at is not None
+        assert verify_spans(result.spans, result.executions,
+                            result.makespan) == []
