@@ -7,7 +7,8 @@ PYTHONPATH := src
 export PYTHONPATH
 
 .PHONY: test bench perf perf-full perf-baseline trace-demo diagnose-demo \
-	compare-demo concurrent-demo shared-demo report-demo chaos chaos-demo
+	compare-demo concurrent-demo shared-demo report-demo chaos chaos-demo \
+	monitor-demo profile-demo
 
 ## Tier-1: the fast deterministic test suite (what CI gates on).
 test:
@@ -56,6 +57,19 @@ shared-demo:
 ## rendered from the virtual-time metrics registry and query spans.
 report-demo:
 	$(PYTHON) -m repro run --concurrent 4 --shared --report
+
+## Live-monitoring demo: the MPL-4 workload with the default SLO /
+## straggler / admission / memory / retry-storm monitor rules armed;
+## prints the structured alert table fired at virtual-time control
+## points.
+monitor-demo:
+	$(PYTHON) -m repro run --concurrent 4 --monitors
+
+## Self-profiler demo: the same workload under the engine's wall-clock
+## profiler; prints the per-subsystem attribution table and gates the
+## attributed share at 90%.
+profile-demo:
+	$(PYTHON) -m repro run --concurrent 4 --profile --profile-check 0.9
 
 ## Observed demo query: scheduler explain + Chrome trace (Perfetto) +
 ## JSONL event log + metrics snapshot into benchmarks/results/.

@@ -17,6 +17,7 @@ from repro.bench.perf_baseline import (
     compare_concurrent,
     compare_faults,
     compare_matrices,
+    compare_monitor,
     compare_obs,
     compare_obs_workload,
     compare_session,
@@ -25,6 +26,7 @@ from repro.bench.perf_baseline import (
     render,
     render_concurrent,
     render_faults,
+    render_monitor,
     render_obs,
     render_obs_workload,
     render_session,
@@ -32,6 +34,7 @@ from repro.bench.perf_baseline import (
     run_concurrent_cell,
     run_faults_overhead,
     run_matrix,
+    run_monitor_overhead,
     run_obs_overhead,
     run_obs_workload,
     run_session_overhead,
@@ -78,6 +81,22 @@ def test_obs_workload_telemetry_overhead_within_gate():
     print(render_obs_workload(current))
     problems = compare_obs_workload(baseline["obs_workload"]["quick"],
                                     current)
+    assert not problems, "\n".join(problems)
+
+
+@pytest.mark.perf
+def test_monitor_overhead_within_gate():
+    """The online-observability gate: monitor rules may cost at most
+    5 % wall clock over the bare MPL-4 twin timed in the same process,
+    neither monitors nor the self-profiler may move virtual time or
+    results, the monitored alert count must reproduce the committed
+    count exactly (deterministic per seed), and the profiler must
+    attribute >= 90 % of the engine wall to named subsystems."""
+    baseline = load_baseline(BASELINE_PATH)
+    current = run_monitor_overhead(quick=True, seed=0)
+    print()
+    print(render_monitor(current))
+    problems = compare_monitor(baseline["monitor"]["quick"], current)
     assert not problems, "\n".join(problems)
 
 

@@ -86,17 +86,23 @@ def demo() -> None:
 
 
 def concurrent_demo(count: int, shared: bool = False, report: bool = False,
-                    events_out: str | None = None) -> int:
+                    events_out: str | None = None, monitors: bool = False,
+                    profile: bool = False, prom_out: str | None = None,
+                    profile_check: float | None = None) -> int:
     """Run *count* queries concurrently in one shared simulation."""
     from repro.engine.executor import ObservabilityOptions
     from repro.obs.bus import QUERY_ADMIT, QUERY_FINISH, QUERY_GRANT
+    from repro.obs.monitor import default_monitors
     from repro.workload.options import WorkloadOptions
 
-    observe = report or events_out is not None
+    observe = report or events_out is not None or prom_out is not None
+    rules = default_monitors() if monitors else ()
 
     print(f"DBS3 concurrent workload demo — {count} queries, "
           f"one shared simulation"
-          + (", shared-work folding ON" if shared else "") + "\n")
+          + (", shared-work folding ON" if shared else "")
+          + (", monitors ON" if monitors else "")
+          + (", self-profiler ON" if profile else "") + "\n")
     db = DBS3(processors=72)
     db.create_table(generate_wisconsin("A", 12_000, seed=1), "unique1", 60)
     db.create_table(generate_wisconsin("B", 1_200, seed=2), "unique1", 60)
@@ -121,7 +127,8 @@ def concurrent_demo(count: int, shared: bool = False, report: bool = False,
         # private reference run gets the same bound for a fair gain.
         session = db.session(options=WorkloadOptions(
             max_concurrent=count, shared=fold,
-            observability=ObservabilityOptions(observe=observe)))
+            observability=ObservabilityOptions(
+                observe=observe, monitors=rules, profile=profile)))
         for sql in queries:
             session.submit(sql)
         return session.run()
@@ -132,7 +139,8 @@ def concurrent_demo(count: int, shared: bool = False, report: bool = False,
         result = run_session(True)
     else:
         session = db.session(options=WorkloadOptions(
-            observability=ObservabilityOptions(observe=observe)))
+            observability=ObservabilityOptions(
+                observe=observe, monitors=rules, profile=profile)))
         for sql in queries:
             session.submit(sql)
         result = session.run()
@@ -166,10 +174,29 @@ def concurrent_demo(count: int, shared: bool = False, report: bool = False,
     if report:
         print()
         print(result.report().render())
+    if monitors:
+        print()
+        print(result.alerts.render())
+    if profile:
+        print()
+        print(result.profile.render())
+    if prom_out:
+        with open(prom_out, "w", encoding="utf-8") as handle:
+            handle.write(result.metrics.render_prom())
+        print(f"\nwrote Prometheus text exposition to {prom_out}")
     if events_out:
         from repro.obs.export import write_workload_jsonl
         records = write_workload_jsonl(result, events_out)
         print(f"\nwrote {records} workload JSONL records to {events_out}")
+    if profile_check is not None:
+        coverage = result.profile.coverage() if profile else 0.0
+        if coverage < profile_check:
+            print(f"\nPROFILE COVERAGE GATE FAILED: attributed "
+                  f"{coverage:.1%} of engine wall time "
+                  f"(need >= {profile_check:.1%})")
+            return 1
+        print(f"\nprofile coverage gate: attributed {coverage:.1%} "
+              f"of engine wall time (>= {profile_check:.1%})")
     return 0
 
 
@@ -223,6 +250,60 @@ def observed_run(sql: str, trace_out: str | None, events_out: str | None,
     return 0
 
 
+def diagnose_workload_log(path: str, run) -> int:
+    """Post-mortem a reloaded *workload* JSONL log.
+
+    Replays the schema-4 records (alerts, profile) and surfaces the
+    ``verify_spans`` / ``verify_workload_jsonl`` self-audits that
+    otherwise only run inside tests; exits nonzero on any invariant
+    violation so CI can gate on a recorded run.
+    """
+    from types import SimpleNamespace
+
+    from repro.obs.alerts import Alert, AlertBus
+    from repro.obs.export import verify_workload_jsonl
+    from repro.obs.spans import assemble_spans, verify_spans
+    from repro.prof.profiler import EngineProfiler
+
+    meta = run.meta
+    print(f"workload event log: {path}")
+    print(f"  schema {run.schema}, {meta.get('queries')} queries, "
+          f"makespan {meta.get('makespan'):.4f}s virtual, "
+          f"statuses {meta.get('statuses')}")
+
+    if run.alerts:
+        bus = AlertBus()
+        for record in run.alerts:
+            bus.add(Alert.from_json(record))
+        print()
+        print(bus.render())
+    else:
+        print("\nno alert records (the run carried no monitor rules)")
+    if run.profile is not None:
+        profile = EngineProfiler.from_json(run.profile)
+        print()
+        print(profile.render())
+
+    # assemble_spans only reads ``bus.events`` — the reloaded events
+    # are live Event objects, so the span model rebuilds faithfully.
+    problems: list[str] = []
+    try:
+        spans = assemble_spans(SimpleNamespace(events=run.events))
+        problems += verify_spans(spans, makespan=meta.get("makespan"))
+    except Exception as error:  # truncated/garbled stream
+        problems.append(f"span assembly failed: {error}")
+    problems += verify_workload_jsonl(run)
+    print()
+    if problems:
+        print("WORKLOAD LOG SELF-AUDIT FAILED:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("workload log self-audit: spans and metric snapshots are "
+          "consistent (verify_spans + verify_workload_jsonl clean)")
+    return 0
+
+
 def diagnose_run(args: argparse.Namespace) -> int:
     """Diagnose a run (freshly executed or a reloaded JSONL log)."""
     from repro.bench.runners import default_machine
@@ -242,7 +323,11 @@ def diagnose_run(args: argparse.Namespace) -> int:
     workload: dict = {}
     execution = None
     if args.from_events:
-        diagnosis = diagnose(args.from_events)
+        from repro.obs.export import read_jsonl
+        run = read_jsonl(args.from_events)
+        if run.is_workload:
+            return diagnose_workload_log(args.from_events, run)
+        diagnosis = diagnose(run)
         workload = {"source": str(args.from_events)}
     else:
         # The Figure 12 setup: AssocJoin over a Zipf-skewed stored
@@ -374,17 +459,43 @@ def run_command(argv: list[str]) -> int:
                              "telemetry and print the WorkloadReport "
                              "(latency percentiles, admission, grants, "
                              "folds, faults)")
+    parser.add_argument("--monitors", action="store_true",
+                        help="with --concurrent: install the default "
+                             "virtual-time SLO monitor rules and print "
+                             "the alert table")
+    parser.add_argument("--profile", action="store_true",
+                        help="with --concurrent: run the engine "
+                             "self-profiler and print the per-subsystem "
+                             "wall-clock attribution")
+    parser.add_argument("--prom-out", metavar="PATH", default=None,
+                        help="with --concurrent: write the final metrics "
+                             "in Prometheus text exposition format")
+    parser.add_argument("--profile-check", type=float, metavar="FRACTION",
+                        default=None,
+                        help="with --concurrent --profile: exit 1 unless "
+                             "the profiler attributes at least FRACTION "
+                             "of the engine wall time (CI smoke gate)")
     _add_observed_args(parser)
     args = parser.parse_args(argv)
     if args.concurrent is not None:
         if args.concurrent < 1:
             parser.error("--concurrent needs at least one query")
+        if args.profile_check is not None and not args.profile:
+            parser.error("--profile-check needs --profile")
         return concurrent_demo(args.concurrent, shared=args.shared,
                                report=args.report,
-                               events_out=args.events_out)
+                               events_out=args.events_out,
+                               monitors=args.monitors,
+                               profile=args.profile,
+                               prom_out=args.prom_out,
+                               profile_check=args.profile_check)
     if args.report:
         parser.error("--report needs --concurrent (it summarizes a "
                      "workload, not a single query)")
+    if args.monitors or args.profile or args.prom_out or \
+            args.profile_check is not None:
+        parser.error("--monitors/--profile/--prom-out/--profile-check "
+                     "need --concurrent (they observe a workload run)")
     return observed_run(args.sql, args.trace_out, args.events_out,
                         args.metrics_out, args.explain, args.threads)
 

@@ -536,6 +536,113 @@ def render_degradation(points: list[DegradationPoint]) -> str:
     return "\n".join(lines)
 
 
+# -- monitored alert sweep ---------------------------------------------------
+
+#: Headroom of the sweep's calibrated latency SLO over the uniform
+#: cell's makespan: the fault-free cell sits comfortably under it,
+#: the slowed cells (2 of N threads, statically bound) blow past it.
+ALERT_SLO_HEADROOM = 1.2
+
+
+@dataclass
+class AlertCell:
+    """One slowdown factor's monitored run in the alert sweep."""
+
+    factor: float
+    makespan: float
+    alerts: object  # the run's AlertBus
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+
+def alert_sweep(factors: tuple[float, ...] = (1.0, 3.0, 6.0, 12.0),
+                threads: int = 10) -> list[AlertCell]:
+    """Run the slowdown grid with the monitor rules armed.
+
+    The same join as :func:`degradation_curve` (static binding, so the
+    slowed threads visibly strand their work) executes once per
+    factor through a monitored workload session.  The latency SLO is
+    calibrated off the uniform cell — its makespan times
+    :data:`ALERT_SLO_HEADROOM` — so the sweep asserts the ISSUE's
+    acceptance directly: every faulted cell fires straggler and/or
+    SLO alerts, the uniform cell fires none, and the alert log is
+    deterministic (each faulted cell is run twice and diffed).
+    """
+    from repro.engine.executor import ObservabilityOptions
+    from repro.obs.monitor import default_monitors
+
+    db = _chaos_db(observe=False)
+    compiled = db.compile(CHAOS_QUERIES[0])
+    names = [node.name for node in compiled.plan.nodes]
+    join_name = names[-1]
+
+    def run_cell(factor: float, rules: tuple):
+        faults = None if factor == 1.0 else FaultPlan(
+            seed=0,
+            slowdowns=(SlowdownWindow(0.0, float("inf"), factor,
+                                      operation=join_name,
+                                      thread_ids=(0, 1)),))
+        schedule = QuerySchedule({
+            name: OperationSchedule(threads, strategy=LPT,
+                                    allow_secondary=False)
+            for name in names})
+        session = db.session(options=WorkloadOptions(
+            faults=faults,
+            observability=ObservabilityOptions(monitors=rules)))
+        session.submit(CHAOS_QUERIES[0], schedule=schedule, tag="q0")
+        return session.run()
+
+    # Calibrate the SLO on an unmonitored uniform run, then sweep.
+    baseline = run_cell(1.0, ())
+    rules = default_monitors(slo=baseline.makespan * ALERT_SLO_HEADROOM)
+
+    def alert_signature(bus) -> list[tuple]:
+        return [(a.rule, a.key, a.severity, a.fired_at, a.value)
+                for a in bus]
+
+    cells = []
+    for factor in factors:
+        result = run_cell(factor, rules)
+        bus = result.alerts
+        violations: list[str] = []
+        fired = {alert.rule for alert in bus}
+        if factor == 1.0:
+            if len(bus) != 0:
+                violations.append(
+                    f"uniform cell fired {len(bus)} alerts: "
+                    f"{sorted(fired)} (expected none)")
+        else:
+            if not fired & {"straggler", "latency_slo"}:
+                violations.append(
+                    f"slowdown x{factor:g} fired no straggler/SLO alert "
+                    f"(rules fired: {sorted(fired) or 'none'})")
+            twin = run_cell(factor, rules)
+            if alert_signature(twin.alerts) != alert_signature(bus):
+                violations.append(
+                    f"slowdown x{factor:g} alert log is not "
+                    f"deterministic across identical runs")
+        cells.append(AlertCell(factor, result.makespan, bus, violations))
+    return cells
+
+
+def render_alert_sweep(cells: list[AlertCell]) -> str:
+    lines = ["monitored alert sweep (static join, 2 slowed threads, "
+             "SLO calibrated off the uniform cell):",
+             "  factor   makespan    alerts"]
+    for cell in cells:
+        lines.append(f"  {cell.factor:6.1f}  {cell.makespan:9.4f}s  "
+                     f"{cell.alerts.summary()}")
+        for alert in cell.alerts:
+            lines.append(f"           - {alert.rule}/{alert.key}: "
+                         f"{alert.message}")
+        for violation in cell.violations:
+            lines.append(f"  VIOLATION: {violation}")
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     """``python -m repro chaos``: seeded sweep + degradation curve."""
     import argparse
@@ -550,6 +657,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="how many consecutive seeds to sweep")
     parser.add_argument("--no-degradation", action="store_true",
                         help="skip the pooled-vs-static slowdown curve")
+    parser.add_argument("--no-alerts", action="store_true",
+                        help="skip the monitored alert sweep")
     args = parser.parse_args(argv)
 
     failed = False
@@ -569,4 +678,9 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"  VIOLATION: pooled did not beat static at "
                       f"factor {point.factor}")
                 failed = True
+    if not args.no_alerts:
+        cells = alert_sweep()
+        print()
+        print(render_alert_sweep(cells))
+        failed = failed or any(not cell.passed for cell in cells)
     return 1 if failed else 0

@@ -372,6 +372,150 @@ def render_obs_workload(record: dict) -> str:
             f"({record['enabled_over_disabled']:.2f}x)")
 
 
+#: Floor on the self-profiler's wall-clock attribution at MPL 4: the
+#: ISSUE's acceptance bar (>= 90 % of the engine wall accounted to a
+#: named subsystem).
+PROFILE_COVERAGE_MIN = 0.90
+
+
+def run_monitor_overhead(quick: bool = False, seed: int = 0) -> dict:
+    """Time the MPL-4 workload bare vs monitored vs self-profiled.
+
+    The online-observability twin of :func:`run_obs_workload`:
+    ``disabled`` runs with default options, ``monitored`` installs the
+    full :func:`~repro.obs.monitor.default_monitors` rule pack (which
+    implies the metrics registry), ``profiled`` runs the engine
+    self-profiler.  The three modes are interleaved within each repeat
+    so the within-run wall gates compare inside one machine epoch.
+    The monitored mode also records its deterministic alert count —
+    alerts are a pure function of (plan, seed, options), so the count
+    is pinned exactly against the committed baseline — and the
+    profiled mode records the profiler's attribution coverage, gated
+    at :data:`PROFILE_COVERAGE_MIN`.
+    """
+    from repro.engine.executor import ObservabilityOptions
+    from repro.obs.monitor import default_monitors
+    from repro.workload.options import WorkloadOptions
+
+    card_a = QUICK_CARD_A if quick else FULL_CARD_A
+    card_b = QUICK_CARD_B if quick else FULL_CARD_B
+    repeats = WORKLOAD_REPEATS
+    database = make_join_database(card_a, card_b, OBS_DEGREE, theta=0.0)
+    machine = default_machine()
+    triples = [
+        ("disabled", WorkloadOptions()),
+        ("monitored", WorkloadOptions(observability=ObservabilityOptions(
+            monitors=default_monitors()))),
+        ("profiled", WorkloadOptions(observability=ObservabilityOptions(
+            profile=True))),
+    ]
+    times = {label: [] for label, _ in triples}
+    results = {}
+    for _ in range(repeats):
+        for label, workload in triples:
+            started = time.perf_counter()
+            results[label] = run_concurrent_workload(
+                database, CONCURRENT_MPL, threads=THREADS,
+                machine=machine, workload=workload, seed=seed)
+            times[label].append(time.perf_counter() - started)
+    modes = {}
+    for label, _ in triples:
+        result = results[label]
+        modes[label] = {
+            "mean_s": round(statistics.fmean(times[label]), 6),
+            "min_s": round(min(times[label]), 6),
+            "runs": [round(t, 6) for t in times[label]],
+            "makespan_virtual_s": result.makespan,
+            "result_rows": sum(e.result_cardinality
+                               for e in result.executions.values()),
+        }
+    modes["monitored"]["alerts"] = len(results["monitored"].alerts)
+    modes["profiled"]["coverage"] = round(
+        results["profiled"].profile.coverage(), 4)
+    return {
+        "workload": {"card_a": card_a, "card_b": card_b,
+                     "degree": OBS_DEGREE, "mpl": CONCURRENT_MPL,
+                     "threads": THREADS, "repeats": repeats, "seed": seed},
+        "modes": modes,
+        "monitored_over_disabled": round(
+            modes["monitored"]["min_s"] / modes["disabled"]["min_s"], 4),
+    }
+
+
+def compare_monitor(baseline: dict, current: dict,
+                    threshold: float = OBS_REGRESSION_THRESHOLD,
+                    abs_slack_s: float = ABSOLUTE_SLACK_S) -> list[str]:
+    """Flag online-observability problems against *baseline*.
+
+    Gated the same way as :func:`compare_obs_workload`: the disabled
+    mode's virtual makespan and results are pinned exactly against the
+    committed record, the monitored wall clock is judged within-run
+    only (at least one interleaved pair within *threshold* plus
+    *abs_slack_s* of its disabled twin), and neither monitors nor the
+    profiler may move virtual time or results.  On top of that, the
+    monitored alert count must reproduce the committed count exactly
+    (the alert log is deterministic per seed) and the profiler must
+    attribute at least :data:`PROFILE_COVERAGE_MIN` of the engine
+    wall.
+    """
+    problems = []
+    base = baseline["modes"]["disabled"]
+    disabled = current["modes"]["disabled"]
+    monitored = current["modes"]["monitored"]
+    profiled = current["modes"]["profiled"]
+    if disabled["makespan_virtual_s"] != base["makespan_virtual_s"]:
+        problems.append(
+            f"monitor: disabled virtual makespan changed "
+            f"{base['makespan_virtual_s']!r} -> "
+            f"{disabled['makespan_virtual_s']!r}")
+    if disabled["result_rows"] != base["result_rows"]:
+        problems.append(
+            f"monitor: disabled results changed {base['result_rows']} -> "
+            f"{disabled['result_rows']}")
+    pairs = list(zip(disabled["runs"], monitored["runs"]))
+    if not any(on <= off * (1.0 + threshold) + abs_slack_s
+               for off, on in pairs):
+        closest = min(pairs, key=lambda pair: pair[1] / pair[0])
+        problems.append(
+            f"monitor rules wall-clock overhead: no interleaved repeat "
+            f"put monitored within {threshold:.0%} + "
+            f"{abs_slack_s * 1000:.0f}ms of disabled (closest pair "
+            f"{closest[0]:.4f}s off vs {closest[1]:.4f}s on)")
+    for label, mode in (("monitored", monitored), ("profiled", profiled)):
+        if mode["makespan_virtual_s"] != disabled["makespan_virtual_s"]:
+            problems.append(
+                f"monitor: {label} mode moved the virtual makespan "
+                f"{disabled['makespan_virtual_s']!r} -> "
+                f"{mode['makespan_virtual_s']!r}")
+        if mode["result_rows"] != disabled["result_rows"]:
+            problems.append(
+                f"monitor: {label} mode changed results "
+                f"{disabled['result_rows']} -> {mode['result_rows']}")
+    if monitored["alerts"] != baseline["modes"]["monitored"]["alerts"]:
+        problems.append(
+            f"monitor: alert count changed "
+            f"{baseline['modes']['monitored']['alerts']} -> "
+            f"{monitored['alerts']} — the alert log is no longer "
+            f"deterministic against the committed seed")
+    if profiled["coverage"] < PROFILE_COVERAGE_MIN:
+        problems.append(
+            f"monitor: profiler attributed only {profiled['coverage']:.1%} "
+            f"of the engine wall (< {PROFILE_COVERAGE_MIN:.0%})")
+    return problems
+
+
+def render_monitor(record: dict) -> str:
+    """Human-readable line for one monitor-overhead run."""
+    modes = record["modes"]
+    return (f"monitor (mpl={record['workload']['mpl']}"
+            f"@{record['workload']['degree']}): "
+            f"disabled {modes['disabled']['min_s']:.4f}s, "
+            f"monitored {modes['monitored']['min_s']:.4f}s "
+            f"({record['monitored_over_disabled']:.2f}x, "
+            f"{modes['monitored']['alerts']} alerts), profiler coverage "
+            f"{modes['profiled']['coverage']:.1%}")
+
+
 def run_session_overhead(quick: bool = False, seed: int = 0) -> dict:
     """Time the single-query path direct vs through the workload layer.
 
@@ -909,7 +1053,7 @@ def main(argv: list[str] | None = None) -> int:
 
     matrix = run_matrix(quick=args.quick)
     print(render(matrix))
-    obs_record = obs_workload_record = None
+    obs_record = obs_workload_record = monitor_record = None
     if args.obs:
         obs_record = run_obs_overhead(quick=args.quick)
         matrix["observability"] = obs_record
@@ -917,6 +1061,9 @@ def main(argv: list[str] | None = None) -> int:
         obs_workload_record = run_obs_workload(quick=args.quick)
         matrix["obs_workload"] = obs_workload_record
         print(render_obs_workload(obs_workload_record))
+        monitor_record = run_monitor_overhead(quick=args.quick)
+        matrix["monitor"] = monitor_record
+        print(render_monitor(monitor_record))
     session_record = concurrent_record = shared_record = None
     if args.workload:
         session_record = run_session_overhead(quick=args.quick)
@@ -954,6 +1101,14 @@ def main(argv: list[str] | None = None) -> int:
             else:
                 problems.extend(compare_obs_workload(
                     obs_workload_baseline, obs_workload_record))
+        if monitor_record is not None:
+            monitor_baseline = baseline.get("monitor", {}).get(scale)
+            if monitor_baseline is None:
+                problems.append(
+                    f"baseline has no monitor[{scale}] section")
+            else:
+                problems.extend(compare_monitor(monitor_baseline,
+                                                monitor_record))
         if session_record is not None:
             problems.extend(compare_session(session_record))
         if concurrent_record is not None:

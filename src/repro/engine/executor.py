@@ -24,6 +24,7 @@ from repro.lera.operators import AggregateSpec, PipelinedJoinSpec, StoreSpec
 from repro.machine.cache import REMOTE_HOME
 from repro.machine.machine import Machine
 from repro.obs.bus import OP_SEED, OP_START, WAVE_END, WAVE_START, EventBus
+from repro.prof.profiler import active_profiler
 from repro.storage.tuples import stable_hash
 
 #: Data placement policies for the Allcache model.
@@ -100,10 +101,23 @@ class ObservabilityOptions:
     ``QueryExecution.obs`` (exportable via :mod:`repro.obs.export`).
     Implies span tracing, so ``QueryExecution.trace`` is also set.
     Virtual-time behaviour is unchanged; only wall clock pays."""
+    monitors: tuple = ()
+    """Streaming :class:`~repro.obs.monitor.Monitor` rules the workload
+    engine evaluates at virtual-time control points (admission,
+    regrant, wave barriers, query finish).  A non-empty tuple implies
+    workload metrics (the rules read the registry); fired alerts land
+    on ``WorkloadResult.alerts``.  Ignored by single-query execution,
+    which has no workload control points."""
+    profile: bool = False
+    """Self-profile the engine's *wall-clock* hot paths with an
+    :class:`~repro.prof.profiler.EngineProfiler` exposed as
+    ``WorkloadResult.profile``.  Measures the simulator, not the
+    simulated system; virtual-time behaviour is unchanged."""
 
     @property
     def enabled(self) -> bool:
-        return self.trace or self.observe
+        return self.trace or self.observe or bool(self.monitors) \
+            or self.profile
 
 
 @dataclass(frozen=True)
@@ -199,6 +213,9 @@ class Executor:
         self.attach_observability(runtimes, bus, tracer)
         simulator = Simulator(self.machine, seed=self.options.seed,
                               use_ready_index=self.options.use_ready_index)
+        profiler = active_profiler()
+        if profiler is not None:
+            simulator.attach_profiler(profiler)
         if self.options.faults is not None:
             from repro.faults.injector import FaultInjector
             simulator.attach_faults(

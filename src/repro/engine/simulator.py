@@ -116,6 +116,10 @@ class Simulator:
         #: without one is bit-identical to an engine without the
         #: faults layer.
         self._injector = None
+        #: Optional :class:`~repro.prof.profiler.EngineProfiler`.
+        #: Sections are guarded by ``is not None``, so an unprofiled
+        #: run pays one attribute check per instrumented phase.
+        self._profiler = None
         self._heap: list[tuple[float, int, WorkerThread]] = []
         self._seq = 0
         self._active = 0
@@ -133,6 +137,10 @@ class Simulator:
     def attach_faults(self, injector) -> None:
         """Attach a fault injector for this run (``None`` detaches)."""
         self._injector = injector
+
+    def attach_profiler(self, profiler) -> None:
+        """Attach a wall-clock self-profiler (``None`` detaches)."""
+        self._profiler = profiler
 
     def run_wave(self, operations: list[OperationRuntime]) -> float:
         """Simulate *operations* until every thread terminates.
@@ -388,6 +396,9 @@ class Simulator:
             dilation = self._dilation()
         now = thread.clock
 
+        profiler = self._profiler
+        if profiler is not None:
+            profiler.enter("ready_scan")
         index = operation.ready_index if self.use_ready_index else None
         if index is not None:
             ready, polls, used_secondary = index.select(
@@ -396,6 +407,8 @@ class Simulator:
         else:
             ready, polls, future, used_secondary = self._scan_select(
                 thread, now)
+        if profiler is not None:
+            profiler.exit()
 
         if polls:
             operation.polls += polls
@@ -585,6 +598,18 @@ class Simulator:
         """
         operation = thread.operation
         operation.faults_injected += 1
+        profiler = self._profiler
+        if profiler is not None:
+            profiler.enter("fault")
+        try:
+            self._fail_attempt_now(thread, activation, decision, operation)
+        finally:
+            if profiler is not None:
+                profiler.exit()
+
+    def _fail_attempt_now(self, thread: WorkerThread,
+                          activation: Activation, decision,
+                          operation: OperationRuntime) -> None:
         start = thread.clock
         if decision.wasted > 0.0:
             thread.advance(decision.wasted * self._charge_factor(thread),
@@ -632,6 +657,17 @@ class Simulator:
         """End-of-input emission, executed once by the last live thread."""
         operation = thread.operation
         operation.finalized = True
+        profiler = self._profiler
+        if profiler is not None:
+            profiler.enter("finalize")
+        try:
+            self._finalize_now(thread, operation)
+        finally:
+            if profiler is not None:
+                profiler.exit()
+
+    def _finalize_now(self, thread: WorkerThread,
+                      operation: OperationRuntime) -> None:
         filled: set[int] = set()
         for instance in range(operation.instances):
             ctx = ExecContext(self.machine, thread.thread_id)
@@ -660,7 +696,12 @@ class Simulator:
                     activation: Activation) -> ProcessResult:
         operation = thread.operation
         ctx = ExecContext(self.machine, thread.thread_id)
+        profiler = self._profiler
+        if profiler is not None:
+            profiler.enter("dbfunc")
         result = operation.dbfunc.process(activation.instance, activation, ctx)
+        if profiler is not None:
+            profiler.exit()
         operation.activation_costs.append(result.cost)
         operation.activation_outputs.append(len(result.emitted))
         operation.memory_penalty += ctx.penalty
@@ -698,6 +739,22 @@ class Simulator:
         emitted = result.emitted
         if not emitted:
             return
+        profiler = self._profiler
+        if profiler is not None:
+            # _deliver has several exits; the section must close on
+            # every one of them, so the body runs under try/finally
+            # (zero-cost on the non-raising path in CPython 3.11).
+            profiler.enter("deliver")
+        try:
+            self._deliver_rows(thread, operation, emitted, result,
+                               started_at, filled)
+        finally:
+            if profiler is not None:
+                profiler.exit()
+
+    def _deliver_rows(self, thread: WorkerThread, operation, emitted,
+                      result: ProcessResult, started_at: float,
+                      filled: set[int]) -> None:
         if operation.taps:
             self._deliver_fanout(thread, result, started_at, filled)
             return

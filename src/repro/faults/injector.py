@@ -23,6 +23,12 @@ Virtual-time semantics of each hook:
   one activation's work charge.
 * ``apply_time`` — fires memory-pressure events whose instant has
   passed, shrinking the machine's Allcache budget.
+
+When a metrics registry is attached, every decision also lands on the
+``faults_*`` counter families — stamped with the virtual instant, so
+the :class:`~repro.obs.monitor.RetryStormMonitor` can read the running
+``fault_retries_total`` off the registry mid-run and date the exact
+control point a retry storm started.
 """
 
 from __future__ import annotations

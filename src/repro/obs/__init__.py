@@ -16,6 +16,13 @@ telemetry sections of docs/architecture.md for the event taxonomy and
 overhead guarantees.
 """
 
+from repro.obs.alerts import (
+    SEV_CRITICAL,
+    SEV_INFO,
+    SEV_WARNING,
+    Alert,
+    AlertBus,
+)
 from repro.obs.bus import Event, EventBus
 from repro.obs.explain import (
     STEP_CHAIN_SPLIT,
@@ -46,6 +53,17 @@ from repro.obs.metrics import (
     MetricsRegistry,
     percentile,
 )
+from repro.obs.monitor import (
+    AdmissionWaitMonitor,
+    LatencySloMonitor,
+    MemoryPressureMonitor,
+    Monitor,
+    MonitorContext,
+    MonitorEngine,
+    RetryStormMonitor,
+    StragglerMonitor,
+    default_monitors,
+)
 from repro.obs.probes import Series
 from repro.obs.report import WorkloadReport, build_workload_report
 from repro.obs.spans import (
@@ -56,6 +74,20 @@ from repro.obs.spans import (
 )
 
 __all__ = [
+    "Alert",
+    "AlertBus",
+    "SEV_CRITICAL",
+    "SEV_INFO",
+    "SEV_WARNING",
+    "Monitor",
+    "MonitorContext",
+    "MonitorEngine",
+    "AdmissionWaitMonitor",
+    "LatencySloMonitor",
+    "MemoryPressureMonitor",
+    "RetryStormMonitor",
+    "StragglerMonitor",
+    "default_monitors",
     "Event",
     "EventBus",
     "Decision",

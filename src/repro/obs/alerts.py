@@ -1,0 +1,205 @@
+"""Structured alerts: what the monitor rules fire.
+
+An :class:`Alert` is one threshold crossing observed at a virtual-time
+control point — which rule fired, on what key (a query tag, an
+operator, a synthetic series name), how severe, at what virtual
+instant, and with the offending value/threshold pair attached so the
+record is self-explaining without the run that produced it.
+
+The :class:`AlertBus` is the monitor engine's output channel and owns
+the dedup discipline the ISSUE pins down — *one alert per threshold
+crossing, resolve on recovery*:
+
+* **Condition alerts** (``fire(..., event=False)``) model a level that
+  is either breached or not (memory pressure, SLO burn rate, retry
+  storms).  While an ``(rule, key)`` pair is active, repeated fires
+  are suppressed; :meth:`AlertBus.resolve` closes the alert when the
+  signal recovers, after which a new crossing fires a new alert.
+* **Event alerts** (``fire(..., event=True)``) model a discrete
+  occurrence that cannot "recover" (a query finished over its SLO, a
+  wave ended with a straggler).  They are born resolved and deduped
+  forever on ``(rule, key)`` — callers encode the crossing identity in
+  the key (e.g. ``"q3/w1/join"``), so each distinct crossing fires
+  exactly once no matter how often the rule re-evaluates.
+
+Like the bus and the metrics registry, the alert layer is virtual-time
+native: ``fired_at`` / ``resolved_at`` are simulation stamps, monitors
+only run at deterministic control points, and therefore the full alert
+log is a pure function of (plan, seed, options) — seed-reproducible
+and diffable in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Alert severities, mildest first.
+SEV_INFO = "info"
+SEV_WARNING = "warning"
+SEV_CRITICAL = "critical"
+SEVERITIES = (SEV_INFO, SEV_WARNING, SEV_CRITICAL)
+
+
+@dataclass
+class Alert:
+    """One threshold crossing.
+
+    ``rule`` names the monitor that fired, ``key`` the subject within
+    that rule (query tag, operator, or a synthetic series like
+    ``"burn"``); together they are the dedup identity.
+    """
+
+    rule: str
+    key: str
+    severity: str
+    fired_at: float
+    value: float
+    threshold: float
+    message: str = ""
+    resolved_at: float | None = None
+
+    @property
+    def active(self) -> bool:
+        """Still firing (the condition has not recovered)."""
+        return self.resolved_at is None
+
+    def __repr__(self) -> str:
+        state = "active" if self.active else f"resolved@{self.resolved_at:g}"
+        return (f"Alert({self.rule}/{self.key} {self.severity} "
+                f"@{self.fired_at:g} value={self.value:g} "
+                f"threshold={self.threshold:g} {state})")
+
+    def to_json(self) -> dict:
+        """Plain-dict form (what the schema-4 JSONL exporter writes)."""
+        return {
+            "rule": self.rule,
+            "key": self.key,
+            "severity": self.severity,
+            "fired_at": self.fired_at,
+            "value": self.value,
+            "threshold": self.threshold,
+            "message": self.message,
+            "resolved_at": self.resolved_at,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Alert":
+        return cls(rule=data["rule"], key=data["key"],
+                   severity=data["severity"], fired_at=data["fired_at"],
+                   value=data["value"], threshold=data["threshold"],
+                   message=data.get("message", ""),
+                   resolved_at=data.get("resolved_at"))
+
+
+class AlertBus:
+    """Ordered alert log with crossing-level dedup.
+
+    Single-use, like the event bus: one AlertBus observes one run.
+    Alerts append in evaluation order, which — because monitors run
+    only at virtual-time control points — is deterministic per seed.
+    """
+
+    __slots__ = ("alerts", "_active", "_seen")
+
+    def __init__(self) -> None:
+        self.alerts: list[Alert] = []
+        #: (rule, key) -> Alert for condition alerts currently firing.
+        self._active: dict[tuple[str, str], Alert] = {}
+        #: (rule, key) pairs of event alerts already fired (forever).
+        self._seen: set[tuple[str, str]] = set()
+
+    def __repr__(self) -> str:
+        return (f"AlertBus(alerts={len(self.alerts)}, "
+                f"active={len(self._active)})")
+
+    def __len__(self) -> int:
+        return len(self.alerts)
+
+    def __iter__(self):
+        return iter(self.alerts)
+
+    def fire(self, rule: str, key: str, severity: str, t: float,
+             value: float, threshold: float, message: str = "",
+             event: bool = False) -> Alert | None:
+        """Record a crossing; returns the new alert or ``None`` when
+        deduped (the same crossing already fired)."""
+        identity = (rule, key)
+        if event:
+            if identity in self._seen:
+                return None
+            self._seen.add(identity)
+            alert = Alert(rule, key, severity, t, value, threshold,
+                          message, resolved_at=t)
+            self.alerts.append(alert)
+            return alert
+        if identity in self._active:
+            return None
+        alert = Alert(rule, key, severity, t, value, threshold, message)
+        self._active[identity] = alert
+        self.alerts.append(alert)
+        return alert
+
+    def resolve(self, rule: str, key: str, t: float) -> Alert | None:
+        """Close the active ``(rule, key)`` condition alert at virtual
+        time *t*; returns it, or ``None`` when nothing was firing."""
+        alert = self._active.pop((rule, key), None)
+        if alert is not None:
+            alert.resolved_at = t
+        return alert
+
+    def is_active(self, rule: str, key: str) -> bool:
+        return (rule, key) in self._active
+
+    def active(self) -> list[Alert]:
+        """Condition alerts still firing, in fire order."""
+        return [alert for alert in self.alerts if alert.active]
+
+    def of(self, rule: str) -> list[Alert]:
+        """Every alert a rule fired, in fire order."""
+        return [alert for alert in self.alerts if alert.rule == rule]
+
+    def severity_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for alert in self.alerts:
+            counts[alert.severity] = counts.get(alert.severity, 0) + 1
+        return counts
+
+    def add(self, alert: Alert) -> None:
+        """Append a pre-built alert (JSONL replay path); re-registers
+        dedup state so a replayed bus behaves like the original."""
+        self.alerts.append(alert)
+        identity = (alert.rule, alert.key)
+        if alert.resolved_at == alert.fired_at:
+            self._seen.add(identity)
+        elif alert.active:
+            self._active[identity] = alert
+
+    def summary(self) -> str:
+        """One line: ``3 alerts (1 critical, 2 warning; 1 active)``."""
+        if not self.alerts:
+            return "no alerts"
+        counts = self.severity_counts()
+        parts = [f"{counts[sev]} {sev}"
+                 for sev in reversed(SEVERITIES) if sev in counts]
+        line = f"{len(self.alerts)} alerts ({', '.join(parts)}"
+        actives = len(self.active())
+        if actives:
+            line += f"; {actives} active"
+        return line + ")"
+
+    def render(self) -> str:
+        """Multi-line table of every alert, for CLI / demo output."""
+        if not self.alerts:
+            return "no alerts"
+        lines = [f"{'t':>10}  {'sev':<8}  {'rule':<16}  "
+                 f"{'key':<20}  detail"]
+        for alert in self.alerts:
+            state = ("" if alert.resolved_at is None
+                     else ("" if alert.resolved_at == alert.fired_at
+                           else f"  [resolved @{alert.resolved_at:.4f}]"))
+            detail = (alert.message
+                      or f"value {alert.value:g} > {alert.threshold:g}")
+            lines.append(f"{alert.fired_at:>10.4f}  {alert.severity:<8}  "
+                         f"{alert.rule:<16}  {alert.key:<20}  "
+                         f"{detail}{state}")
+        return "\n".join(lines)

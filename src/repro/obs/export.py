@@ -59,9 +59,13 @@ _US = 1e6
 #: layer reloads.  Version 3 added workload telemetry: ``qspan``
 #: records (one per-query :class:`~repro.obs.spans.QuerySpan`) and
 #: ``metric`` records (:meth:`~repro.obs.metrics.MetricsRegistry
-#: .snapshot` rows), written by :func:`write_workload_jsonl`.  Older
+#: .snapshot` rows), written by :func:`write_workload_jsonl`.  Version
+#: 4 added online observability: ``alert`` records (one per
+#: :class:`~repro.obs.alerts.Alert` the monitor rules fired) and a
+#: single ``profile`` record (the engine self-profiler's call tree),
+#: both present only when the corresponding subsystem ran.  Older
 #: logs still parse (they simply carry no workload records).
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 
 def _require_obs(execution: "QueryExecution") -> EventBus:
@@ -179,6 +183,11 @@ def workload_jsonl_records(result) -> Iterator[dict]:
         yield {"type": "qspan", **span.to_json()}
     for row in result.metrics.snapshot():
         yield {"type": "metric", **row}
+    if result.alerts is not None:
+        for alert in result.alerts:
+            yield {"type": "alert", **alert.to_json()}
+    if result.profile is not None:
+        yield {"type": "profile", **result.profile.to_json()}
     for event in result.bus.events:
         yield _event_record(event)
 
@@ -217,6 +226,12 @@ class LoadedRun:
     #: logs and pre-3 schemas).
     qspans: list[dict] = field(default_factory=list)
     metrics: list[dict] = field(default_factory=list)
+    #: Schema-4 online-observability records: alert dicts in fire
+    #: order, and the profiler call tree (``None`` when the run was
+    #: not profiled).  Replay with :meth:`Alert.from_json` /
+    #: :meth:`EngineProfiler.from_json`.
+    alerts: list[dict] = field(default_factory=list)
+    profile: dict | None = None
 
     @property
     def schema(self) -> int:
@@ -297,6 +312,10 @@ def read_jsonl(path: str | Path) -> LoadedRun:
                 run.qspans.append(record)
             elif kind == "metric":
                 run.metrics.append(record)
+            elif kind == "alert":
+                run.alerts.append(record)
+            elif kind == "profile":
+                run.profile = record
             else:
                 raise ReproError(
                     f"{path}: line {line_no} has unknown record type "

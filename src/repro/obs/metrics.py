@@ -102,6 +102,28 @@ def _labels_key(labels: dict) -> tuple:
     return tuple(sorted(labels.items()))
 
 
+def _g(value: float) -> str:
+    """Prometheus-style shortest float rendering (``12`` not ``12.0``)."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_label(value) -> str:
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _prom_labels(labels: dict, **extra) -> str:
+    """``{key="value",...}`` or empty when there are no labels."""
+    merged = {**labels, **extra}
+    if not merged:
+        return ""
+    inner = ",".join(f'{key}="{_escape_label(merged[key])}"'
+                     for key in sorted(merged))
+    return "{" + inner + "}"
+
+
 class _Instrument:
     """Shared shape: a name, a frozen label set, time-stamped samples."""
 
@@ -316,6 +338,53 @@ class MetricsRegistry:
         return sum(instrument.value if at is None
                    else instrument.value_at(at)
                    for instrument in self.family(name))
+
+    def render_prom(self, at: float | None = None) -> str:
+        """Prometheus text-exposition rendering of the registry.
+
+        Counters and gauges render as one sample per label set;
+        histograms render the standard cumulative ``_bucket`` /
+        ``_sum`` / ``_count`` triple over :data:`LOG_BUCKET_BOUNDS`.
+        With *at*, every value is the virtual-time snapshot at that
+        instant — the text format is wall-clock-agnostic, so "the
+        registry a quarter of a virtual second in" is a perfectly
+        valid exposition.  Deterministic order (name, then labels),
+        so outputs diff cleanly in tests.
+        """
+        families: dict[str, list[_Instrument]] = {}
+        for (name, _), instrument in sorted(self._instruments.items()):
+            families.setdefault(name, []).append(instrument)
+        lines: list[str] = []
+        for name, instruments in families.items():
+            kind = instruments[0].kind
+            lines.append(f"# TYPE {name} {kind}")
+            for instrument in instruments:
+                if kind == "histogram":
+                    values = instrument.observations_at(at)
+                    cumulative = 0
+                    for bound in LOG_BUCKET_BOUNDS:
+                        cumulative = sum(1 for v in values if v <= bound)
+                        lines.append(
+                            f"{name}_bucket"
+                            f"{_prom_labels(instrument.labels, le=_g(bound))}"
+                            f" {cumulative}")
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_prom_labels(instrument.labels, le='+Inf')}"
+                        f" {len(values)}")
+                    lines.append(f"{name}_sum"
+                                 f"{_prom_labels(instrument.labels)}"
+                                 f" {_g(math.fsum(values))}")
+                    lines.append(f"{name}_count"
+                                 f"{_prom_labels(instrument.labels)}"
+                                 f" {len(values)}")
+                else:
+                    value = (instrument.value if at is None
+                             else instrument.value_at(at))
+                    lines.append(f"{name}"
+                                 f"{_prom_labels(instrument.labels)}"
+                                 f" {_g(value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
 
     def snapshot(self, at: float | None = None) -> list[dict]:
         """Every instrument as one plain-dict row, at virtual time

@@ -1,0 +1,18 @@
+"""Engine self-profiling: wall-clock attribution of simulator phases.
+
+See :mod:`repro.prof.profiler` for the model.  Public surface::
+
+    from repro.prof import EngineProfiler, active_profiler, profile
+"""
+
+from repro.prof.profiler import (
+    EngineProfiler,
+    active_profiler,
+    profile,
+)
+
+__all__ = [
+    "EngineProfiler",
+    "active_profiler",
+    "profile",
+]

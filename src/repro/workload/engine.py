@@ -55,6 +55,7 @@ from repro.engine.trace import ExecutionTrace
 from repro.errors import AdmissionError, ExecutionFaultError, WorkloadError
 from repro.lera.graph import PIPELINE
 from repro.machine.machine import Machine
+from repro.obs.alerts import AlertBus
 from repro.obs.bus import (
     QUERY_ABORT,
     QUERY_ADMIT,
@@ -83,7 +84,15 @@ from repro.obs.metrics import (
     RUNNING_QUERIES,
     MetricsRegistry,
 )
+from repro.obs.monitor import (
+    POINT_ADMISSION,
+    POINT_FINISH,
+    POINT_REGRANT,
+    POINT_WAVE,
+    MonitorEngine,
+)
 from repro.obs.spans import SpanSet, assemble_spans
+from repro.prof.profiler import EngineProfiler, active_profiler
 from repro.scheduler.allocation import _largest_remainder, allocate_to_queries
 from repro.scheduler.complexity import operator_complexity, query_complexity
 from repro.workload.admission import AdmissionController, runtime_footprint
@@ -174,6 +183,14 @@ class WorkloadResult:
     spans: SpanSet | None = None
     """Per-query lifecycle spans assembled from :attr:`bus` after the
     run (same gating as :attr:`metrics`)."""
+    alerts: AlertBus | None = None
+    """Alerts fired by the streaming monitor rules, populated when
+    ``ObservabilityOptions(monitors=...)`` is non-empty.  ``None`` when
+    no rules are installed (the usual guarded no-op)."""
+    profile: EngineProfiler | None = None
+    """Wall-clock self-profile of the engine's own hot paths,
+    populated when ``ObservabilityOptions(profile=True)``.  Measures
+    the simulator, not the simulated system."""
 
     def __post_init__(self) -> None:
         if self.makespan < 0:
@@ -521,9 +538,16 @@ class _WorkloadRun:
         #: the hot path (same guarded no-op pattern as the per-query
         #: bus); on, it is populated purely from the lifecycle sites
         #: that already emit bus events.
+        #: Monitor rules come from either options block; non-empty
+        #: rules imply metrics (the rules read the registry).
+        rules = (workload.observability.monitors
+                 or exec_options.observability.monitors)
         self.metrics = (MetricsRegistry()
                         if exec_options.observe
-                        or workload.observability.observe else None)
+                        or workload.observability.observe
+                        or rules else None)
+        self.monitors = (MonitorEngine(rules, self.metrics)
+                         if rules else None)
         self.admission = AdmissionController(workload,
                                              metrics=self.metrics)
         self.budget = workload.thread_budget or machine.processors
@@ -532,6 +556,19 @@ class _WorkloadRun:
             use_ready_index=exec_options.use_ready_index)
         self.simulator.on_operation_complete = self._on_operation_complete
         self.simulator.on_query_abort = self._on_query_abort
+        #: Self-profiling: an explicit ``profile=True`` option makes
+        #: the run own a fresh profiler (started/stopped around
+        #: :meth:`run`, so coverage is structural); an enclosing
+        #: ``profile()`` block is picked up without owning it.
+        self._profile_requested = (exec_options.observability.profile
+                                   or workload.observability.profile)
+        ambient = active_profiler()
+        self.profiler = (EngineProfiler()
+                         if self._profile_requested and ambient is None
+                         else ambient)
+        self._own_profiler = self._profile_requested and ambient is None
+        if self.profiler is not None:
+            self.simulator.attach_profiler(self.profiler)
         if workload.faults is not None:
             from repro.faults.injector import FaultInjector
             self.simulator.attach_faults(
@@ -548,6 +585,16 @@ class _WorkloadRun:
     # -- outer loop -----------------------------------------------------------
 
     def run(self) -> WorkloadResult:
+        profiler = self.profiler
+        if self._own_profiler:
+            profiler.start()
+        try:
+            return self._run(profiler)
+        finally:
+            if self._own_profiler:
+                profiler.stop()
+
+    def _run(self, profiler) -> WorkloadResult:
         # Control points: query arrivals plus scheduled cancellation /
         # timeout deadlines, in one merged timeline.  Arrivals sort
         # before deadlines at the same instant (a query cancelled at
@@ -565,7 +612,12 @@ class _WorkloadRun:
             # Drain the simulation up to (and including) the control
             # instant, so admission sees the machine state at that
             # virtual time — completions at t <= now already applied.
+            if profiler is not None:
+                profiler.enter("sim")
             self.simulator.run(until=now)
+            if profiler is not None:
+                profiler.exit()
+                profiler.enter("control")
             self._maybe_recycle_thread_ids()
             arrived = False
             deadlines: list[tuple[_QueryJob, str]] = []
@@ -592,27 +644,43 @@ class _WorkloadRun:
                 self._apply_deadline(job, now, outcome)
             if arrived:
                 self._try_admit(now)
+            if profiler is not None:
+                profiler.exit()
+        if profiler is not None:
+            profiler.enter("sim")
         self.simulator.run()
-        stuck = [job.tag for job in self.jobs
-                 if job.state not in TERMINAL_STATES]
-        if stuck:
-            raise WorkloadError(
-                f"workload did not complete: queries {stuck} never "
-                f"finished (deadlock or admission starvation)")
-        makespan = max((job.finished_at for job in self.jobs), default=0.0)
-        executions = {job.tag: job.execution for job in self.jobs}
-        spans = (assemble_spans(self.bus, executions)
-                 if self.metrics is not None else None)
-        return WorkloadResult(
-            executions=executions,
-            order=tuple(job.tag for job in self.jobs),
-            makespan=makespan,
-            bus=self.bus,
-            errors={job.tag: str(job.error) for job in self.jobs
-                    if job.error is not None},
-            metrics=self.metrics,
-            spans=spans,
-        )
+        if profiler is not None:
+            profiler.exit()
+            profiler.enter("assemble")
+        try:
+            stuck = [job.tag for job in self.jobs
+                     if job.state not in TERMINAL_STATES]
+            if stuck:
+                raise WorkloadError(
+                    f"workload did not complete: queries {stuck} never "
+                    f"finished (deadlock or admission starvation)")
+            makespan = max((job.finished_at for job in self.jobs),
+                           default=0.0)
+            executions = {job.tag: job.execution for job in self.jobs}
+            spans = (assemble_spans(self.bus, executions)
+                     if self.metrics is not None else None)
+            return WorkloadResult(
+                executions=executions,
+                order=tuple(job.tag for job in self.jobs),
+                makespan=makespan,
+                bus=self.bus,
+                errors={job.tag: str(job.error) for job in self.jobs
+                        if job.error is not None},
+                metrics=self.metrics,
+                spans=spans,
+                alerts=(self.monitors.alerts
+                        if self.monitors is not None else None),
+                profile=(self.profiler
+                         if self._profile_requested else None),
+            )
+        finally:
+            if profiler is not None:
+                profiler.exit()
 
     def _maybe_recycle_thread_ids(self) -> None:
         """Reset thread-id allocation when the machine is quiescent.
@@ -740,6 +808,13 @@ class _WorkloadRun:
         end-to-end latency observation, the per-status tally, the
         machine-level levels, and — from the frozen execution — each
         pool's thread utilization and fractional cost shares."""
+        if self.monitors is not None:
+            self.monitors.observe(
+                POINT_FINISH, finish, tag=job.tag, status=status,
+                latency=finish - job.arrival,
+                queue_depth=len(self.queue), running=len(self.running),
+                used_bytes=self.admission.used_bytes,
+                memory_limit=self.workload.memory_limit_bytes)
         if self.metrics is None:
             return
         metrics = self.metrics
@@ -826,15 +901,30 @@ class _WorkloadRun:
         them — the first arrival does not grab its full demand just
         because it was popped first.
         """
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.enter("admission")
+        try:
+            self._try_admit_now(now)
+        finally:
+            if profiler is not None:
+                profiler.exit()
+
+    def _try_admit_now(self, now: float) -> None:
+        profiler = self.profiler
         admitted: list[_QueryJob] = []
         while self.queue:
             job = self.queue[0]
             if self.sharing is not None and not job.materialized:
                 # Fold pass: price the query with its foldable subplans
                 # shared before asking the memory gate.
+                if profiler is not None:
+                    profiler.enter("fold")
                 folds = plan_folds(job.plan, self.sharing, now)
                 footprint = projected_footprint(
                     job.plan, job.node_footprints, folds)
+                if profiler is not None:
+                    profiler.exit()
             else:
                 folds = None
                 footprint = job.footprint
@@ -849,10 +939,14 @@ class _WorkloadRun:
                 break
             self.queue.pop(0)
             if folds is not None:
+                if profiler is not None:
+                    profiler.enter("fold")
                 job.materialize(self.executor, self.sharing, folds,
                                 footprint, now)
                 if self.metrics is not None:
                     self._record_fold_pass(job, folds, now)
+                if profiler is not None:
+                    profiler.exit()
             job.state = RUNNING
             job.admitted_at = now
             self.running.append(job)
@@ -886,6 +980,13 @@ class _WorkloadRun:
             self.metrics.gauge(ADMISSION_QUEUE_DEPTH).set(
                 now, len(self.queue))
             self.metrics.gauge(RUNNING_QUERIES).set(now, len(self.running))
+        if self.monitors is not None:
+            self.monitors.observe(
+                POINT_ADMISSION, now,
+                admitted=[(job.tag, now - job.arrival) for job in admitted],
+                queue_depth=len(self.queue), running=len(self.running),
+                used_bytes=self.admission.used_bytes,
+                memory_limit=self.workload.memory_limit_bytes)
         # Queries admitted earlier shrink to their new fair share —
         # applied at their next wave boundary (running pools are never
         # revoked mid-wave).  Growth (an admission triggered by a
@@ -937,11 +1038,16 @@ class _WorkloadRun:
         proportionally less of the machine.  Without sharing the
         property degenerates to the plain complexity.
         """
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.enter("allocate")
         grants = allocate_to_queries(
             self.budget,
             [job.demand for job in self.running],
             [job.effective_complexity for job in self.running],
         )
+        if profiler is not None:
+            profiler.exit()
         return {job.tag: grant
                 for job, grant in zip(self.running, grants)}
 
@@ -951,6 +1057,9 @@ class _WorkloadRun:
         if self.sharing is not None and job.folds:
             self._start_wave_shared(job, at)
             return
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.enter("wave_prep")
         job.wave_index += 1
         job.wave_started_at = at
         wave = job.waves[job.wave_index]
@@ -981,6 +1090,8 @@ class _WorkloadRun:
                          operations=[op.name for op in wave_ops],
                          threads=wave_threads)
         self.simulator.add_operations(wave_ops)
+        if profiler is not None:
+            profiler.exit()
 
     def _start_wave_shared(self, job: _QueryJob, at: float) -> None:
         """Start the next wave of a query with folded subplans.
@@ -993,6 +1104,16 @@ class _WorkloadRun:
         immediately — possibly through several waves, or straight to
         completion for a fully duplicate query.
         """
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.enter("wave_prep")
+        try:
+            self._start_wave_shared_now(job, at)
+        finally:
+            if profiler is not None:
+                profiler.exit()
+
+    def _start_wave_shared_now(self, job: _QueryJob, at: float) -> None:
         while True:
             job.wave_index += 1
             job.wave_started_at = at
@@ -1073,6 +1194,16 @@ class _WorkloadRun:
         shared-work queries — every shared operator it rides on in
         this wave is too.
         """
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.enter("wave_barrier")
+        try:
+            self._advance_if_wave_done_now(job)
+        finally:
+            if profiler is not None:
+                profiler.exit()
+
+    def _advance_if_wave_done_now(self, job: _QueryJob) -> None:
         if job.state == CANCELLING:
             # A drained wave completes operation by operation as each
             # thread finishes its in-flight activation; once the last
@@ -1096,6 +1227,17 @@ class _WorkloadRun:
         finish = max(max(finishes), job.wave_started_at)
         if job.bus is not None:
             job.bus.emit(WAVE_END, finish, wave=job.wave_index)
+        if self.monitors is not None:
+            # The wave barrier is a monitor control point: per-thread
+            # finish/busy/idle stamps are fresh here, which is what the
+            # straggler rule's Fig 12 blame split reads.
+            self.monitors.observe(
+                POINT_WAVE, finish, tag=job.tag, wave=job.wave_index,
+                started_at=job.wave_started_at,
+                ops=[(op.name,
+                      [(t.finished_at, t.busy_time, t.idle_time)
+                       for t in op.threads])
+                     for op in job.current_wave_ops])
         if job.wave_index + 1 < len(job.waves):
             self._start_wave(job, finish)
             return
@@ -1126,6 +1268,9 @@ class _WorkloadRun:
     def _refresh_grants(self, now: float, grow: bool) -> None:
         if not self.running:
             return
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.enter("regrant")
         grants = self._grants()
         for job in self.running:
             new = grants[job.tag]
@@ -1143,6 +1288,12 @@ class _WorkloadRun:
                     now, new)
             if grew and grow and job.current_wave_ops:
                 self._grow_current_wave(job, now)
+        if profiler is not None:
+            profiler.exit()
+        if self.monitors is not None:
+            self.monitors.observe(
+                POINT_REGRANT, now, running=len(self.running),
+                grants={job.tag: job.grant for job in self.running})
 
     def _grow_current_wave(self, job: _QueryJob, now: float) -> None:
         """Add helper threads to the job's in-flight wave.

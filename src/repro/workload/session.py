@@ -296,6 +296,19 @@ class Session:
                 "ObservabilityOptions(observe=True))")
         return registry
 
+    def alerts(self):
+        """The run's :class:`~repro.obs.alerts.AlertBus`; drives the
+        workload if it has not run.  Raises :class:`WorkloadError`
+        when no monitor rules were installed.
+        """
+        bus = self.run().alerts
+        if bus is None:
+            raise WorkloadError(
+                "no alerts: the workload ran without monitor rules; "
+                "enable WorkloadOptions(observability="
+                "ObservabilityOptions(monitors=default_monitors()))")
+        return bus
+
     def report(self):
         """The run's :class:`~repro.obs.report.WorkloadReport`; drives
         the workload if it has not run (requires observability)."""

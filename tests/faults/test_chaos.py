@@ -8,7 +8,12 @@ runs these through ``make chaos``.
 
 import pytest
 
-from repro.bench.chaos import degradation_curve, run_chaos, run_shared_chaos
+from repro.bench.chaos import (
+    alert_sweep,
+    degradation_curve,
+    run_chaos,
+    run_shared_chaos,
+)
 
 pytestmark = pytest.mark.chaos
 
@@ -49,3 +54,21 @@ def test_pooled_degrades_less_than_static():
         assert point.pooled < point.static, (
             f"pooled did not beat static at factor {point.factor}: "
             f"{point.pooled} vs {point.static}")
+
+
+def test_alert_sweep_fires_on_faulted_cells_only():
+    """The monitor stack watching the chaos grid: the uniform cell
+    stays silent, every slowed cell fires a straggler (and trips the
+    latency SLO), and a twin re-run fires byte-for-byte the same
+    alerts — each cell's ``AlertCell.passed`` encodes all three."""
+    cells = alert_sweep(factors=(1.0, 6.0))
+    assert [cell.factor for cell in cells] == [1.0, 6.0]
+    for cell in cells:
+        assert cell.passed, "\n".join(cell.violations)
+    uniform, slowed = cells
+    assert len(uniform.alerts) == 0
+    assert {"straggler", "latency_slo"} <= {
+        a.rule for a in slowed.alerts}
+    straggler = next(a for a in slowed.alerts if a.rule == "straggler")
+    assert straggler.value > straggler.threshold
+    assert "blame" in straggler.message

@@ -1,0 +1,128 @@
+"""The alert layer: dedup discipline, resolve-on-recovery, JSON round trip."""
+
+from repro.obs.alerts import (
+    SEV_CRITICAL,
+    SEV_INFO,
+    SEV_WARNING,
+    Alert,
+    AlertBus,
+)
+
+
+class TestConditionAlerts:
+    def test_fires_once_while_active(self):
+        bus = AlertBus()
+        first = bus.fire("memory_pressure", "gate", SEV_WARNING, 1.0,
+                         0.95, 0.9)
+        assert first is not None
+        assert bus.fire("memory_pressure", "gate", SEV_WARNING, 2.0,
+                        0.97, 0.9) is None
+        assert len(bus) == 1
+        assert bus.is_active("memory_pressure", "gate")
+
+    def test_resolve_closes_and_allows_refire(self):
+        bus = AlertBus()
+        bus.fire("memory_pressure", "gate", SEV_WARNING, 1.0, 0.95, 0.9)
+        resolved = bus.resolve("memory_pressure", "gate", 3.0)
+        assert resolved is not None
+        assert resolved.resolved_at == 3.0
+        assert not resolved.active
+        assert not bus.is_active("memory_pressure", "gate")
+        # A new crossing after recovery is a new alert.
+        again = bus.fire("memory_pressure", "gate", SEV_WARNING, 5.0,
+                         0.92, 0.9)
+        assert again is not None
+        assert len(bus) == 2
+
+    def test_resolve_without_active_is_noop(self):
+        bus = AlertBus()
+        assert bus.resolve("memory_pressure", "gate", 1.0) is None
+        assert len(bus) == 0
+
+    def test_keys_dedup_independently(self):
+        bus = AlertBus()
+        assert bus.fire("slo", "q0", SEV_WARNING, 1.0, 2.0, 1.0)
+        assert bus.fire("slo", "q1", SEV_WARNING, 1.0, 3.0, 1.0)
+        assert bus.fire("slo", "q0", SEV_WARNING, 2.0, 2.5, 1.0) is None
+        assert len(bus) == 2
+
+
+class TestEventAlerts:
+    def test_born_resolved_and_deduped_forever(self):
+        bus = AlertBus()
+        alert = bus.fire("straggler", "q0/w1/join", SEV_WARNING, 1.0,
+                         2.4, 2.0, event=True)
+        assert alert is not None
+        assert alert.resolved_at == alert.fired_at
+        assert not alert.active
+        # Re-evaluating the same crossing never fires again — even
+        # "after" the instant, an event cannot recover and re-cross.
+        assert bus.fire("straggler", "q0/w1/join", SEV_WARNING, 9.0,
+                        3.0, 2.0, event=True) is None
+        assert len(bus) == 1
+
+    def test_distinct_crossings_fire_separately(self):
+        bus = AlertBus()
+        assert bus.fire("straggler", "q0/w1/join", SEV_WARNING, 1.0,
+                        2.4, 2.0, event=True)
+        assert bus.fire("straggler", "q0/w2/join", SEV_WARNING, 2.0,
+                        2.2, 2.0, event=True)
+        assert len(bus) == 2
+
+
+class TestQueriesAndRendering:
+    def _bus(self):
+        bus = AlertBus()
+        bus.fire("slo", "q0", SEV_WARNING, 1.0, 2.0, 1.0, event=True)
+        bus.fire("slo", "burn", SEV_CRITICAL, 2.0, 0.5, 0.25)
+        bus.fire("retry_storm", "total", SEV_INFO, 3.0, 9.0, 8.0)
+        bus.resolve("retry_storm", "total", 4.0)
+        return bus
+
+    def test_of_and_active(self):
+        bus = self._bus()
+        assert [a.key for a in bus.of("slo")] == ["q0", "burn"]
+        assert [a.rule for a in bus.active()] == ["slo"]
+
+    def test_severity_counts_and_summary(self):
+        bus = self._bus()
+        assert bus.severity_counts() == {
+            "warning": 1, "critical": 1, "info": 1}
+        summary = bus.summary()
+        assert "3 alerts" in summary
+        assert "1 critical" in summary
+        assert "1 active" in summary
+
+    def test_empty_bus_renders(self):
+        assert AlertBus().summary() == "no alerts"
+        assert AlertBus().render() == "no alerts"
+
+    def test_render_lists_every_alert(self):
+        rendered = self._bus().render()
+        assert "slo" in rendered
+        assert "burn" in rendered
+        assert "resolved @4.0000" in rendered
+
+
+class TestJsonRoundTrip:
+    def test_alert_round_trips(self):
+        alert = Alert("slo", "q0", SEV_WARNING, 1.25, 2.0, 1.0,
+                      message="over", resolved_at=None)
+        again = Alert.from_json(alert.to_json())
+        assert again == alert
+
+    def test_bus_replay_restores_dedup_state(self):
+        bus = AlertBus()
+        bus.fire("straggler", "q0/w1/join", SEV_WARNING, 1.0, 2.4, 2.0,
+                 event=True)
+        bus.fire("slo", "burn", SEV_CRITICAL, 2.0, 0.5, 0.25)
+        replayed = AlertBus()
+        for alert in bus:
+            replayed.add(Alert.from_json(alert.to_json()))
+        assert len(replayed) == 2
+        assert replayed.is_active("slo", "burn")
+        # Both the event and the still-active condition stay deduped.
+        assert replayed.fire("straggler", "q0/w1/join", SEV_WARNING,
+                             9.0, 2.4, 2.0, event=True) is None
+        assert replayed.fire("slo", "burn", SEV_CRITICAL, 9.0,
+                             0.6, 0.25) is None

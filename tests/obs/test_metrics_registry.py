@@ -178,3 +178,54 @@ class TestRegistry:
         registry.counter("done_total").inc(0.9)
         rows = registry.snapshot(at=0.5)
         assert rows[0]["value"] == 1.0
+
+
+class TestRenderProm:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("done_total", status="done").inc(0.1, 3)
+        registry.gauge("depth").set(0.2, 4.0)
+        text = registry.render_prom()
+        assert "# TYPE done_total counter" in text
+        assert 'done_total{status="done"} 3' in text
+        assert "# TYPE depth gauge" in text
+        assert "depth 4" in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency")
+        histogram.observe(0.0, 0.3)
+        histogram.observe(0.1, 0.3)
+        histogram.observe(0.2, 1e9)  # +Inf bucket only
+        text = registry.render_prom()
+        assert 'latency_bucket{le="0.5"} 2' in text
+        assert 'latency_bucket{le="1"} 2' in text  # cumulative
+        assert 'latency_bucket{le="+Inf"} 3' in text
+        assert "latency_count 3" in text
+        assert "latency_sum 1000000000.6" in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", op='a"b\\c\nd').inc(0.0)
+        text = registry.render_prom()
+        assert 'op="a\\"b\\\\c\\nd"' in text
+
+    def test_at_restricts_to_virtual_instant(self):
+        registry = MetricsRegistry()
+        registry.counter("done_total").inc(0.1)
+        registry.counter("done_total").inc(0.9)
+        histogram = registry.histogram("latency")
+        histogram.observe(0.1, 0.3)
+        histogram.observe(0.9, 0.4)
+        text = registry.render_prom(at=0.5)
+        assert "done_total 1" in text
+        assert "latency_count 1" in text
+
+    def test_families_sorted_and_empty_registry(self):
+        registry = MetricsRegistry()
+        registry.gauge("zz").set(0.0, 1.0)
+        registry.counter("aa_total").inc(0.0)
+        text = registry.render_prom()
+        assert text.index("aa_total") < text.index("zz")
+        assert MetricsRegistry().render_prom() == ""

@@ -1,0 +1,136 @@
+"""The engine self-profiler: attribution math, the ambient ``profile()``
+context manager, and the live-run coverage contract."""
+
+import pytest
+
+from repro import (
+    DBS3,
+    ObservabilityOptions,
+    WorkloadOptions,
+    generate_wisconsin,
+)
+from repro.errors import ReproError
+from repro.prof import EngineProfiler, active_profiler, profile
+
+
+class TestAttribution:
+    def _profiled(self):
+        profiler = EngineProfiler()
+        profiler.start()
+        profiler.enter("sim")
+        profiler.enter("dbfunc")
+        profiler.exit()
+        profiler.enter("deliver")
+        profiler.exit()
+        profiler.exit()
+        profiler.enter("assemble")
+        profiler.exit()
+        profiler.stop()
+        return profiler
+
+    def test_nodes_keyed_by_path(self):
+        profiler = self._profiled()
+        paths = set(profiler.nodes)
+        assert paths == {("sim",), ("sim", "dbfunc"),
+                         ("sim", "deliver"), ("assemble",)}
+
+    def test_self_time_excludes_children(self):
+        profiler = self._profiled()
+        sim_calls, sim_self, sim_total = profiler.nodes[("sim",)]
+        child_total = (profiler.nodes[("sim", "dbfunc")][2]
+                       + profiler.nodes[("sim", "deliver")][2])
+        assert sim_calls == 1
+        assert sim_self == sim_total - child_total
+        # Self times are double-count-free: their sum is the
+        # attributed time, which can never exceed the wall.
+        assert profiler.attributed_ns() <= profiler.wall_ns
+
+    def test_coverage_between_zero_and_one(self):
+        profiler = self._profiled()
+        assert 0.0 < profiler.coverage() <= 1.0
+        assert EngineProfiler().coverage() == 0.0
+
+    def test_section_context_manager(self):
+        profiler = EngineProfiler()
+        profiler.start()
+        with profiler.section("sim"):
+            with profiler.section("fault"):
+                pass
+        profiler.stop()
+        assert ("sim", "fault") in profiler.nodes
+
+    def test_folded_output(self):
+        folded = self._profiled().folded()
+        lines = dict(line.rsplit(" ", 1) for line in folded.splitlines())
+        assert "sim;dbfunc" in lines
+        assert all(int(v) > 0 for v in lines.values())
+
+    def test_render_mentions_every_section(self):
+        rendered = self._profiled().render()
+        assert "sim;dbfunc" in rendered
+        assert "attributed" in rendered
+
+    def test_json_round_trip(self):
+        profiler = self._profiled()
+        again = EngineProfiler.from_json(profiler.to_json())
+        assert again.nodes == profiler.nodes
+        assert again.wall_ns == profiler.wall_ns
+        assert again.coverage() == pytest.approx(profiler.coverage())
+
+
+class TestAmbientProfile:
+    def test_profile_installs_and_restores(self):
+        assert active_profiler() is None
+        with profile() as profiler:
+            assert active_profiler() is profiler
+        assert active_profiler() is None
+        assert profiler.wall_ns > 0
+
+    def test_profile_blocks_do_not_nest(self):
+        with profile():
+            with pytest.raises(ReproError, match="do not nest"):
+                with profile():
+                    pass  # pragma: no cover - never reached
+        assert active_profiler() is None
+
+
+# -- the live run -------------------------------------------------------------
+
+def _run(options: WorkloadOptions | None = None):
+    db = DBS3(processors=24)
+    db.create_table(generate_wisconsin("A", 800, seed=1), "unique1",
+                    degree=8)
+    db.create_table(generate_wisconsin("B", 80, seed=2), "unique1",
+                    degree=8)
+    session = db.session(options=options)
+    session.submit("SELECT * FROM A JOIN B ON A.unique1 = B.unique1")
+    return session.run()
+
+
+class TestProfiledRun:
+    def test_profiled_workload_attributes_most_of_the_wall(self):
+        result = _run(WorkloadOptions(
+            observability=ObservabilityOptions(profile=True)))
+        assert result.profile is not None
+        assert result.profile.coverage() >= 0.9
+        paths = {";".join(path) for path in result.profile.nodes}
+        assert "sim" in paths
+        assert "sim;dbfunc" in paths
+
+    def test_unprofiled_run_carries_no_profile(self):
+        assert _run().profile is None
+
+    def test_profiler_does_not_move_virtual_time(self):
+        bare = _run()
+        profiled = _run(WorkloadOptions(
+            observability=ObservabilityOptions(profile=True)))
+        assert profiled.makespan == bare.makespan
+
+    def test_ambient_profiler_observes_the_run(self):
+        with profile() as profiler:
+            result = _run()
+        # The engine instruments into the ambient profiler without
+        # owning it: the result exposes no profile (profile=False),
+        # but the engine sections land in the ambient call tree.
+        assert result.profile is None
+        assert any(path and path[0] == "sim" for path in profiler.nodes)

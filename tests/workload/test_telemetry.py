@@ -21,13 +21,16 @@ from repro import (
     generate_wisconsin,
 )
 from repro.faults import ActivationFaults, FaultPlan
+from repro.obs.alerts import Alert
 from repro.obs.export import (
     read_jsonl,
     verify_workload_jsonl,
     write_workload_jsonl,
 )
 from repro.obs.metrics import QUERIES_FINISHED, QUERY_LATENCY, percentile
+from repro.obs.monitor import LatencySloMonitor, default_monitors
 from repro.obs.spans import SPAN_DONE
+from repro.prof import EngineProfiler
 
 QUERIES = (
     "SELECT * FROM A JOIN B ON A.unique1 = B.unique1",
@@ -176,3 +179,49 @@ class TestJsonlRoundTrip:
         assert loaded.metrics
         assert verify_workload_jsonl(loaded) == []
         assert verify_workload_jsonl(loaded, result.executions) == []
+
+
+class TestSchema4Records:
+    """Alerts and the self-profile ride the same JSONL as the spans."""
+
+    def _monitored_result(self):
+        session = _db().session(options=WorkloadOptions(
+            observability=ObservabilityOptions(
+                monitors=default_monitors(slo=1e-6), profile=True)))
+        _submit_all(session)
+        return session.run()
+
+    def test_alerts_and_profile_round_trip(self, tmp_path):
+        result = self._monitored_result()
+        assert len(result.alerts) > 0
+        path = tmp_path / "workload.jsonl"
+        write_workload_jsonl(result, path)
+        loaded = read_jsonl(path)
+        assert [Alert.from_json(record) for record in loaded.alerts] == \
+            list(result.alerts)
+        profiler = EngineProfiler.from_json(loaded.profile)
+        assert profiler.nodes == result.profile.nodes
+        assert profiler.wall_ns == result.profile.wall_ns
+        assert verify_workload_jsonl(loaded) == []
+
+    def test_unmonitored_log_carries_no_alert_records(self, tmp_path):
+        session = _db().session(options=OBSERVE)
+        _submit_all(session)
+        path = tmp_path / "workload.jsonl"
+        write_workload_jsonl(session.run(), path)
+        loaded = read_jsonl(path)
+        assert loaded.alerts == []
+        assert loaded.profile is None
+
+    def test_resolved_state_survives_the_trip(self, tmp_path):
+        session = _db().session(options=WorkloadOptions(
+            observability=ObservabilityOptions(monitors=(
+                LatencySloMonitor(slo=1e-6, burn_budget=0.25,
+                                  min_finished=2),))))
+        _submit_all(session)
+        result = session.run()
+        path = tmp_path / "workload.jsonl"
+        write_workload_jsonl(result, path)
+        reloaded = [Alert.from_json(r) for r in read_jsonl(path).alerts]
+        assert [(a.key, a.active, a.resolved_at) for a in reloaded] == \
+            [(a.key, a.active, a.resolved_at) for a in result.alerts]
