@@ -8,7 +8,7 @@ export PYTHONPATH
 
 .PHONY: test bench perf perf-full perf-baseline trace-demo diagnose-demo \
 	compare-demo concurrent-demo shared-demo report-demo chaos chaos-demo \
-	monitor-demo profile-demo
+	monitor-demo profile-demo adaptive-demo deprecation-gate
 
 ## Tier-1: the fast deterministic test suite (what CI gates on).
 test:
@@ -70,6 +70,24 @@ monitor-demo:
 ## attributed share at 90%.
 profile-demo:
 	$(PYTHON) -m repro run --concurrent 4 --profile --profile-check 0.9
+
+## Adaptive-scheduling demo: the MPL-4 workload under
+## SchedulingPolicy(policy="adaptive") — wave-boundary grant re-splits
+## and Random->LPT switches, with the decision log printed — plus the
+## chaos adaptive sweep gate (adaptive strictly beats static on every
+## slowed cell, bit-identical on the uniform one).
+adaptive-demo:
+	$(PYTHON) -m repro run --concurrent 4 --adaptive
+	$(PYTHON) -m repro chaos --seed 0 --seeds 1
+
+## Deprecation gate: the tier-1 suite with DeprecationWarning promoted
+## to an error, so no internal caller leans on a deprecated surface
+## (e.g. WorkloadOptions(rebalance=...) instead of SchedulingPolicy).
+## The one exemption is a third-party import-time warning
+## (mypy_extensions via hypothesis' libcst extra) we cannot fix here.
+deprecation-gate:
+	$(PYTHON) -m pytest -x -q -W error::DeprecationWarning \
+		-W "ignore:mypy_extensions.TypedDict is deprecated"
 
 ## Observed demo query: scheduler explain + Chrome trace (Perfetto) +
 ## JSONL event log + metrics snapshot into benchmarks/results/.

@@ -14,6 +14,7 @@ import pytest
 
 from repro.bench.perf_baseline import (
     SHARED_SPEEDUP_MIN,
+    compare_adaptive,
     compare_concurrent,
     compare_faults,
     compare_matrices,
@@ -24,6 +25,7 @@ from repro.bench.perf_baseline import (
     compare_shared,
     load_baseline,
     render,
+    render_adaptive,
     render_concurrent,
     render_faults,
     render_monitor,
@@ -31,6 +33,7 @@ from repro.bench.perf_baseline import (
     render_obs_workload,
     render_session,
     render_shared,
+    run_adaptive_cell,
     run_concurrent_cell,
     run_faults_overhead,
     run_matrix,
@@ -180,6 +183,41 @@ def test_committed_shared_baseline_documents_the_fold():
                     == modes[f"{pair}_private"]["result_rows"]), scale
         assert (modes["concurrent_default"]["makespan_virtual_s"]
                 == baseline["concurrent"][scale]["makespan_virtual_s"]), scale
+
+
+@pytest.mark.perf
+def test_adaptive_cell_holds_its_gates():
+    """The adaptive-scheduling gate: on the committed slowed cell the
+    adaptive policy must strictly beat static in virtual time, both
+    trajectories (makespans, rows, decision count) must reproduce the
+    committed record bit for bit, the uniform cell must stay
+    bit-identical across policies, and the controller may cost at most
+    5 % wall clock over its static twin timed in the same process."""
+    baseline = load_baseline(BASELINE_PATH)
+    current = run_adaptive_cell(quick=True, seed=0)
+    print()
+    print(render_adaptive(current))
+    problems = compare_adaptive(baseline["adaptive"]["quick"], current)
+    assert not problems, "\n".join(problems)
+
+
+@pytest.mark.perf
+def test_committed_adaptive_baseline_documents_the_win():
+    """The committed adaptive section must document the headline claim
+    — adaptive strictly faster than static on the slowed cell, the
+    uniform cell bit-identical, at least one recorded decision — at
+    both scales."""
+    baseline = load_baseline(BASELINE_PATH)
+    for scale in ("quick", "full"):
+        record = baseline["adaptive"][scale]
+        modes = record["modes"]
+        assert (modes["adaptive"]["makespan_virtual_s"]
+                < modes["static"]["makespan_virtual_s"]), scale
+        assert modes["adaptive"]["decisions"] >= 1, scale
+        assert (modes["adaptive"]["result_rows"]
+                == modes["static"]["result_rows"]), scale
+        uniform = record["uniform_makespan_virtual_s"]
+        assert uniform["adaptive"] == uniform["static"], scale
 
 
 @pytest.mark.perf

@@ -94,6 +94,7 @@ from repro.storage import (
 from repro.workload import (
     QueryHandle,
     QuerySubmission,
+    SchedulingPolicy,
     Session,
     WorkloadExecutor,
     WorkloadOptions,
@@ -143,6 +144,7 @@ __all__ = [
     "StallWindow",
     "ReproError",
     "SchedulerError",
+    "SchedulingPolicy",
     "Schema",
     "SchemaError",
     "Session",

@@ -88,8 +88,10 @@ def demo() -> None:
 def concurrent_demo(count: int, shared: bool = False, report: bool = False,
                     events_out: str | None = None, monitors: bool = False,
                     profile: bool = False, prom_out: str | None = None,
-                    profile_check: float | None = None) -> int:
+                    profile_check: float | None = None,
+                    policy: str = "static") -> int:
     """Run *count* queries concurrently in one shared simulation."""
+    from repro.adapt.policy import SchedulingPolicy
     from repro.engine.executor import ObservabilityOptions
     from repro.obs.bus import QUERY_ADMIT, QUERY_FINISH, QUERY_GRANT
     from repro.obs.monitor import default_monitors
@@ -97,12 +99,15 @@ def concurrent_demo(count: int, shared: bool = False, report: bool = False,
 
     observe = report or events_out is not None or prom_out is not None
     rules = default_monitors() if monitors else ()
+    scheduling = SchedulingPolicy(policy=policy)
 
     print(f"DBS3 concurrent workload demo — {count} queries, "
           f"one shared simulation"
           + (", shared-work folding ON" if shared else "")
           + (", monitors ON" if monitors else "")
-          + (", self-profiler ON" if profile else "") + "\n")
+          + (", self-profiler ON" if profile else "")
+          + (", adaptive scheduling ON" if scheduling.adaptive else "")
+          + "\n")
     db = DBS3(processors=72)
     db.create_table(generate_wisconsin("A", 12_000, seed=1), "unique1", 60)
     db.create_table(generate_wisconsin("B", 1_200, seed=2), "unique1", 60)
@@ -126,7 +131,7 @@ def concurrent_demo(count: int, shared: bool = False, report: bool = False,
         # query cannot fold onto work that already started); the
         # private reference run gets the same bound for a fair gain.
         session = db.session(options=WorkloadOptions(
-            max_concurrent=count, shared=fold,
+            max_concurrent=count, shared=fold, scheduling=scheduling,
             observability=ObservabilityOptions(
                 observe=observe, monitors=rules, profile=profile)))
         for sql in queries:
@@ -139,6 +144,7 @@ def concurrent_demo(count: int, shared: bool = False, report: bool = False,
         result = run_session(True)
     else:
         session = db.session(options=WorkloadOptions(
+            scheduling=scheduling,
             observability=ObservabilityOptions(
                 observe=observe, monitors=rules, profile=profile)))
         for sql in queries:
@@ -174,6 +180,13 @@ def concurrent_demo(count: int, shared: bool = False, report: bool = False,
     if report:
         print()
         print(result.report().render())
+    if scheduling.adaptive:
+        print()
+        if result.decisions is not None and len(result.decisions):
+            print(result.decisions.render())
+        else:
+            print("adaptive controller: no mid-flight decisions (no "
+                  "queue-wait or Fig 12 signal fired)")
     if monitors:
         print()
         print(result.alerts.render())
@@ -283,6 +296,25 @@ def diagnose_workload_log(path: str, run) -> int:
         profile = EngineProfiler.from_json(run.profile)
         print()
         print(profile.render())
+
+    from repro.obs.bus import SCHEDULE_RESPLIT, SCHEDULE_SWITCH
+    decisions = [e for e in run.events
+                 if e.kind in (SCHEDULE_RESPLIT, SCHEDULE_SWITCH)]
+    if decisions:
+        print("\nadaptive scheduling decisions:")
+        for event in decisions:
+            data = event.data or {}
+            if event.kind == SCHEDULE_RESPLIT:
+                print(f"  t={event.t:8.4f}  resplit {data.get('tag')}"
+                      f"/w{data.get('wave')}: {data.get('before')} -> "
+                      f"{data.get('after')} (drivers "
+                      f"{data.get('drivers')}, boost "
+                      f"{data.get('boost'):.2f})")
+            else:
+                print(f"  t={event.t:8.4f}  switch  "
+                      f"{data.get('operation')}: {data.get('before')} "
+                      f"-> {data.get('after')} (observed skew on "
+                      f"{data.get('observed')})")
 
     # assemble_spans only reads ``bus.events`` — the reloaded events
     # are live Event objects, so the span model rebuilds faithfully.
@@ -475,8 +507,17 @@ def run_command(argv: list[str]) -> int:
                         help="with --concurrent --profile: exit 1 unless "
                              "the profiler attributes at least FRACTION "
                              "of the engine wall time (CI smoke gate)")
+    parser.add_argument("--policy", choices=("static", "adaptive"),
+                        default="static",
+                        help="with --concurrent: scheduling policy — "
+                             "'adaptive' closes the loop (wave-boundary "
+                             "grant re-splits, Random->LPT switches) and "
+                             "prints the decision log")
+    parser.add_argument("--adaptive", action="store_true",
+                        help="shorthand for --policy adaptive")
     _add_observed_args(parser)
     args = parser.parse_args(argv)
+    policy = "adaptive" if args.adaptive else args.policy
     if args.concurrent is not None:
         if args.concurrent < 1:
             parser.error("--concurrent needs at least one query")
@@ -488,7 +529,8 @@ def run_command(argv: list[str]) -> int:
                                monitors=args.monitors,
                                profile=args.profile,
                                prom_out=args.prom_out,
-                               profile_check=args.profile_check)
+                               profile_check=args.profile_check,
+                               policy=policy)
     if args.report:
         parser.error("--report needs --concurrent (it summarizes a "
                      "workload, not a single query)")
@@ -496,6 +538,9 @@ def run_command(argv: list[str]) -> int:
             args.profile_check is not None:
         parser.error("--monitors/--profile/--prom-out/--profile-check "
                      "need --concurrent (they observe a workload run)")
+    if policy != "static":
+        parser.error("--adaptive/--policy need --concurrent (the "
+                     "controller acts on a workload run)")
     return observed_run(args.sql, args.trace_out, args.events_out,
                         args.metrics_out, args.explain, args.threads)
 
@@ -555,6 +600,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--report", action="store_true",
                         help="with --concurrent: collect workload "
                              "telemetry and print the WorkloadReport")
+    parser.add_argument("--adaptive", action="store_true",
+                        help="with --concurrent: adaptive scheduling "
+                             "(alias of `run --concurrent N --adaptive`)")
     parser.add_argument("--figures", action="store_true",
                         help="regenerate the paper's figures instead of "
                              "running the demo")
@@ -572,8 +620,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.concurrent is not None:
         if args.concurrent < 1:
             parser.error("--concurrent needs at least one query")
-        return concurrent_demo(args.concurrent, shared=args.shared,
-                               report=args.report)
+        return concurrent_demo(
+            args.concurrent, shared=args.shared, report=args.report,
+            policy="adaptive" if args.adaptive else "static")
+    if args.adaptive:
+        parser.error("--adaptive needs --concurrent (the controller "
+                     "acts on a workload run)")
     if args.diagnose or args.from_events:
         if args.threads is None:
             args.threads = 10

@@ -1,0 +1,32 @@
+"""Adaptive scheduling: diagnostics-driven decisions at run time.
+
+The blessed surface of the adaptive layer is the frozen
+:class:`SchedulingPolicy` block (nested in
+:class:`~repro.workload.options.WorkloadOptions` as ``scheduling=``)
+plus the controller machinery the workload engine arms when
+``policy="adaptive"``.
+"""
+
+from repro.adapt.controller import (
+    AdaptiveController,
+    WaveEvidence,
+    resplit_shares,
+    wave_evidence,
+)
+from repro.adapt.policy import (
+    POLICIES,
+    POLICY_ADAPTIVE,
+    POLICY_STATIC,
+    SchedulingPolicy,
+)
+
+__all__ = [
+    "POLICIES",
+    "POLICY_ADAPTIVE",
+    "POLICY_STATIC",
+    "AdaptiveController",
+    "SchedulingPolicy",
+    "WaveEvidence",
+    "resplit_shares",
+    "wave_evidence",
+]

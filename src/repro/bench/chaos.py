@@ -643,6 +643,193 @@ def render_alert_sweep(cells: list[AlertCell]) -> str:
     return "\n".join(lines)
 
 
+# -- adaptive-policy sweep ----------------------------------------------------
+
+#: Slowdown grid of the adaptive gate.  The uniform cell (1.0) pins
+#: bit-identical static/adaptive parity; every slowed cell must see
+#: the adaptive policy strictly beat the static one.
+ADAPTIVE_FACTORS = (1.0, 3.0, 6.0, 12.0)
+
+#: Chunked-trigger grain of the scenario's joins: fine-grained
+#: activations, so extra producer threads translate into wall-clock
+#: progress instead of vanishing into round-count quantization.
+ADAPTIVE_GRAIN = 4
+
+#: The query's demanded thread count (its four-step schedule total).
+ADAPTIVE_THREADS = 10
+
+
+def build_adaptive_scenario():
+    """A fresh database plus the three-wave chained-join plan.
+
+    The plan is ``join1 -> store1  ||  join2 -> store2  ||  join3`` —
+    every wave but the last pairs a triggered producer with a
+    pipelined store consumer, which is exactly the shape the adaptive
+    controller's queue-wait attribution reads: when the joins run slow
+    (the sweep's injected fault), the store pools starve in wave 0 and
+    the controller moves their idle threads to ``join2`` at the wave-1
+    boundary.  Returns ``(db, plan, output_schema)``; build a fresh
+    scenario per run — plans hold runtime fragment state.
+    """
+    from repro.lera.graph import MATERIALIZED, PIPELINE, LeraGraph
+    from repro.lera.operators import JoinSpec, StoreSpec
+    from repro.storage.fragment import Fragment
+
+    db = _chaos_db(observe=False)
+    entry_a = db.catalog.entry("A")
+    entry_b = db.catalog.entry("B")
+    entry_c = db.catalog.entry("C")
+    entry_d = db.catalog.entry("D")
+    graph = LeraGraph()
+    graph.add_node("join1", JoinSpec(
+        outer_fragments=entry_a.fragments,
+        inner_fragments=entry_b.fragments,
+        outer_key="unique1", inner_key="unique1",
+        grain=ADAPTIVE_GRAIN))
+    schema1 = entry_a.relation.schema.concat(entry_b.relation.schema)
+    expected1 = min(entry_a.cardinality, entry_b.cardinality)
+    target1 = [Fragment("T1", i, schema1) for i in range(entry_c.degree)]
+    graph.add_node("store1", StoreSpec(
+        target_fragments=target1, stream_schema=schema1,
+        key="unique1", expected_cardinality=expected1))
+    graph.add_edge("join1", "store1", PIPELINE)
+    graph.add_node("join2", JoinSpec(
+        outer_fragments=target1, inner_fragments=entry_c.fragments,
+        outer_key="unique1", inner_key="unique1",
+        grain=ADAPTIVE_GRAIN, outer_expected_total=expected1))
+    graph.add_edge("store1", "join2", MATERIALIZED)
+    schema2 = schema1.concat(entry_c.relation.schema)
+    expected2 = min(expected1, entry_d.cardinality)
+    target2 = [Fragment("T2", i, schema2) for i in range(entry_d.degree)]
+    graph.add_node("store2", StoreSpec(
+        target_fragments=target2, stream_schema=schema2,
+        key="unique1", expected_cardinality=expected2))
+    graph.add_edge("join2", "store2", PIPELINE)
+    graph.add_node("join3", JoinSpec(
+        outer_fragments=target2, inner_fragments=entry_d.fragments,
+        outer_key="unique1", inner_key="unique1",
+        grain=ADAPTIVE_GRAIN, outer_expected_total=expected2))
+    graph.add_edge("store2", "join3", MATERIALIZED)
+    graph.validate()
+    return db, graph, schema2.concat(entry_d.relation.schema)
+
+
+def run_adaptive_workload(factor: float, policy: str):
+    """One cell of the adaptive grid: the chained-join scenario under
+    a join slowdown of *factor*, scheduled by *policy*.
+
+    The slowdown hits both producer joins — the same mis-estimation
+    persisting across the blocking boundary, which is what makes the
+    wave-0 evidence transfer to wave 1.  Returns the
+    :class:`~repro.workload.engine.WorkloadResult`.
+    """
+    from repro.adapt.policy import SchedulingPolicy
+
+    db, plan, schema = build_adaptive_scenario()
+    faults = None if factor == 1.0 else FaultPlan(seed=0, slowdowns=(
+        SlowdownWindow(0.0, float("inf"), factor, operation="join1"),
+        SlowdownWindow(0.0, float("inf"), factor, operation="join2"),
+    ))
+    session = db.session(options=WorkloadOptions(
+        scheduling=SchedulingPolicy(policy=policy), faults=faults))
+    session.submit_plan(plan, schema, threads=ADAPTIVE_THREADS, tag="q0")
+    return session.run()
+
+
+@dataclass
+class AdaptiveCell:
+    """Static vs adaptive makespans under one slowdown factor."""
+
+    factor: float
+    static: float
+    adaptive: float
+    decisions: list = field(default_factory=list)
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    @property
+    def win(self) -> float:
+        """Fraction of the static makespan the adaptive policy saved."""
+        return (self.static - self.adaptive) / self.static
+
+
+def adaptive_sweep(factors: tuple[float, ...] = ADAPTIVE_FACTORS
+                   ) -> list[AdaptiveCell]:
+    """The closed-loop gate: adaptive beats static wherever it acts.
+
+    Each factor runs the scenario twice — ``policy="static"`` and
+    ``policy="adaptive"`` — and asserts the ISSUE's acceptance
+    directly: on every slowed cell the adaptive virtual makespan is
+    *strictly* smaller (with at least one recorded resplit decision
+    explaining why), on the uniform cell no signal fires and the two
+    runs are bit-identical.  Both policies must agree on result rows
+    everywhere — adaptivity moves threads, never answers.
+    """
+    cells = []
+    for factor in factors:
+        static = run_adaptive_workload(factor, "static")
+        adaptive = run_adaptive_workload(factor, "adaptive")
+        decisions = (adaptive.decisions.to_json()
+                     if adaptive.decisions is not None else [])
+        violations: list[str] = []
+        static_rows = sorted(static.execution("q0").result_rows)
+        adaptive_rows = sorted(adaptive.execution("q0").result_rows)
+        if static_rows != adaptive_rows:
+            violations.append(
+                f"x{factor:g}: adaptive changed the result rows "
+                f"({len(static_rows)} vs {len(adaptive_rows)})")
+        if factor == 1.0:
+            if adaptive.makespan != static.makespan:
+                violations.append(
+                    f"uniform cell diverged: static {static.makespan!r} "
+                    f"vs adaptive {adaptive.makespan!r} (must be "
+                    f"bit-identical when no signal fires)")
+            if decisions:
+                violations.append(
+                    f"uniform cell recorded {len(decisions)} adaptive "
+                    f"decisions (expected none)")
+        else:
+            if not adaptive.makespan < static.makespan:
+                violations.append(
+                    f"x{factor:g}: adaptive did not beat static "
+                    f"({adaptive.makespan:.4f} vs {static.makespan:.4f})")
+            if not decisions:
+                violations.append(
+                    f"x{factor:g}: no adaptive decision recorded — the "
+                    f"makespan difference is unexplained")
+            twin = run_adaptive_workload(factor, "adaptive")
+            twin_decisions = (twin.decisions.to_json()
+                              if twin.decisions is not None else [])
+            if (twin.makespan != adaptive.makespan
+                    or twin_decisions != decisions):
+                violations.append(
+                    f"x{factor:g}: adaptive run is not deterministic "
+                    f"across identical runs")
+        cells.append(AdaptiveCell(factor, static.makespan,
+                                  adaptive.makespan, decisions,
+                                  violations))
+    return cells
+
+
+def render_adaptive_sweep(cells: list[AdaptiveCell]) -> str:
+    lines = ["adaptive-policy sweep (chained joins, producer slowdown, "
+             "static vs adaptive makespan):",
+             "  factor   static      adaptive    saved    decisions"]
+    for cell in cells:
+        lines.append(
+            f"  {cell.factor:6.1f}  {cell.static:9.4f}s  "
+            f"{cell.adaptive:9.4f}s  {cell.win:6.1%}  {len(cell.decisions)}")
+        for decision in cell.decisions:
+            lines.append(f"           - {decision['step']} "
+                         f"{decision['target']}: {decision['chosen']}")
+        for violation in cell.violations:
+            lines.append(f"  VIOLATION: {violation}")
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     """``python -m repro chaos``: seeded sweep + degradation curve."""
     import argparse
@@ -659,6 +846,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="skip the pooled-vs-static slowdown curve")
     parser.add_argument("--no-alerts", action="store_true",
                         help="skip the monitored alert sweep")
+    parser.add_argument("--no-adaptive", action="store_true",
+                        help="skip the adaptive-policy sweep")
     args = parser.parse_args(argv)
 
     failed = False
@@ -683,4 +872,9 @@ def main(argv: list[str] | None = None) -> int:
         print()
         print(render_alert_sweep(cells))
         failed = failed or any(not cell.passed for cell in cells)
+    if not args.no_adaptive:
+        adaptive_cells = adaptive_sweep()
+        print()
+        print(render_adaptive_sweep(adaptive_cells))
+        failed = failed or any(not cell.passed for cell in adaptive_cells)
     return 1 if failed else 0

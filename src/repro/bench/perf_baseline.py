@@ -516,6 +516,137 @@ def render_monitor(record: dict) -> str:
             f"{modes['profiled']['coverage']:.1%}")
 
 
+#: Slowdown factor of the committed adaptive gate cell (one slowed
+#: cell of :data:`repro.bench.chaos.ADAPTIVE_FACTORS`).
+ADAPTIVE_GATE_FACTOR = 6.0
+
+
+def run_adaptive_cell(quick: bool = False, seed: int = 0) -> dict:
+    """Time the adaptive-policy scenario static vs adaptive.
+
+    One slowed cell of the chaos :func:`~repro.bench.chaos
+    .adaptive_sweep` (factor :data:`ADAPTIVE_GATE_FACTOR`), run under
+    ``policy="static"`` and ``policy="adaptive"`` interleaved within
+    each repeat, so the controller's wall-clock cost is judged
+    within-run against its static twin.  Both modes pin their virtual
+    makespans and result rows; the adaptive mode additionally records
+    its decision count, and a single uniform (factor 1.0) pair pins
+    the bit-identical escape hatch.  The scenario is fixed-size and
+    fixed-seed — *quick* and *seed* are recorded for provenance but do
+    not change the cell.
+    """
+    from repro.bench.chaos import (
+        ADAPTIVE_GRAIN,
+        ADAPTIVE_THREADS,
+        run_adaptive_workload,
+    )
+
+    repeats = WORKLOAD_REPEATS
+    times = {"static": [], "adaptive": []}
+    results = {}
+    for _ in range(repeats):
+        for label in ("static", "adaptive"):
+            started = time.perf_counter()
+            results[label] = run_adaptive_workload(
+                ADAPTIVE_GATE_FACTOR, label)
+            times[label].append(time.perf_counter() - started)
+    modes = {}
+    for label in ("static", "adaptive"):
+        result = results[label]
+        modes[label] = {
+            "mean_s": round(statistics.fmean(times[label]), 6),
+            "min_s": round(min(times[label]), 6),
+            "runs": [round(t, 6) for t in times[label]],
+            "makespan_virtual_s": result.makespan,
+            "result_rows": sum(e.result_cardinality
+                               for e in result.executions.values()),
+        }
+    modes["adaptive"]["decisions"] = len(results["adaptive"].decisions)
+    uniform = {label: run_adaptive_workload(1.0, label).makespan
+               for label in ("static", "adaptive")}
+    return {
+        "workload": {"factor": ADAPTIVE_GATE_FACTOR,
+                     "grain": ADAPTIVE_GRAIN,
+                     "threads": ADAPTIVE_THREADS,
+                     "repeats": repeats, "quick": quick, "seed": seed},
+        "modes": modes,
+        "uniform_makespan_virtual_s": uniform,
+        "adaptive_over_static": round(
+            modes["adaptive"]["min_s"] / modes["static"]["min_s"], 4),
+    }
+
+
+def compare_adaptive(baseline: dict, current: dict,
+                     threshold: float = OBS_REGRESSION_THRESHOLD,
+                     abs_slack_s: float = ABSOLUTE_SLACK_S) -> list[str]:
+    """Flag adaptive-scheduling problems against *baseline*.
+
+    Both policies' virtual makespans and result rows are pinned
+    exactly against the committed record (decisions are pure functions
+    of virtual-time state, so the adaptive trajectory is as
+    reproducible as the static one), the adaptive makespan must
+    strictly beat the static one on the slowed gate cell, the uniform
+    pair must be bit-identical, the decision count must reproduce
+    exactly, and the controller's wall-clock cost is judged within-run
+    (at least one interleaved repeat within *threshold* plus
+    *abs_slack_s* of its static twin).
+    """
+    problems = []
+    static = current["modes"]["static"]
+    adaptive = current["modes"]["adaptive"]
+    for label, mode in (("static", static), ("adaptive", adaptive)):
+        base = baseline["modes"][label]
+        if mode["makespan_virtual_s"] != base["makespan_virtual_s"]:
+            problems.append(
+                f"adaptive: {label} virtual makespan changed "
+                f"{base['makespan_virtual_s']!r} -> "
+                f"{mode['makespan_virtual_s']!r}")
+        if mode["result_rows"] != base["result_rows"]:
+            problems.append(
+                f"adaptive: {label} results changed "
+                f"{base['result_rows']} -> {mode['result_rows']}")
+    if not adaptive["makespan_virtual_s"] < static["makespan_virtual_s"]:
+        problems.append(
+            f"adaptive: policy did not beat static on the slowed cell "
+            f"({adaptive['makespan_virtual_s']:.4f} vs "
+            f"{static['makespan_virtual_s']:.4f} virtual)")
+    if adaptive["decisions"] != baseline["modes"]["adaptive"]["decisions"]:
+        problems.append(
+            f"adaptive: decision count changed "
+            f"{baseline['modes']['adaptive']['decisions']} -> "
+            f"{adaptive['decisions']} — the decision log is no longer "
+            f"deterministic against the committed scenario")
+    uniform = current["uniform_makespan_virtual_s"]
+    if uniform["adaptive"] != uniform["static"]:
+        problems.append(
+            f"adaptive: uniform cell diverged ({uniform['static']!r} "
+            f"static vs {uniform['adaptive']!r} adaptive) — the "
+            f"no-signal path is no longer bit-identical")
+    pairs = list(zip(static["runs"], adaptive["runs"]))
+    if not any(on <= off * (1.0 + threshold) + abs_slack_s
+               for off, on in pairs):
+        closest = min(pairs, key=lambda pair: pair[1] / pair[0])
+        problems.append(
+            f"adaptive controller wall-clock overhead: no interleaved "
+            f"repeat put adaptive within {threshold:.0%} + "
+            f"{abs_slack_s * 1000:.0f}ms of static (closest pair "
+            f"{closest[0]:.4f}s static vs {closest[1]:.4f}s adaptive)")
+    return problems
+
+
+def render_adaptive(record: dict) -> str:
+    """Human-readable line for one adaptive-cell run."""
+    modes = record["modes"]
+    saved = (1.0 - modes["adaptive"]["makespan_virtual_s"]
+             / modes["static"]["makespan_virtual_s"])
+    return (f"adaptive (x{record['workload']['factor']:g} slowdown): "
+            f"static {modes['static']['makespan_virtual_s']:.4f}s -> "
+            f"adaptive {modes['adaptive']['makespan_virtual_s']:.4f}s "
+            f"virtual ({saved:.1%} saved, "
+            f"{modes['adaptive']['decisions']} decisions), wall "
+            f"{record['adaptive_over_static']:.2f}x static")
+
+
 def run_session_overhead(quick: bool = False, seed: int = 0) -> dict:
     """Time the single-query path direct vs through the workload layer.
 
@@ -1065,6 +1196,7 @@ def main(argv: list[str] | None = None) -> int:
         matrix["monitor"] = monitor_record
         print(render_monitor(monitor_record))
     session_record = concurrent_record = shared_record = None
+    adaptive_record = None
     if args.workload:
         session_record = run_session_overhead(quick=args.quick)
         matrix["session"] = session_record
@@ -1075,6 +1207,9 @@ def main(argv: list[str] | None = None) -> int:
         shared_record = run_shared_cell(quick=args.quick)
         matrix["shared"] = shared_record
         print(render_shared(shared_record))
+        adaptive_record = run_adaptive_cell(quick=args.quick)
+        matrix["adaptive"] = adaptive_record
+        print(render_adaptive(adaptive_record))
     faults_record = None
     if args.faults:
         faults_record = run_faults_overhead(quick=args.quick)
@@ -1123,6 +1258,14 @@ def main(argv: list[str] | None = None) -> int:
             problems.extend(compare_shared(
                 baseline.get("shared", {}).get(scale), shared_record,
                 baseline.get("concurrent", {}).get(scale)))
+        if adaptive_record is not None:
+            adaptive_baseline = baseline.get("adaptive", {}).get(scale)
+            if adaptive_baseline is None:
+                problems.append(
+                    f"baseline has no adaptive[{scale}] section")
+            else:
+                problems.extend(compare_adaptive(adaptive_baseline,
+                                                 adaptive_record))
         if faults_record is not None:
             problems.extend(compare_faults(faults_record))
         if problems:

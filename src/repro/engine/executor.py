@@ -114,10 +114,28 @@ class ObservabilityOptions:
     ``WorkloadResult.profile``.  Measures the simulator, not the
     simulated system; virtual-time behaviour is unchanged."""
 
+    def __post_init__(self) -> None:
+        # A stray non-Monitor in the tuple used to surface only deep
+        # inside the run as an AttributeError on .evaluate; fail at
+        # construction instead, and accept any iterable while at it.
+        from repro.obs.monitor import Monitor
+        monitors = tuple(self.monitors)
+        for rule in monitors:
+            if not isinstance(rule, Monitor):
+                raise ExecutionError(
+                    f"monitors must contain Monitor rules, got "
+                    f"{type(rule).__name__}: {rule!r}")
+        object.__setattr__(self, "monitors", monitors)
+
     @property
     def enabled(self) -> bool:
         return self.trace or self.observe or bool(self.monitors) \
             or self.profile
+
+    def replace(self, **changes) -> "ObservabilityOptions":
+        """Copy with the given fields replaced (ergonomic twin of
+        :func:`dataclasses.replace`)."""
+        return replace(self, **changes)
 
 
 @dataclass(frozen=True)
@@ -188,6 +206,11 @@ class ExecutionOptions:
     @property
     def observe(self) -> bool:
         return self.observability.observe
+
+    def replace(self, **changes) -> "ExecutionOptions":
+        """Copy with the given fields replaced (ergonomic twin of
+        :func:`dataclasses.replace`)."""
+        return replace(self, **changes)
 
 
 class Executor:

@@ -72,6 +72,12 @@ FAULT_MEMORY = "fault.memory"          # Allcache budget shrank mid-run
 FAULT_STALL = "fault.stall"            # a thread froze for a window
 FAULT_SLOWDOWN = "fault.slowdown"      # a slowdown window took effect
 
+#: Adaptive scheduling (:mod:`repro.adapt`).  Workload-bus records of
+#: every mid-flight decision the controller takes, with before/after
+#: payloads so the diagnose CLI can explain exactly what moved.
+SCHEDULE_RESPLIT = "schedule.resplit"  # wave grant re-split by blame
+SCHEDULE_SWITCH = "schedule.switch"    # Random->LPT strategy switch
+
 EVENT_KINDS = (
     WAVE_START, WAVE_END, OP_START, OP_SEED, OP_FINALIZE, OP_FINISH,
     ENQUEUE, DEQUEUE, BLOCK, UNBLOCK, THREAD_FINISH, MEMORY,
@@ -79,6 +85,7 @@ EVENT_KINDS = (
     QUERY_CANCEL, QUERY_ABORT,
     FAULT_ACTIVATION, FAULT_DISK, FAULT_MEMORY, FAULT_STALL,
     FAULT_SLOWDOWN,
+    SCHEDULE_RESPLIT, SCHEDULE_SWITCH,
 )
 
 #: Scalar-counter name prefixes (ready-index churn).

@@ -26,12 +26,19 @@ STEP_CHAIN_SPLIT = "chain_split"         # step 2: threads per chain
 STEP_OPERATION_SPLIT = "operation_split" # step 3: threads per operator
 STEP_STRATEGY = "strategy"               # step 4: consumption strategy
 
+#: Mid-flight decisions of the adaptive controller (:mod:`repro
+#: .adapt`): recorded per wave while the query runs, after the static
+#: steps above were already taken at submit time.
+STEP_RESPLIT = "resplit"                 # wave grant re-split by blame
+STEP_SWITCH = "strategy_switch"          # Random->LPT mid-flight
+
 #: The four per-query steps (what one ``schedule()`` call records).
 STEPS = (STEP_THREAD_COUNT, STEP_CHAIN_SPLIT,
          STEP_OPERATION_SPLIT, STEP_STRATEGY)
 
-#: All steps including the workload-level step 0 (render order).
-ALL_STEPS = (STEP_QUERY_SPLIT,) + STEPS
+#: All steps including the workload-level step 0 and the adaptive
+#: controller's mid-flight decisions (render order).
+ALL_STEPS = (STEP_QUERY_SPLIT,) + STEPS + (STEP_RESPLIT, STEP_SWITCH)
 
 
 @dataclass(frozen=True)
@@ -94,6 +101,8 @@ class ScheduleExplanation:
             STEP_CHAIN_SPLIT: "step 2 — threads per chain",
             STEP_OPERATION_SPLIT: "step 3 — threads per operator",
             STEP_STRATEGY: "step 4 — consumption strategy",
+            STEP_RESPLIT: "mid-flight — wave grant re-split",
+            STEP_SWITCH: "mid-flight — consumption strategy switch",
         }
         lines = ["schedule explanation:"]
         for step in ALL_STEPS:

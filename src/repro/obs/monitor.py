@@ -32,6 +32,8 @@ grinding through an oversized bucket.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.obs.alerts import (
     SEV_CRITICAL,
     SEV_INFO,
@@ -46,6 +48,88 @@ POINT_REGRANT = "regrant"
 POINT_WAVE = "wave"
 POINT_FINISH = "finish"
 POINTS = (POINT_ADMISSION, POINT_REGRANT, POINT_WAVE, POINT_FINISH)
+
+#: Section 5.4's two straggler diagnoses: a straggling thread that
+#: spent most of its life idle was starved by the tuple queues; one
+#: that stayed busy ground through an oversized bucket.
+BLAME_QUEUE_WAIT = "queue wait"
+BLAME_PROCESSING_SKEW = "processing skew"
+
+
+@dataclass(frozen=True)
+class StragglerSignal:
+    """One operation's Fig 12 straggler attribution at a wave barrier.
+
+    The shared vocabulary of the :class:`StragglerMonitor` (which
+    turns signals into alerts) and the adaptive controller (which
+    turns them into resplit / strategy-switch decisions) — both read
+    the *same* attribution, so what the diagnosis blames is exactly
+    what the controller acts on.
+    """
+
+    operation: str
+    """The straggling operation's name."""
+    spread: float
+    """Slowest thread's relative finish over the pool mean."""
+    idle_share: float
+    """Idle fraction of the straggler thread's lifetime."""
+    blame: str
+    """:data:`BLAME_QUEUE_WAIT` or :data:`BLAME_PROCESSING_SKEW`."""
+
+
+def straggler_signals(started_at: float, ops, ratio: float = 2.0,
+                      min_threads: int = 2) -> tuple[StragglerSignal, ...]:
+    """The Fig 12 attribution, as a pure function of wave-barrier state.
+
+    *ops* is the wave payload the engine assembles at each barrier:
+    ``[(name, [(finished_at, busy_time, idle_time), ...]), ...]`` with
+    one stamp triple per thread.  For every operation that ran on at
+    least *min_threads* threads, the slowest thread's relative finish
+    (from *started_at*) is compared against the pool mean; a ratio
+    above *ratio* yields a signal whose blame follows the straggler
+    thread's idle share.  Deterministic: virtual-time stamps in,
+    signals out.
+    """
+    signals: list[StragglerSignal] = []
+    for name, threads in ops:
+        if len(threads) < min_threads:
+            continue
+        relative = [max(finished - started_at, 0.0)
+                    for finished, _, _ in threads]
+        slowest = max(relative)
+        mean = sum(relative) / len(relative)
+        if mean <= 0.0 or slowest <= 0.0:
+            continue
+        spread = slowest / mean
+        if spread <= ratio:
+            continue
+        index = relative.index(slowest)
+        _, busy, idle = threads[index]
+        lifetime = busy + idle
+        idle_share = idle / lifetime if lifetime > 0.0 else 0.0
+        blame = (BLAME_QUEUE_WAIT if idle_share > 0.5
+                 else BLAME_PROCESSING_SKEW)
+        signals.append(StragglerSignal(name, spread, idle_share, blame))
+    return tuple(signals)
+
+
+def pool_idle_shares(ops) -> dict[str, float]:
+    """Pooled idle share per operation at a wave barrier.
+
+    Takes the same ``[(name, [(finished_at, busy, idle), ...]), ...]``
+    payload as :func:`straggler_signals` and sums busy/idle over each
+    pool: a share near 1.0 marks a pool that spent the wave waiting on
+    empty queues (the starved consumer of Section 5.4's queue-wait
+    picture); a share near 0.0 marks the saturated producer driving
+    it.  The adaptive controller's resplit decision reads exactly this.
+    """
+    shares: dict[str, float] = {}
+    for name, threads in ops:
+        busy = sum(stamp[1] for stamp in threads)
+        idle = sum(stamp[2] for stamp in threads)
+        lifetime = busy + idle
+        shares[name] = idle / lifetime if lifetime > 0.0 else 0.0
+    return shares
 
 
 class MonitorContext:
@@ -275,28 +359,16 @@ class StragglerMonitor(Monitor):
             return
         tag = ctx.get("tag", "?")
         wave = ctx.get("wave", 0)
-        for name, threads in ctx.get("ops", ()):
-            if len(threads) < self.min_threads:
-                continue
-            relative = [max(finished - started, 0.0)
-                        for finished, _, _ in threads]
-            slowest = max(relative)
-            mean = sum(relative) / len(relative)
-            if mean <= 0.0 or slowest <= 0.0:
-                continue
-            spread = slowest / mean
-            if spread <= self.ratio:
-                continue
-            index = relative.index(slowest)
-            _, busy, idle = threads[index]
-            lifetime = busy + idle
-            idle_share = idle / lifetime if lifetime > 0.0 else 0.0
-            blame = "queue wait" if idle_share > 0.5 else "processing skew"
-            alerts.fire(self.name, f"{tag}/w{wave}/{name}", self.severity,
-                        ctx.now, spread, self.ratio,
-                        f"{name} straggler finished {spread:.2f}x the "
-                        f"mean (blame: {blame}, idle share "
-                        f"{idle_share:.0%})",
+        for signal in straggler_signals(started, ctx.get("ops", ()),
+                                        ratio=self.ratio,
+                                        min_threads=self.min_threads):
+            alerts.fire(self.name,
+                        f"{tag}/w{wave}/{signal.operation}", self.severity,
+                        ctx.now, signal.spread, self.ratio,
+                        f"{signal.operation} straggler finished "
+                        f"{signal.spread:.2f}x the mean (blame: "
+                        f"{signal.blame}, idle share "
+                        f"{signal.idle_share:.0%})",
                         event=True)
 
 
@@ -347,6 +419,8 @@ class MonitorEngine:
 #: Severity names re-exported for rule authors.
 __all__ = [
     "AdmissionWaitMonitor",
+    "BLAME_PROCESSING_SKEW",
+    "BLAME_QUEUE_WAIT",
     "LatencySloMonitor",
     "MemoryPressureMonitor",
     "Monitor",
@@ -362,5 +436,8 @@ __all__ = [
     "SEV_INFO",
     "SEV_WARNING",
     "StragglerMonitor",
+    "StragglerSignal",
     "default_monitors",
+    "pool_idle_shares",
+    "straggler_signals",
 ]

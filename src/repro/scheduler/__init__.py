@@ -2,8 +2,10 @@
 
 from repro.scheduler.adaptive import AdaptiveScheduler, StaticScheduler
 from repro.scheduler.allocation import (
+    ResourceVector,
     allocate_to_chains,
     allocate_to_operations,
+    allocate_to_queries,
     choose_thread_count,
     estimated_response_time,
 )
@@ -24,9 +26,11 @@ __all__ = [
     "AdaptiveScheduler",
     "ChainEstimate",
     "DEFAULT_SKEW_THRESHOLD",
+    "ResourceVector",
     "StaticScheduler",
     "allocate_to_chains",
     "allocate_to_operations",
+    "allocate_to_queries",
     "chain_complexity",
     "choose_thread_count",
     "estimate_chains",

@@ -7,10 +7,19 @@ in [Wilschut92]), optionally damped for multi-user throughput
 solving the proportional-complexity equation system of Section 3.
 Step 3 splits each chain's threads over its operators by complexity
 ratio.
+
+The workload layer's "step 0" (:func:`allocate_to_queries`) optionally
+generalizes from a CPU-only thread count to multi-resource vectors
+(CPU, memory footprint, disk bandwidth) after Garofalakis &
+Ioannidis's malleable-scheduling model: a query's grant is capped at
+the thread-equivalent of its *binding* resource, so a memory-heavy
+query cannot monopolize threads its footprint would stall anyway.
 """
 
 from __future__ import annotations
 
+import math
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.errors import SchedulerError
@@ -40,7 +49,8 @@ def estimated_response_time(work: float, threads: int, machine: Machine) -> floa
 def choose_thread_count(work: float, machine: Machine,
                         max_threads: int | None = None,
                         multi_user_factor: float = 1.0,
-                        explain: "ScheduleExplanation | None" = None) -> int:
+                        explain: "ScheduleExplanation | None" = None,
+                        resource_cap: int | None = None) -> int:
     """Step 1: the thread count minimizing estimated response time.
 
     Args:
@@ -51,6 +61,10 @@ def choose_thread_count(work: float, machine: Machine,
         multi_user_factor: In (0, 1]; scales the single-user optimum
             down to raise multi-user throughput, the [Rahm93] hook.
         explain: Optional decision recorder (purely passive).
+        resource_cap: Optional thread-equivalent cap from a non-CPU
+            binding resource (see :func:`allocate_to_queries`'s
+            multi-resource path); a second ceiling alongside
+            *max_threads*.
 
     Returns:
         The chosen thread count, at least 1.
@@ -60,7 +74,12 @@ def choose_thread_count(work: float, machine: Machine,
     if not 0 < multi_user_factor <= 1:
         raise SchedulerError(
             f"multi_user_factor must be in (0, 1], got {multi_user_factor}")
+    if resource_cap is not None and resource_cap < 1:
+        raise SchedulerError(
+            f"resource_cap must be >= 1, got {resource_cap}")
     ceiling = max_threads if max_threads is not None else machine.processors
+    if resource_cap is not None:
+        ceiling = min(ceiling, resource_cap)
     ceiling = max(1, min(ceiling, 2 * machine.processors))
     best_n, best_t = 1, estimated_response_time(work, 1, machine)
     for n in range(2, ceiling + 1):
@@ -77,6 +96,66 @@ def choose_thread_count(work: float, machine: Machine,
             single_user_optimum=best_n, estimated_time=best_t,
             multi_user_factor=multi_user_factor)
     return chosen
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """A query's demand (or the machine's capacity) along the three
+    scheduled resource axes.
+
+    ``None`` leaves an axis unconstrained — a capacity vector of all
+    ``None`` makes the multi-resource path a no-op, and the legacy
+    CPU-only call (no vectors at all) is byte-identical to the
+    pre-vector allocator.
+    """
+
+    cpu: float | None = None
+    """Thread-count axis (demand: the four-step schedule's thread
+    count; capacity: the machine budget)."""
+    memory_bytes: float | None = None
+    """Stored-data footprint axis (demand: the query's estimated
+    footprint; capacity: the workload memory limit)."""
+    disk_bytes: float | None = None
+    """Disk-bandwidth axis (demand: bytes the query streams from
+    store; capacity: modeled bytes available per granted run)."""
+
+    #: Axis attribute names, in scheduling order.
+    AXES = ("cpu", "memory_bytes", "disk_bytes")
+
+    def __post_init__(self) -> None:
+        for axis in self.AXES:
+            value = getattr(self, axis)
+            if value is not None and value < 0:
+                raise SchedulerError(
+                    f"ResourceVector.{axis} must be >= 0, got {value}")
+
+
+def _resource_caps(demands: list[int], complexities: list[float],
+                   resources: list[ResourceVector],
+                   capacities: ResourceVector) -> list[int]:
+    """Thread-equivalent cap per query from its binding resource.
+
+    Each query is entitled to its complexity-weight share of every
+    capacity axis; where its need exceeds the entitlement, the grant
+    scales down by the worst (binding) axis's factor — never below one
+    thread, so progress is always possible.
+    """
+    count = len(demands)
+    total_weight = sum(complexities)
+    caps = []
+    for i in range(count):
+        weight = (complexities[i] / total_weight if total_weight > 0
+                  else 1.0 / count)
+        factor = 1.0
+        for axis in ResourceVector.AXES:
+            capacity = getattr(capacities, axis)
+            need = getattr(resources[i], axis)
+            if capacity is None or need is None or need <= 0:
+                continue
+            allowed = capacity * weight
+            factor = min(factor, allowed / need)
+        caps.append(max(1, math.floor(demands[i] * factor)))
+    return caps
 
 
 def _largest_remainder(total: int, weights: list[float],
@@ -117,7 +196,9 @@ def _largest_remainder(total: int, weights: list[float],
 def allocate_to_queries(budget: int, demands: list[int],
                         complexities: list[float],
                         labels: list[str] | None = None,
-                        explain: "ScheduleExplanation | None" = None
+                        explain: "ScheduleExplanation | None" = None,
+                        resources: list[ResourceVector] | None = None,
+                        capacities: ResourceVector | None = None
                         ) -> list[int]:
     """Workload step 0: split the machine's budget across running queries.
 
@@ -139,6 +220,13 @@ def allocate_to_queries(budget: int, demands: list[int],
         complexities: Per-query estimated complexity weights.
         labels: Optional per-query names for the explanation record.
         explain: Optional decision recorder (purely passive).
+        resources: Optional per-query :class:`ResourceVector` demands;
+            with *capacities*, each query's grant is additionally
+            capped at the thread-equivalent of its binding resource
+            (the multi-resource generalization of step 0).  ``None``
+            (the default) is byte-identical to the CPU-only allocator.
+        capacities: Machine capacity vector the running queries share;
+            required when *resources* is given.
 
     Returns:
         Per-query grants, aligned with *demands*; each grant is in
@@ -156,6 +244,19 @@ def allocate_to_queries(budget: int, demands: list[int],
     for demand in demands:
         if demand < 1:
             raise SchedulerError(f"demands must be >= 1, got {demand}")
+    if resources is not None:
+        if capacities is None:
+            raise SchedulerError(
+                "resources given without a capacities vector")
+        if len(resources) != count:
+            raise SchedulerError(
+                f"{count} demands but {len(resources)} resource vectors")
+        # The binding resource tightens each query's demand cap before
+        # the thread split; the water-filling below then never grants
+        # past what the scarcest axis supports.
+        demands = [min(demand, cap) for demand, cap in
+                   zip(demands, _resource_caps(demands, complexities,
+                                               resources, capacities))]
 
     if count == 1:
         grants = [demands[0]]

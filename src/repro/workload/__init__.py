@@ -15,6 +15,12 @@ to ``Executor.execute`` (golden-trace tested), so ``db.query()`` is a
 thin wrapper over a one-query session.
 """
 
+from repro.adapt.policy import (
+    POLICIES,
+    POLICY_ADAPTIVE,
+    POLICY_STATIC,
+    SchedulingPolicy,
+)
 from repro.workload.engine import (
     QuerySubmission,
     WorkloadExecutor,
@@ -36,9 +42,13 @@ __all__ = [
     "DONE",
     "FAILED",
     "PENDING",
+    "POLICIES",
+    "POLICY_ADAPTIVE",
+    "POLICY_STATIC",
     "TIMED_OUT",
     "QueryHandle",
     "QuerySubmission",
+    "SchedulingPolicy",
     "Session",
     "WorkloadExecutor",
     "WorkloadOptions",

@@ -91,9 +91,15 @@ from repro.obs.monitor import (
     POINT_WAVE,
     MonitorEngine,
 )
+from repro.obs.explain import ScheduleExplanation
 from repro.obs.spans import SpanSet, assemble_spans
+from repro.adapt.controller import AdaptiveController
 from repro.prof.profiler import EngineProfiler, active_profiler
-from repro.scheduler.allocation import _largest_remainder, allocate_to_queries
+from repro.scheduler.allocation import (
+    ResourceVector,
+    _largest_remainder,
+    allocate_to_queries,
+)
 from repro.scheduler.complexity import operator_complexity, query_complexity
 from repro.workload.admission import AdmissionController, runtime_footprint
 from repro.workload.options import WorkloadOptions
@@ -191,6 +197,11 @@ class WorkloadResult:
     """Wall-clock self-profile of the engine's own hot paths,
     populated when ``ObservabilityOptions(profile=True)``.  Measures
     the simulator, not the simulated system."""
+    decisions: ScheduleExplanation | None = None
+    """Mid-flight decision log of the adaptive controller (resplits
+    and strategy switches with their evidence), populated when
+    ``SchedulingPolicy(policy="adaptive")``.  ``None`` under the
+    static policy — the controller does not exist then."""
 
     def __post_init__(self) -> None:
         if self.makespan < 0:
@@ -548,6 +559,13 @@ class _WorkloadRun:
                         or rules else None)
         self.monitors = (MonitorEngine(rules, self.metrics)
                          if rules else None)
+        #: Adaptive scheduling controller: ``None`` under the static
+        #: policy keeps every adaptive branch off the hot path — the
+        #: same escape-hatch shape as sharing, metrics and monitors,
+        #: and what makes ``policy="static"`` bit-identical to the
+        #: pre-controller engine.
+        self.adapt = (AdaptiveController(workload.scheduling, self.bus)
+                      if workload.scheduling.adaptive else None)
         self.admission = AdmissionController(workload,
                                              metrics=self.metrics)
         self.budget = workload.thread_budget or machine.processors
@@ -677,6 +695,8 @@ class _WorkloadRun:
                         if self.monitors is not None else None),
                 profile=(self.profiler
                          if self._profile_requested else None),
+                decisions=(self.adapt.explanation
+                           if self.adapt is not None else None),
             )
         finally:
             if profiler is not None:
@@ -1041,11 +1061,31 @@ class _WorkloadRun:
         profiler = self.profiler
         if profiler is not None:
             profiler.enter("allocate")
-        grants = allocate_to_queries(
-            self.budget,
-            [job.demand for job in self.running],
-            [job.effective_complexity for job in self.running],
-        )
+        policy = self.workload.scheduling
+        if policy.multi_resource:
+            # Garofalakis-style step 0: the grant is capped at the
+            # thread-equivalent of each query's binding resource.  The
+            # stored-data footprint stands in for both the memory and
+            # the streamed-from-disk demand of the simulated query.
+            grants = allocate_to_queries(
+                self.budget,
+                [job.demand for job in self.running],
+                [job.effective_complexity for job in self.running],
+                resources=[ResourceVector(cpu=job.demand,
+                                          memory_bytes=job.footprint,
+                                          disk_bytes=job.footprint)
+                           for job in self.running],
+                capacities=ResourceVector(
+                    cpu=self.budget,
+                    memory_bytes=self.workload.memory_limit_bytes,
+                    disk_bytes=policy.disk_bandwidth_bytes),
+            )
+        else:
+            grants = allocate_to_queries(
+                self.budget,
+                [job.demand for job in self.running],
+                [job.effective_complexity for job in self.running],
+            )
         if profiler is not None:
             profiler.exit()
         return {job.tag: grant
@@ -1075,6 +1115,10 @@ class _WorkloadRun:
             shares = base
         else:
             shares = _largest_remainder(wave_total, base)
+        if self.adapt is not None:
+            shares = self.adapt.before_wave(job.tag, job.wave_index,
+                                            wave_ops, base, wave_total,
+                                            shares, at)
         counts = {op.name: share for op, share in zip(wave_ops, shares)}
         self.next_thread_id, wave_threads = self.executor.prepare_wave(
             wave_ops, counts, at, self.next_thread_id)
@@ -1136,6 +1180,10 @@ class _WorkloadRun:
                 wave_total = min(base_total, max(job.grant, len(own_ops)))
                 shares = (base if wave_total == base_total
                           else _largest_remainder(wave_total, base))
+                if self.adapt is not None:
+                    shares = self.adapt.before_wave(
+                        job.tag, job.wave_index, own_ops, base,
+                        wave_total, shares, at)
                 counts = {op.name: share
                           for op, share in zip(own_ops, shares)}
                 self.next_thread_id, wave_threads = self.executor.prepare_wave(
@@ -1227,17 +1275,23 @@ class _WorkloadRun:
         finish = max(max(finishes), job.wave_started_at)
         if job.bus is not None:
             job.bus.emit(WAVE_END, finish, wave=job.wave_index)
-        if self.monitors is not None:
-            # The wave barrier is a monitor control point: per-thread
+        if self.monitors is not None or self.adapt is not None:
+            # The wave barrier is a control point: per-thread
             # finish/busy/idle stamps are fresh here, which is what the
-            # straggler rule's Fig 12 blame split reads.
-            self.monitors.observe(
-                POINT_WAVE, finish, tag=job.tag, wave=job.wave_index,
-                started_at=job.wave_started_at,
-                ops=[(op.name,
-                      [(t.finished_at, t.busy_time, t.idle_time)
-                       for t in op.threads])
-                     for op in job.current_wave_ops])
+            # straggler rule's Fig 12 blame split reads — and what the
+            # adaptive controller distills into next-wave evidence.
+            stamps = [(op.name,
+                       [(t.finished_at, t.busy_time, t.idle_time)
+                        for t in op.threads])
+                      for op in job.current_wave_ops]
+            if self.monitors is not None:
+                self.monitors.observe(
+                    POINT_WAVE, finish, tag=job.tag, wave=job.wave_index,
+                    started_at=job.wave_started_at, ops=stamps)
+            if (self.adapt is not None
+                    and job.wave_index + 1 < len(job.waves)):
+                self.adapt.observe_wave(job.tag, job.wave_index,
+                                        job.wave_started_at, stamps)
         if job.wave_index + 1 < len(job.waves):
             self._start_wave(job, finish)
             return

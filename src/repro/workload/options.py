@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 from dataclasses import dataclass, field
 
+from repro.adapt.policy import SchedulingPolicy
 from repro.engine.executor import ObservabilityOptions
 from repro.errors import WorkloadError
 
@@ -16,6 +19,13 @@ class WorkloadOptions:
     observability) stay in :class:`~repro.engine.executor
     .ExecutionOptions`; this block only holds what exists *between*
     queries.
+
+    Scheduling behaviour lives in the nested
+    :class:`~repro.adapt.policy.SchedulingPolicy` block
+    (``scheduling=``).  The old flat ``rebalance=`` boolean is kept as
+    a deprecated constructor alias for
+    ``scheduling=SchedulingPolicy(rebalance=...)`` and as a read-only
+    property.
     """
 
     max_concurrent: int = 4
@@ -35,11 +45,11 @@ class WorkloadOptions:
     shared operator's output fans out to every subscriber.  Off (the
     default), the engine is bit-identical to the pre-sharing engine —
     the escape hatch every layer keeps."""
-    rebalance: bool = True
-    """Dynamic reallocation: when a query completes, re-grant its
-    share of the budget to the remaining queries *mid-wave* (helper
-    threads join their pools).  Off, grants still adapt but only at
-    the next wave boundary of each query."""
+    scheduling: SchedulingPolicy = field(default_factory=SchedulingPolicy)
+    """The :class:`~repro.adapt.policy.SchedulingPolicy` block:
+    ``policy="static"`` (default, bit-identical to the pre-controller
+    engine) or ``policy="adaptive"``, plus the mid-wave ``rebalance``
+    toggle and the adaptive decision thresholds."""
     observability: ObservabilityOptions = field(
         default_factory=ObservabilityOptions)
     """Workload-level telemetry knobs.  ``observe=True`` turns on the
@@ -55,6 +65,42 @@ class WorkloadOptions:
     engine hot path untouched — fault-free runs are bit-identical
     with or without the faults layer imported."""
 
+    # Hand-written so the deprecated flat ``rebalance=`` keyword can be
+    # accepted (with a warning) without being a field.  ``@dataclass``
+    # skips generating ``__init__`` when the class defines one.
+    def __init__(self, max_concurrent: int = 4,
+                 memory_limit_bytes: int | None = None,
+                 thread_budget: int | None = None,
+                 shared: bool = False,
+                 scheduling: SchedulingPolicy | None = None,
+                 observability: ObservabilityOptions | None = None,
+                 faults: object | None = None,
+                 rebalance: bool | None = None) -> None:
+        if rebalance is not None:
+            if scheduling is not None:
+                raise WorkloadError(
+                    "pass rebalance inside SchedulingPolicy "
+                    "(scheduling=SchedulingPolicy(rebalance=...)), not "
+                    "both scheduling= and the deprecated rebalance= flag")
+            warnings.warn(
+                "WorkloadOptions(rebalance=...) is deprecated; use "
+                "WorkloadOptions(scheduling=SchedulingPolicy("
+                "rebalance=...))",
+                DeprecationWarning, stacklevel=2)
+            scheduling = SchedulingPolicy(rebalance=rebalance)
+        object.__setattr__(self, "max_concurrent", max_concurrent)
+        object.__setattr__(self, "memory_limit_bytes", memory_limit_bytes)
+        object.__setattr__(self, "thread_budget", thread_budget)
+        object.__setattr__(self, "shared", shared)
+        object.__setattr__(self, "scheduling",
+                           scheduling if scheduling is not None
+                           else SchedulingPolicy())
+        object.__setattr__(self, "observability",
+                           observability if observability is not None
+                           else ObservabilityOptions())
+        object.__setattr__(self, "faults", faults)
+        self.__post_init__()
+
     def __post_init__(self) -> None:
         if self.max_concurrent < 1:
             raise WorkloadError(
@@ -67,3 +113,23 @@ class WorkloadOptions:
         if self.thread_budget is not None and self.thread_budget < 1:
             raise WorkloadError(
                 f"thread_budget must be >= 1, got {self.thread_budget}")
+        if not isinstance(self.scheduling, SchedulingPolicy):
+            raise WorkloadError(
+                f"scheduling must be a SchedulingPolicy, got "
+                f"{type(self.scheduling).__name__}")
+        if not isinstance(self.observability, ObservabilityOptions):
+            raise WorkloadError(
+                f"observability must be an ObservabilityOptions, got "
+                f"{type(self.observability).__name__}")
+
+    # Read-only view for the old flat name (engine call sites and user
+    # code keep reading ``options.rebalance``).
+    @property
+    def rebalance(self) -> bool:
+        """Deprecated alias for ``scheduling.rebalance``."""
+        return self.scheduling.rebalance
+
+    def replace(self, **changes) -> "WorkloadOptions":
+        """Copy with the given fields replaced (ergonomic twin of
+        :func:`dataclasses.replace`)."""
+        return dataclasses.replace(self, **changes)

@@ -16,6 +16,7 @@ import pytest
 from repro import (
     DBS3,
     AdmissionError,
+    SchedulingPolicy,
     WorkloadError,
     WorkloadExecutor,
     WorkloadOptions,
@@ -115,7 +116,8 @@ class TestDynamicReallocation:
         assert all(e.data["threads"] >= 1 and e.data["pool"] for e in helpers)
 
     def test_rebalance_off_still_completes(self, db, serial_times):
-        session = db.session(WorkloadOptions(rebalance=False))
+        session = db.session(WorkloadOptions(
+            scheduling=SchedulingPolicy(rebalance=False)))
         for sql in QUERIES:
             session.submit(sql)
         result = session.run()
