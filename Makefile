@@ -8,7 +8,7 @@ export PYTHONPATH
 
 .PHONY: test bench perf perf-full perf-baseline trace-demo diagnose-demo \
 	compare-demo concurrent-demo shared-demo report-demo chaos chaos-demo \
-	monitor-demo profile-demo adaptive-demo deprecation-gate
+	monitor-demo profile-demo adaptive-demo serve-demo deprecation-gate
 
 ## Tier-1: the fast deterministic test suite (what CI gates on).
 test:
@@ -79,6 +79,13 @@ profile-demo:
 adaptive-demo:
 	$(PYTHON) -m repro run --concurrent 4 --adaptive
 	$(PYTHON) -m repro chaos --seed 0 --seeds 1
+
+## Serving demo: seeded open-loop arrivals at 2x the measured
+## saturation throughput through the overload-protection layer (EDF +
+## bounded queue + load shedding); --check exits 1 unless conservation
+## holds, shedding engaged, and goodput stays >= 80% of saturation.
+serve-demo:
+	$(PYTHON) -m repro serve --count 300 --check
 
 ## Deprecation gate: the tier-1 suite with DeprecationWarning promoted
 ## to an error, so no internal caller leans on a deprecated surface

@@ -31,7 +31,9 @@ from repro.bench.perf_baseline import (
     render_monitor,
     render_obs,
     render_obs_workload,
+    compare_serving,
     render_session,
+    render_serving,
     render_shared,
     run_adaptive_cell,
     run_concurrent_cell,
@@ -40,6 +42,7 @@ from repro.bench.perf_baseline import (
     run_monitor_overhead,
     run_obs_overhead,
     run_obs_workload,
+    run_serving_cell,
     run_session_overhead,
     run_shared_cell,
 )
@@ -218,6 +221,43 @@ def test_committed_adaptive_baseline_documents_the_win():
                 == modes["static"]["result_rows"]), scale
         uniform = record["uniform_makespan_virtual_s"]
         assert uniform["adaptive"] == uniform["static"], scale
+
+
+@pytest.mark.perf
+def test_serving_cell_holds_its_gates():
+    """The serving-layer gate: ``serving=None`` must reproduce the
+    committed pre-serving virtual makespan bit for bit, a default FIFO
+    ServingPolicy must be virtually indistinguishable from it within
+    the same run while costing at most 5 % wall clock over its
+    interleaved twin, and the protected (EDF + bounded queue) overload
+    response — virtual makespan and shed/done counts — must match the
+    committed record exactly."""
+    baseline = load_baseline(BASELINE_PATH)
+    current = run_serving_cell(quick=True, seed=0)
+    print()
+    print(render_serving(current))
+    problems = compare_serving(baseline["serving"]["quick"], current)
+    assert not problems, "\n".join(problems)
+
+
+@pytest.mark.perf
+def test_committed_serving_baseline_documents_the_protection():
+    """The committed serving section must document the headline claim
+    — the FIFO policy object exactly reproduces the legacy engine, and
+    the protected mode under 2x overload sheds pre-admission while
+    completing the rest — at both scales."""
+    baseline = load_baseline(BASELINE_PATH)
+    for scale in ("quick", "full"):
+        record = baseline["serving"][scale]
+        modes = record["modes"]
+        assert (modes["serving_on"]["makespan_virtual_s"]
+                == modes["serving_off"]["makespan_virtual_s"]), scale
+        assert (modes["serving_on"]["statuses"]
+                == modes["serving_off"]["statuses"]), scale
+        protected = modes["protected"]
+        assert protected["statuses"].get("shed", 0) > 0, scale
+        total = sum(protected["statuses"].values())
+        assert total == record["workload"]["count"], scale
 
 
 @pytest.mark.perf

@@ -55,6 +55,8 @@ from repro.errors import (
     PartitioningError,
     PlanError,
     QueryCancelledError,
+    QueryRejectedError,
+    QueryShedError,
     QueryTimeoutError,
     ReproError,
     SchedulerError,
@@ -82,6 +84,12 @@ from repro.lera import (
 from repro.machine import CostModel, Machine
 from repro.obs import MetricsRegistry, QuerySpan, WorkloadReport
 from repro.scheduler import AdaptiveScheduler, StaticScheduler
+from repro.serve import (
+    DiurnalArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    ServingPolicy,
+)
 from repro.storage import (
     Catalog,
     Fragment,
@@ -114,6 +122,7 @@ __all__ = [
     "CostModel",
     "DBS3",
     "DiskFault",
+    "DiurnalArrivals",
     "ExecutionError",
     "ExecutionFaultError",
     "ExecutionOptions",
@@ -125,21 +134,26 @@ __all__ = [
     "MemoryPressure",
     "MachineError",
     "MetricsRegistry",
+    "MMPPArrivals",
     "ObservabilityOptions",
     "OperationSchedule",
     "OperatorProfile",
     "PartitioningError",
     "PartitioningSpec",
     "PlanError",
+    "PoissonArrivals",
     "QueryCancelledError",
     "QueryExecution",
     "QueryHandle",
+    "QueryRejectedError",
     "QueryResult",
     "QuerySchedule",
+    "QueryShedError",
     "QuerySpan",
     "QuerySubmission",
     "QueryTimeoutError",
     "Relation",
+    "ServingPolicy",
     "SlowdownWindow",
     "StallWindow",
     "ReproError",

@@ -33,6 +33,12 @@ Usage::
     python -m repro compare baseline candidate --gate
                                     # A/B two registry records; --gate
                                     # exits 1 on a regression
+    python -m repro serve --overload 2 --policy edf --check
+                                    # open-loop serving demo: seeded
+                                    # arrivals at 2x saturation through
+                                    # the overload-protection layer;
+                                    # --check gates on goodput >= 80%
+                                    # of saturation
 
 The historic flag spellings (``--explain`` / ``--trace-out`` / … and
 ``--diagnose`` / ``--from-events`` without a subcommand) keep working
@@ -560,6 +566,134 @@ def diagnose_command(argv: list[str]) -> int:
     return diagnose_run(args)
 
 
+def serve_command(argv: list[str]) -> int:
+    """``python -m repro serve``: the open-loop serving demo.
+
+    Drives a seeded arrival stream through the overload-protection
+    layer (admission policy + bounded queue + load shedding) at a
+    multiple of the measured saturation throughput, and prints the
+    per-class fate of the overload.  ``--check`` turns it into the CI
+    smoke gate: conservation, shedding engaged, and goodput >= 80 %
+    of saturation.
+    """
+    from repro.bench.fig_serving import measure_saturation, serving_machine
+    from repro.obs.bus import SERVE_BACKPRESSURE
+    from repro.serve.harness import (
+        decision_digest,
+        default_templates,
+        run_serving,
+        serving_stats,
+    )
+    from repro.serve.policies import POLICIES, ServingPolicy
+    from repro.workload.options import WorkloadOptions
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="open-loop serving demo: seeded arrivals through the "
+                    "overload-protection layer (pluggable admission "
+                    "policy, bounded wait queue, load shedding)")
+    parser.add_argument("--arrival", choices=("poisson", "mmpp", "diurnal"),
+                        default="poisson",
+                        help="arrival process shape (default poisson)")
+    parser.add_argument("--rate", type=float, default=None,
+                        help="arrivals per virtual second (default: "
+                             "--overload times the measured saturation)")
+    parser.add_argument("--overload", type=float, default=2.0,
+                        help="rate as a multiple of saturation when "
+                             "--rate is not given (default 2.0)")
+    parser.add_argument("--count", type=int, default=300,
+                        help="number of arrivals (default 300)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--policy", choices=POLICIES, default="edf",
+                        help="admission policy (default edf)")
+    parser.add_argument("--queue-limit", type=int, default=6,
+                        help="bounded wait-queue depth (default 6)")
+    parser.add_argument("--unbounded", action="store_true",
+                        help="drop the queue bound (no shedding, no "
+                             "backpressure — the pure queueing system)")
+    parser.add_argument("--mpl", type=int, default=2,
+                        help="multiprogramming level (default 2)")
+    parser.add_argument("--shared", action="store_true",
+                        help="fold identical subplans of concurrent "
+                             "queries onto shared operators")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 unless the protection held "
+                             "(conservation + shedding engaged + goodput "
+                             ">= 80%% of saturation)")
+    args = parser.parse_args(argv)
+    if args.count < 1:
+        parser.error("--count needs at least one arrival")
+
+    templates = default_templates()
+    machine = serving_machine()
+    saturation = measure_saturation(templates, machine=machine,
+                                    count=min(args.count, 200),
+                                    seed=args.seed, max_concurrent=args.mpl)
+    rate = args.rate if args.rate is not None else args.overload * saturation
+    limit = None if args.unbounded else args.queue_limit
+    workload = WorkloadOptions(
+        max_concurrent=args.mpl, shared=args.shared,
+        serving=ServingPolicy(policy=args.policy, queue_limit=limit))
+
+    print(f"open-loop serving demo — {args.arrival} arrivals at "
+          f"{rate:.1f} q/s ({rate / saturation:.1f}x the saturation "
+          f"throughput {saturation:.1f} q/s)")
+    print(f"policy={args.policy} queue_limit={limit} mpl={args.mpl} "
+          f"count={args.count} seed={args.seed}"
+          + (" shared" if args.shared else "") + "\n")
+
+    result = run_serving(templates=templates, arrival=args.arrival,
+                         rate=rate, count=args.count, seed=args.seed,
+                         machine=machine, workload=workload)
+    stats = serving_stats(result)
+
+    class_names = {f"p{t.priority}": t.name for t in templates}
+    statuses = " ".join(f"{k}={v}"
+                        for k, v in sorted(stats["statuses"].items()))
+    print(f"statuses : {statuses}")
+    print(f"makespan : {stats['makespan']:.3f}s virtual")
+    print(f"goodput  : {stats['goodput']:.1f} q/s completed within SLO")
+    print("per class:")
+    for klass, row in stats["classes"].items():
+        name = class_names.get(klass, klass)
+        tail = (f" p50={row['p50']:.3f}s p99={row['p99']:.3f}s"
+                if "p99" in row else "")
+        print(f"  {klass} {name:<12} submitted={row['submitted']:<4} "
+              f"done={row['done']:<4} shed={row['shed']:<3} "
+              f"timed_out={row['timed_out']:<3}{tail}")
+    transitions = [e for e in result.bus.events
+                   if e.kind == SERVE_BACKPRESSURE]
+    print(f"backpressure transitions: {len(transitions)}")
+    print(f"decision digest: {decision_digest(result)}")
+
+    if not args.check:
+        return 0
+    failures = []
+    if sum(stats["statuses"].values()) != args.count:
+        failures.append(
+            f"conservation: statuses sum to "
+            f"{sum(stats['statuses'].values())}, expected {args.count}")
+    if rate > saturation and limit is not None \
+            and not stats["statuses"].get("shed", 0):
+        failures.append("overload never shed a query — protection "
+                        "unreachable at this rate?")
+    if rate >= saturation and args.policy != "fifo" \
+            and stats["goodput"] < 0.8 * saturation:
+        failures.append(
+            f"goodput {stats['goodput']:.1f} q/s < 80% of saturation "
+            f"{saturation:.1f} q/s")
+    print()
+    if failures:
+        print("SERVING CHECK FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"serving check: PASS (goodput {stats['goodput']:.1f} q/s vs "
+          f"saturation {saturation:.1f} q/s, "
+          f"{stats['statuses'].get('shed', 0)} shed)")
+    return 0
+
+
 def chaos_command(argv: list[str]) -> int:
     """``python -m repro chaos``: seeded fault-injection sweep."""
     from repro.bench import chaos
@@ -572,6 +706,7 @@ COMMANDS = {
     "diagnose": diagnose_command,
     "compare": compare_runs,
     "chaos": chaos_command,
+    "serve": serve_command,
 }
 
 

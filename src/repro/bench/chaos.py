@@ -326,11 +326,16 @@ def check_shared_orphans(result) -> list[str]:
     """No orphaned threads, fold-aware.
 
     A folded operation's pool belongs to its host, so its
-    ``thread.finish`` events appear on the host's bus only: every
-    private appearance must account for all its threads, every
-    fractional appearance carries either all of them (the host) or
-    none (a subscriber), and each physical folded operation must have
-    exactly one carrier across the workload.
+    ``thread.finish`` events appear on the host's bus only — and a
+    subscriber's appearance can even carry ``cost_share == 1.0`` (the
+    host finished before anyone else folded in), so share alone does
+    not tell private from folded.  The uniform statement: group every
+    appearance that did work by its *physical identity* (name, window,
+    activation profile); each physical operation must have exactly one
+    carrier — one appearance whose bus accounts for all its threads —
+    and every other appearance carries none of them.  Appearances that
+    never ran (e.g. the query was cancelled while still queued) have
+    no threads to orphan and are skipped.
     """
     problems = []
     carriers: dict[tuple, int] = {}
@@ -346,28 +351,25 @@ def check_shared_orphans(result) -> list[str]:
                     finishes.get(event.operation, 0) + 1)
         for name, op in execution.operations.items():
             finished = finishes.get(name, 0)
-            if op.cost_share >= 1.0:
-                if finished != op.threads:
-                    problems.append(
-                        f"{tag}/{name}: {op.threads} threads but {finished} "
-                        f"thread.finish events — orphaned threads")
+            if (finished == 0 and not op.activations and not op.busy_time
+                    and not sum(op.queue_activations)):
                 continue
-            key = (op.started_at, op.finished_at, op.activations,
+            key = (name, op.started_at, op.finished_at, op.activations,
                    round(sum(op.activation_costs), 9))
             appearances[key] = appearances.get(key, 0) + 1
             if finished == op.threads:
                 carriers[key] = carriers.get(key, 0) + 1
             elif finished != 0:
                 problems.append(
-                    f"{tag}/{name}: folded operation shows {finished} of "
+                    f"{tag}/{name}: operation shows {finished} of "
                     f"{op.threads} thread.finish events (must be all of "
-                    f"them on the host or none on a subscriber)")
+                    f"them on the carrier or none on a subscriber)")
     for key, count in appearances.items():
         if carriers.get(key, 0) != 1:
             problems.append(
-                f"folded operation with {count} appearances has "
+                f"operation {key[0]!r} with {count} appearances has "
                 f"{carriers.get(key, 0)} thread-finish carriers "
-                f"(expected exactly the host)")
+                f"(expected exactly one)")
     return problems
 
 
@@ -830,6 +832,200 @@ def render_adaptive_sweep(cells: list[AdaptiveCell]) -> str:
     return "\n".join(lines)
 
 
+# -- serving under fire -------------------------------------------------------
+
+#: Arrival-rate multiplier of the serving chaos cell over the measured
+#: saturation throughput of its mix — solidly past the knee.
+SERVING_CHAOS_OVERLOAD = 2.0
+
+#: Queries per serving chaos run (the cell runs twice — the second run
+#: is the twin of the determinism audit).
+SERVING_CHAOS_COUNT = 80
+
+#: Bounded wait-queue depth of the serving chaos cell.
+SERVING_CHAOS_QUEUE_LIMIT = 6
+
+#: How many mid-run queries get a cancellation fired on top of the
+#: overload + faults (spread across the run).
+SERVING_CHAOS_CANCELS = 3
+
+
+def check_query_conservation(result, submitted: int) -> list[str]:
+    """Every submitted query ends in exactly one terminal status.
+
+    The serving-layer conservation law: overload may *re-route* a
+    query (shed it, reject it, time it out, let a fault fail it), but
+    the terminal statuses must account for every submission — nothing
+    vanishes, nothing is double-counted.
+    """
+    from repro.workload.engine import TERMINAL_STATES
+
+    problems = []
+    statuses: dict[str, int] = {}
+    for tag, execution in result.executions.items():
+        status = execution.status
+        statuses[status] = statuses.get(status, 0) + 1
+        if status not in TERMINAL_STATES:
+            problems.append(
+                f"{tag} ended in non-terminal status {status!r}")
+    total = sum(statuses.values())
+    if total != submitted:
+        problems.append(
+            f"query conservation broken: {submitted} submitted but "
+            f"{total} terminal executions ({statuses})")
+    return problems
+
+
+def check_shed_pre_materialization(result) -> list[str]:
+    """Shed and rejected queries never started any work.
+
+    Load shedding happens strictly pre-admission — before a query
+    materializes operator state or joins a shared-fold cohort.  A shed
+    execution carrying operations would mean the engine tore a query
+    out mid-cohort, orphaning the fold's subscribers.
+    """
+    problems = []
+    for tag, execution in result.executions.items():
+        if (execution.status in ("shed", "rejected")
+                and execution.operations):
+            problems.append(
+                f"{tag} was {execution.status} yet carries "
+                f"{len(execution.operations)} operations — shedding "
+                f"must happen before any work materializes")
+    return problems
+
+
+def run_serving_chaos(seed: int = 0,
+                      count: int = SERVING_CHAOS_COUNT,
+                      overload: float = SERVING_CHAOS_OVERLOAD
+                      ) -> ChaosReport:
+    """Overload, faults, shared folding and cancellation — audited.
+
+    The serving mix arrives open-loop at ``overload`` times its
+    measured saturation throughput on a deliberately small machine,
+    under a priority policy with a bounded queue, with shared-work
+    folding on, a seeded fault plan injected *and* several mid-run
+    cancellations fired — every robustness subsystem under fire at
+    once.  The audit then asserts the serving conservation laws:
+    every submission reaches exactly one terminal status, shedding
+    never orphans a shared-fold cohort (shed queries hold no
+    operations; folded cohorts keep exactly one thread-finish
+    carrier), the workload event stream stays monotone, and a twin
+    run of the same seed reproduces the decision log byte for byte.
+    """
+    from dataclasses import replace
+
+    from repro.bench.fig_serving import (
+        MAX_CONCURRENT,
+        measure_saturation,
+        serving_machine,
+    )
+    from repro.faults import FaultPlan
+    from repro.obs.metrics import FOLD_HITS
+    from repro.serve.arrivals import make_arrival_process
+    from repro.serve.harness import (
+        build_submissions,
+        decision_digest,
+        default_templates,
+    )
+    from repro.serve.policies import ServingPolicy
+    from repro.workload.engine import WorkloadExecutor
+
+    machine = serving_machine()
+    templates = default_templates()
+    saturation = measure_saturation(templates, machine=machine,
+                                    count=60, seed=seed)
+    rate = saturation * overload
+    times = make_arrival_process("poisson", rate).times(count, seed=seed)
+
+    def build(fault_seed: int):
+        submissions = build_submissions(templates, times, machine=machine,
+                                        seed=seed)
+        # Cancellation under fire: a few queries spread across the run
+        # get cancelled shortly after arriving — under overload they
+        # are still queued, so the cancel races admission and shedding.
+        step = max(1, count // (SERVING_CHAOS_CANCELS + 1))
+        cancelled = []
+        for slot in range(1, SERVING_CHAOS_CANCELS + 1):
+            index = slot * step
+            submissions[index] = replace(
+                submissions[index],
+                cancel_at=submissions[index].arrival + 0.02)
+            cancelled.append(submissions[index].tag)
+        operations = sorted({node.name for submission in submissions
+                             for node in submission.compiled.plan.nodes})
+        plan = FaultPlan.generate(fault_seed, tuple(operations),
+                                  horizon=times[-1] * 1.2)
+        return submissions, cancelled, plan
+
+    def run_once():
+        submissions, cancelled, plan = build(seed)
+        workload = WorkloadOptions(
+            max_concurrent=MAX_CONCURRENT, shared=True, faults=plan,
+            serving=ServingPolicy(policy="priority",
+                                  queue_limit=SERVING_CHAOS_QUEUE_LIMIT))
+        options = ExecutionOptions(
+            seed=seed,
+            observability=ObservabilityOptions(trace=True, observe=True))
+        result = WorkloadExecutor(machine, options, workload).execute(
+            submissions)
+        return result, cancelled, plan
+
+    result, cancelled, plan = run_once()
+
+    violations: list[str] = []
+    violations += check_query_conservation(result, count)
+    violations += check_shed_pre_materialization(result)
+    for tag in result.order:
+        execution = result.execution(tag)
+        violations += check_conservation(tag, execution)
+        violations += check_monotone_time(tag, execution, result.makespan)
+    violations += check_shared_orphans(result)
+    violations += check_workload_stream(result.bus)
+    violations += check_fault_accounting(result)
+
+    statuses = {tag: result.status_of(tag) for tag in result.order}
+    tally: dict[str, int] = {}
+    for status in statuses.values():
+        tally[status] = tally.get(status, 0) + 1
+    if not tally.get("shed"):
+        violations.append(
+            f"overload x{overload:g} shed nothing — the bounded queue "
+            f"(limit {SERVING_CHAOS_QUEUE_LIMIT}) never overflowed")
+    if result.metrics is None or not result.metrics.total(FOLD_HITS):
+        violations.append(
+            "serving chaos run folded nothing — the duplicate-template "
+            "queries should share physical executions under overload")
+    for tag in cancelled:
+        if statuses.get(tag) not in ("cancelled", "shed"):
+            violations.append(
+                f"{tag} was cancelled mid-queue but ended "
+                f"{statuses.get(tag)!r} (expected cancelled, or shed "
+                f"if the overflow got there first)")
+    if not any(statuses.get(tag) == "cancelled" for tag in cancelled):
+        violations.append(
+            "no mid-run cancellation landed as 'cancelled' — the "
+            "cancellation path went unexercised")
+
+    twin, _, _ = run_once()
+    if decision_digest(twin) != decision_digest(result):
+        violations.append(
+            "serving decision log is not deterministic: twin run of "
+            "the same seed produced a different digest")
+
+    return ChaosReport(
+        seed=seed,
+        plan=(f"serving x{overload:g} overload ({rate:.1f} q/s), "
+              f"priority + queue limit {SERVING_CHAOS_QUEUE_LIMIT}, "
+              f"shared folds, {len(cancelled)} cancels, "
+              + plan.describe().replace("\n", "; ")),
+        statuses={status: str(tally[status]) for status in sorted(tally)},
+        makespan=result.makespan,
+        fault_counters=fault_counter_totals(result),
+        violations=violations,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     """``python -m repro chaos``: seeded sweep + degradation curve."""
     import argparse
@@ -848,6 +1044,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="skip the monitored alert sweep")
     parser.add_argument("--no-adaptive", action="store_true",
                         help="skip the adaptive-policy sweep")
+    parser.add_argument("--no-serving", action="store_true",
+                        help="skip the serving-under-fire cell")
     args = parser.parse_args(argv)
 
     failed = False
@@ -877,4 +1075,9 @@ def main(argv: list[str] | None = None) -> int:
         print()
         print(render_adaptive_sweep(adaptive_cells))
         failed = failed or any(not cell.passed for cell in adaptive_cells)
+    if not args.no_serving:
+        serving_report = run_serving_chaos(seed=args.seed)
+        print()
+        print(serving_report.render())
+        failed = failed or not serving_report.passed
     return 1 if failed else 0

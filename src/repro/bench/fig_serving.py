@@ -1,0 +1,190 @@
+"""Serving under overload: the arrival-rate sweep.
+
+The original evaluation stops at closed batches; a serving system
+faces an **open-loop** arrival stream whose rate does not care whether
+the machine keeps up.  This experiment drives the engine through
+saturation and past it, contrasting three disciplines over the same
+seeded arrival sequence and template mix:
+
+* **FIFO baseline** — unbounded queue, no deadlines: the pure
+  queueing system.  Past saturation its wait queue grows without
+  bound and *every* class's p99 diverges together.
+* **EDF + bounded queue** — deadline-aware admission with load
+  shedding: doomed or overflow queries are dropped pre-admission, so
+  the machine spends itself only on work that can still meet its SLO.
+  Goodput (done-within-SLO per virtual second) holds near the
+  saturation throughput even at several times the saturating rate.
+* **Priority + bounded queue** — strict priority classes: under the
+  same overload the highest class keeps its p99 near the unloaded
+  value while the FIFO baseline's diverges.
+
+Shapes the overload-protection layer must produce (acceptance-tested
+at reduced scale):
+
+* EDF goodput at 2x saturation >= 80 % of the saturation throughput;
+* the priority policy's top-class p99 stays within its SLO at 2x
+  while the FIFO baseline's exceeds it;
+* the whole run — arrivals, admissions, sheds — is byte-identical
+  across twin runs of the same seed (:func:`repro.serve.harness
+  .decision_digest`).
+
+The machine is deliberately small (8 processors, MPL 2): overload
+must be *reachable* at rates the simulation sweeps in seconds.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentResult
+from repro.bench.runners import default_machine
+from repro.engine.executor import ExecutionOptions
+from repro.machine.machine import Machine
+from repro.obs.metrics import percentile
+from repro.serve.harness import (
+    build_submissions,
+    default_templates,
+    run_serving,
+    serving_stats,
+)
+from repro.serve.policies import ServingPolicy
+from repro.workload.engine import WorkloadExecutor
+from repro.workload.options import WorkloadOptions
+
+#: Arrival-rate multipliers over the measured saturation throughput.
+MULTIPLIERS = (0.5, 1.0, 1.5, 2.0, 3.0)
+
+#: Queries per sweep point.  The serving layer is built for thousands
+#: of queries per run; the acceptance tests shrink this for CI.
+COUNT = 1000
+
+#: The constrained serving machine (see module docstring).
+PROCESSORS = 8
+MAX_CONCURRENT = 2
+
+#: Bounded wait-queue depth of the protected configurations.
+QUEUE_LIMIT = 6
+
+
+def serving_machine(processors: int = PROCESSORS) -> Machine:
+    return Machine.uniform(processors=processors)
+
+
+def measure_saturation(templates, machine=None, count: int = 200,
+                       seed: int = 0,
+                       max_concurrent: int = MAX_CONCURRENT) -> float:
+    """Saturation throughput of the mix: a closed batch, all at t=0.
+
+    With every query already waiting, the machine is never idle, so
+    ``count / makespan`` is the maximum completion rate this mix can
+    sustain — the y-axis ceiling every open-loop sweep point is
+    measured against.
+    """
+    machine = machine or serving_machine()
+    submissions = build_submissions(default_templates() if templates is None
+                                    else templates,
+                                    [0.0] * count, machine=machine,
+                                    seed=seed, timeouts=False)
+    workload = WorkloadOptions(max_concurrent=max_concurrent,
+                               serving=ServingPolicy())
+    result = WorkloadExecutor(machine, ExecutionOptions(seed=seed),
+                              workload).execute(submissions)
+    return count / result.makespan
+
+
+def _class_p99(result, prefix: str) -> float:
+    """p99 latency of completed queries whose tag starts with *prefix*."""
+    values = [execution.response_time
+              for tag, execution in result.executions.items()
+              if tag.startswith(prefix) and execution.status == "done"]
+    return percentile(values, 99) if values else float("nan")
+
+
+def run(count: int = COUNT, seed: int = 0,
+        multipliers: tuple[float, ...] = MULTIPLIERS,
+        arrival: str = "poisson",
+        queue_limit: int = QUEUE_LIMIT) -> ExperimentResult:
+    """Regenerate the serving-overload figure."""
+    machine = serving_machine()
+    templates = default_templates()
+    saturation = measure_saturation(templates, machine=machine,
+                                    count=min(count, 200), seed=seed)
+    result = ExperimentResult(
+        experiment_id="fig_serving",
+        title=(f"Serving under overload ({arrival} arrivals, "
+               f"{count} queries/point, {machine.processors} processors, "
+               f"MPL {MAX_CONCURRENT}, queue limit {queue_limit}; "
+               f"saturation {saturation:.1f} q/s)"),
+        x_label="arrival rate (x saturation)",
+        x_values=tuple(float(m) for m in multipliers),
+    )
+    top_slo = max(t.slo for t in templates if t.slo is not None
+                  and t.priority == max(x.priority for x in templates))
+
+    fifo_p99, fifo_top_p99 = [], []
+    edf_goodput, edf_shed, edf_done = [], [], []
+    prio_top_p99, prio_shed = [], []
+    for multiplier in multipliers:
+        rate = saturation * multiplier
+        baseline = run_serving(
+            templates=templates, arrival=arrival, rate=rate, count=count,
+            seed=seed, machine=machine, timeouts=False,
+            workload=WorkloadOptions(max_concurrent=MAX_CONCURRENT,
+                                     serving=ServingPolicy()))
+        done = [e.response_time for e in baseline.executions.values()
+                if e.status == "done"]
+        fifo_p99.append(percentile(done, 99) if done else float("nan"))
+        fifo_top_p99.append(_class_p99(baseline, "interactive"))
+
+        edf = run_serving(
+            templates=templates, arrival=arrival, rate=rate, count=count,
+            seed=seed, machine=machine,
+            workload=WorkloadOptions(
+                max_concurrent=MAX_CONCURRENT,
+                serving=ServingPolicy(policy="edf",
+                                      queue_limit=queue_limit)))
+        stats = serving_stats(edf)
+        edf_goodput.append(stats["goodput"])
+        edf_shed.append(stats["statuses"].get("shed", 0))
+        edf_done.append(stats["statuses"].get("done", 0))
+
+        priority = run_serving(
+            templates=templates, arrival=arrival, rate=rate, count=count,
+            seed=seed, machine=machine,
+            workload=WorkloadOptions(
+                max_concurrent=MAX_CONCURRENT,
+                serving=ServingPolicy(policy="priority",
+                                      queue_limit=queue_limit)))
+        prio_top_p99.append(_class_p99(priority, "interactive"))
+        prio_shed.append(
+            serving_stats(priority)["statuses"].get("shed", 0))
+
+    result.add_series("fifo_p99_s", fifo_p99)
+    result.add_series("fifo_top_class_p99_s", fifo_top_p99)
+    result.add_series("edf_goodput_qps", edf_goodput)
+    result.add_series("edf_shed", edf_shed)
+    result.add_series("edf_done", edf_done)
+    result.add_series("priority_top_class_p99_s", prio_top_p99)
+    result.add_series("priority_shed", prio_shed)
+    result.notes["saturation_qps"] = saturation
+    result.notes["top_class_slo_s"] = top_slo
+    result.notes["queue_limit"] = queue_limit
+    result.notes["count"] = count
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:  # pragma: no cover - CLI
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--count", type=int, default=COUNT,
+                        help="queries per sweep point")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--arrival", choices=("poisson", "mmpp", "diurnal"),
+                        default="poisson")
+    args = parser.parse_args(argv)
+    print(run(count=args.count, seed=args.seed,
+              arrival=args.arrival).render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -1100,6 +1100,171 @@ def render_shared(record: dict) -> str:
             f"{modes['overlap_shared']['min_s']:.4f}s")
 
 
+#: The serving cell's open-loop workload: arrivals on the small
+#: serving machine (8 processors, MPL 2) where overload is reachable.
+SERVING_COUNT = 80
+SERVING_SATURATION_COUNT = 60
+SERVING_OVERLOAD = 2.0
+SERVING_QUEUE_LIMIT = 6
+
+
+def run_serving_cell(quick: bool = False, seed: int = 0) -> dict:
+    """Time the open-loop serving workload off vs on vs protected.
+
+    Three modes over the same seeded arrival sequence and template
+    mix: ``serving_off`` runs with ``serving=None`` (the pre-serving
+    engine — its virtual makespan is pinned against the committed
+    record, so the serving layer provably does not move the legacy
+    path), ``serving_on`` attaches a default :class:`ServingPolicy`
+    (FIFO, unbounded — every admission decision routes through the
+    policy object but none differ), and ``protected`` runs EDF with a
+    bounded queue at :data:`SERVING_OVERLOAD` times the measured
+    saturation throughput, pinning the shed/done counts of the
+    overload response.  ``serving_off`` and ``serving_on`` are
+    interleaved within each repeat: the within-run pair is the wall
+    gate (:func:`compare_serving`) — the policy-object indirection
+    must be free.  The scenario is fixed-size; *quick* and *seed* are
+    recorded for provenance but only *seed* changes the cell.
+    """
+    from repro.bench.fig_serving import (
+        MAX_CONCURRENT,
+        measure_saturation,
+        serving_machine,
+    )
+    from repro.serve.harness import default_templates, run_serving
+    from repro.serve.policies import ServingPolicy
+    from repro.workload.options import WorkloadOptions
+
+    repeats = WORKLOAD_REPEATS
+    machine = serving_machine()
+    templates = default_templates()
+    saturation = measure_saturation(templates, machine=machine,
+                                    count=SERVING_SATURATION_COUNT,
+                                    seed=seed)
+    triples = [
+        ("serving_off", saturation,
+         WorkloadOptions(max_concurrent=MAX_CONCURRENT, serving=None)),
+        ("serving_on", saturation,
+         WorkloadOptions(max_concurrent=MAX_CONCURRENT,
+                         serving=ServingPolicy())),
+        ("protected", saturation * SERVING_OVERLOAD,
+         WorkloadOptions(max_concurrent=MAX_CONCURRENT,
+                         serving=ServingPolicy(
+                             policy="edf",
+                             queue_limit=SERVING_QUEUE_LIMIT))),
+    ]
+    times = {label: [] for label, _, _ in triples}
+    results = {}
+    for _ in range(repeats):
+        for label, rate, workload in triples:
+            started = time.perf_counter()
+            results[label] = run_serving(
+                templates=templates, rate=rate, count=SERVING_COUNT,
+                seed=seed, machine=machine, workload=workload,
+                observe=False)
+            times[label].append(time.perf_counter() - started)
+    modes = {}
+    for label, rate, _ in triples:
+        result = results[label]
+        statuses: dict[str, int] = {}
+        for execution in result.executions.values():
+            statuses[execution.status] = (
+                statuses.get(execution.status, 0) + 1)
+        modes[label] = {
+            "mean_s": round(statistics.fmean(times[label]), 6),
+            "min_s": round(min(times[label]), 6),
+            "runs": [round(t, 6) for t in times[label]],
+            "rate_qps": round(rate, 6),
+            "makespan_virtual_s": result.makespan,
+            "statuses": dict(sorted(statuses.items())),
+        }
+    return {
+        "workload": {"count": SERVING_COUNT, "mpl": MAX_CONCURRENT,
+                     "processors": machine.processors,
+                     "queue_limit": SERVING_QUEUE_LIMIT,
+                     "overload": SERVING_OVERLOAD,
+                     "saturation_qps": round(saturation, 6),
+                     "repeats": repeats, "quick": quick, "seed": seed},
+        "modes": modes,
+        "on_over_off": round(
+            modes["serving_on"]["min_s"] / modes["serving_off"]["min_s"], 4),
+    }
+
+
+def compare_serving(baseline: dict, current: dict,
+                    threshold: float = OBS_REGRESSION_THRESHOLD,
+                    abs_slack_s: float = ABSOLUTE_SLACK_S) -> list[str]:
+    """Flag serving-layer problems against *baseline*.
+
+    Three statements: ``serving_off``'s virtual makespan is pinned
+    exactly against the committed record (the serving layer must not
+    move the pre-serving engine), ``serving_on`` must reproduce
+    ``serving_off``'s virtual makespan and statuses *within-run* (a
+    default FIFO policy differs in zero decisions — the escape hatch
+    and the policy object are the same engine), and the overload
+    response is pinned — the ``protected`` mode's virtual makespan and
+    its shed/done counts must match the committed record exactly.  The
+    wall gate is the within-run twin: in at least one interleaved
+    repeat ``serving_on`` must land within *threshold* plus
+    *abs_slack_s* of its paired ``serving_off`` run.
+    """
+    problems = []
+    base_off = baseline["modes"]["serving_off"]
+    off = current["modes"]["serving_off"]
+    on = current["modes"]["serving_on"]
+    protected = current["modes"]["protected"]
+    if off["makespan_virtual_s"] != base_off["makespan_virtual_s"]:
+        problems.append(
+            f"serving: legacy (serving=None) virtual makespan changed "
+            f"{base_off['makespan_virtual_s']!r} -> "
+            f"{off['makespan_virtual_s']!r}")
+    if on["makespan_virtual_s"] != off["makespan_virtual_s"]:
+        problems.append(
+            f"serving: default ServingPolicy moved the virtual makespan "
+            f"{off['makespan_virtual_s']!r} -> "
+            f"{on['makespan_virtual_s']!r} — the FIFO policy object is "
+            f"no longer the legacy admission order")
+    if on["statuses"] != off["statuses"]:
+        problems.append(
+            f"serving: default ServingPolicy changed statuses "
+            f"{off['statuses']} -> {on['statuses']}")
+    base_protected = baseline["modes"]["protected"]
+    if (protected["makespan_virtual_s"]
+            != base_protected["makespan_virtual_s"]):
+        problems.append(
+            f"serving: protected virtual makespan changed "
+            f"{base_protected['makespan_virtual_s']!r} -> "
+            f"{protected['makespan_virtual_s']!r}")
+    if protected["statuses"] != base_protected["statuses"]:
+        problems.append(
+            f"serving: overload response changed — protected statuses "
+            f"{base_protected['statuses']} -> {protected['statuses']}")
+    pairs = list(zip(off["runs"], on["runs"]))
+    if not any(on_s <= off_s * (1.0 + threshold) + abs_slack_s
+               for off_s, on_s in pairs):
+        closest = min(pairs, key=lambda pair: pair[1] / pair[0])
+        problems.append(
+            f"serving wall-clock overhead: no interleaved repeat put "
+            f"serving_on within {threshold:.0%} + "
+            f"{abs_slack_s * 1000:.0f}ms of serving_off (closest pair "
+            f"{closest[0]:.4f}s off vs {closest[1]:.4f}s on)")
+    return problems
+
+
+def render_serving(record: dict) -> str:
+    """Human-readable line for one serving-cell run."""
+    modes = record["modes"]
+    shed = modes["protected"]["statuses"].get("shed", 0)
+    done = modes["protected"]["statuses"].get("done", 0)
+    return (f"serving ({record['workload']['count']} arrivals"
+            f"@{record['workload']['saturation_qps']:.1f} q/s): "
+            f"off {modes['serving_off']['min_s']:.4f}s, "
+            f"on {modes['serving_on']['min_s']:.4f}s "
+            f"({record['on_over_off']:.2f}x); protected at "
+            f"x{record['workload']['overload']:g} sheds {shed}, "
+            f"completes {done}")
+
+
 def compare_matrices(baseline: dict, current: dict,
                      threshold: float = REGRESSION_THRESHOLD,
                      abs_slack_s: float = ABSOLUTE_SLACK_S) -> list[str]:
@@ -1196,7 +1361,7 @@ def main(argv: list[str] | None = None) -> int:
         matrix["monitor"] = monitor_record
         print(render_monitor(monitor_record))
     session_record = concurrent_record = shared_record = None
-    adaptive_record = None
+    adaptive_record = serving_record = None
     if args.workload:
         session_record = run_session_overhead(quick=args.quick)
         matrix["session"] = session_record
@@ -1210,6 +1375,9 @@ def main(argv: list[str] | None = None) -> int:
         adaptive_record = run_adaptive_cell(quick=args.quick)
         matrix["adaptive"] = adaptive_record
         print(render_adaptive(adaptive_record))
+        serving_record = run_serving_cell(quick=args.quick)
+        matrix["serving"] = serving_record
+        print(render_serving(serving_record))
     faults_record = None
     if args.faults:
         faults_record = run_faults_overhead(quick=args.quick)
@@ -1266,6 +1434,14 @@ def main(argv: list[str] | None = None) -> int:
             else:
                 problems.extend(compare_adaptive(adaptive_baseline,
                                                  adaptive_record))
+        if serving_record is not None:
+            serving_baseline = baseline.get("serving", {}).get(scale)
+            if serving_baseline is None:
+                problems.append(
+                    f"baseline has no serving[{scale}] section")
+            else:
+                problems.extend(compare_serving(serving_baseline,
+                                                serving_record))
         if faults_record is not None:
             problems.extend(compare_faults(faults_record))
         if problems:

@@ -53,6 +53,24 @@ class AdmissionError(WorkloadError):
     """The admission controller can never admit a submitted query."""
 
 
+class QueryRejectedError(AdmissionError):
+    """The result of a rejected query was requested.
+
+    Under a serving policy an inadmissible query does not poison the
+    batch: it reaches the terminal status ``rejected`` and asking for
+    its result raises this (inspect ``handle.execution`` instead).
+    """
+
+
+class QueryShedError(QueryRejectedError):
+    """The result of a load-shed query was requested.
+
+    Overload protection dropped the query before it ran (bounded wait
+    queue, deadline infeasibility, or priority shedding); its terminal
+    status is ``shed``.
+    """
+
+
 class FaultError(ReproError):
     """An injected fault fired (or a fault plan is malformed)."""
 

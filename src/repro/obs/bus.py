@@ -62,6 +62,14 @@ QUERY_GRANT = "query.grant"      # (re)granted a thread budget
 QUERY_FINISH = "query.finish"    # last operation finished
 QUERY_CANCEL = "query.cancel"    # cancelled or timed out (reason in data)
 QUERY_ABORT = "query.abort"      # aborted by an exhausted fault retry
+QUERY_REJECT = "query.reject"    # rejected/shed pre-admission (terminal)
+
+#: Serving / overload protection (:mod:`repro.serve`).  Workload-bus
+#: records of the overload layer's level transitions: backpressure
+#: engages when the bounded wait queue saturates, brownout when a
+#: monitor alert (SLO burn rate, retry storm) trips the degraded mode.
+SERVE_BACKPRESSURE = "serve.backpressure"  # bounded queue hit/left its limit
+SERVE_BROWNOUT = "serve.brownout"          # brownout tripped or cleared
 
 #: Fault injection (:mod:`repro.faults`).  Per-operation kinds appear
 #: on the query's bus; ``fault.memory`` is machine-level and appears
@@ -82,7 +90,8 @@ EVENT_KINDS = (
     WAVE_START, WAVE_END, OP_START, OP_SEED, OP_FINALIZE, OP_FINISH,
     ENQUEUE, DEQUEUE, BLOCK, UNBLOCK, THREAD_FINISH, MEMORY,
     QUERY_SUBMIT, QUERY_ADMIT, QUERY_GRANT, QUERY_FINISH,
-    QUERY_CANCEL, QUERY_ABORT,
+    QUERY_CANCEL, QUERY_ABORT, QUERY_REJECT,
+    SERVE_BACKPRESSURE, SERVE_BROWNOUT,
     FAULT_ACTIVATION, FAULT_DISK, FAULT_MEMORY, FAULT_STALL,
     FAULT_SLOWDOWN,
     SCHEDULE_RESPLIT, SCHEDULE_SWITCH,

@@ -217,6 +217,11 @@ class LatencySloMonitor(Monitor):
     def evaluate(self, ctx: MonitorContext, alerts: AlertBus) -> None:
         if ctx.point != POINT_FINISH:
             return
+        if ctx.get("status") in ("rejected", "shed"):
+            # Shed/rejected queries never ran: their (tiny) queue
+            # residence would dilute the burn-rate denominator and
+            # hand the brownout loop a false recovery signal.
+            return
         latency = ctx.get("latency")
         if latency is None:
             return

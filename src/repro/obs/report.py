@@ -24,6 +24,7 @@ from repro.errors import ReproError
 from repro.obs.metrics import (
     ADMISSION_QUEUE_DEPTH,
     ADMISSION_WAIT,
+    BROWNOUT_ACTIVE,
     FAULT_ABORTS,
     FAULT_BACKOFF,
     FAULT_MEMORY_EVENTS,
@@ -34,6 +35,8 @@ from repro.obs.metrics import (
     FOLD_HITS,
     GRANTS,
     POOL_UTILIZATION,
+    QUERIES_REJECTED,
+    QUERIES_SHED,
     QUERY_LATENCY,
     MetricsRegistry,
     percentile,
@@ -56,6 +59,7 @@ class WorkloadReport:
     folds: dict                       # attempts, hits, hit_rate, shares
     faults: dict                      # injected/retries/aborts/backoff/mem
     problems: list[str] = field(default_factory=list)
+    serving: dict = field(default_factory=dict)  # shed/rejected by reason
 
     @property
     def clean(self) -> bool:
@@ -75,6 +79,7 @@ class WorkloadReport:
             "folds": dict(self.folds),
             "faults": dict(self.faults),
             "problems": list(self.problems),
+            "serving": dict(self.serving),
         }
 
     def render(self) -> str:
@@ -126,6 +131,15 @@ class WorkloadReport:
                 f"aborts={self.faults['aborts']:.0f} "
                 f"backoff={self.faults['backoff_s']:.4f}s "
                 f"memory={self.faults['memory_events']:.0f}")
+        if self.serving:
+            bits = [f"shed={self.serving.get('shed', 0)}",
+                    f"rejected={self.serving.get('rejected', 0)}"]
+            reasons = self.serving.get("reasons", {})
+            bits.extend(f"{reason}={count}"
+                        for reason, count in sorted(reasons.items()))
+            if self.serving.get("brownout_tripped"):
+                bits.append("brownout")
+            lines.append("  serving    : " + " ".join(bits))
         for problem in self.problems:
             lines.append(f"  AUDIT      : {problem}")
         return "\n".join(lines)
@@ -199,6 +213,28 @@ def build_workload_report(result) -> WorkloadReport:
         "memory_events": metrics.total(FAULT_MEMORY_EVENTS),
     }
 
+    shed_total = 0
+    rejected_total = 0
+    reasons: dict[str, int] = {}
+    for counter in metrics.family(QUERIES_SHED):
+        shed_total += int(counter.value)
+        reason = counter.labels.get("reason", "?")
+        reasons[reason] = reasons.get(reason, 0) + int(counter.value)
+    for counter in metrics.family(QUERIES_REJECTED):
+        rejected_total += int(counter.value)
+        reason = counter.labels.get("reason", "?")
+        reasons[reason] = reasons.get(reason, 0) + int(counter.value)
+    brownout = metrics.get(BROWNOUT_ACTIVE)
+    serving: dict = {}
+    if shed_total or rejected_total or brownout is not None:
+        serving = {
+            "shed": shed_total,
+            "rejected": rejected_total,
+            "reasons": reasons,
+            "brownout_tripped": bool(brownout is not None
+                                     and brownout.peak > 0),
+        }
+
     problems = verify_spans(spans, result.executions,
                             makespan=result.makespan)
     return WorkloadReport(
@@ -213,4 +249,5 @@ def build_workload_report(result) -> WorkloadReport:
         folds=folds,
         faults=faults,
         problems=problems,
+        serving=serving,
     )

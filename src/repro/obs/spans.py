@@ -39,6 +39,7 @@ from repro.obs.bus import (
     QUERY_CANCEL,
     QUERY_FINISH,
     QUERY_GRANT,
+    QUERY_REJECT,
     QUERY_SUBMIT,
     WAVE_END,
     WAVE_START,
@@ -46,12 +47,18 @@ from repro.obs.bus import (
 
 #: Terminal span statuses (mirror the ``QueryExecution`` statuses;
 #: string literals because :mod:`repro.engine.metrics` imports the obs
-#: layer, not the other way around).
+#: layer, not the other way around).  ``rejected`` / ``shed`` terminate
+#: a span pre-admission — the serving layer's ``query.reject`` event is
+#: their terminal event, the way a pre-admission withdrawal's
+#: ``query.cancel`` is for ``cancelled``.
 SPAN_DONE = "done"
 SPAN_CANCELLED = "cancelled"
 SPAN_TIMED_OUT = "timed_out"
 SPAN_FAILED = "failed"
-SPAN_STATUSES = (SPAN_DONE, SPAN_CANCELLED, SPAN_TIMED_OUT, SPAN_FAILED)
+SPAN_REJECTED = "rejected"
+SPAN_SHED = "shed"
+SPAN_STATUSES = (SPAN_DONE, SPAN_CANCELLED, SPAN_TIMED_OUT, SPAN_FAILED,
+                 SPAN_REJECTED, SPAN_SHED)
 
 #: Float-comparison slack for containment checks.
 _EPS = 1e-9
@@ -94,6 +101,9 @@ class QuerySpan:
     waves: list[WaveSpan] = field(default_factory=list)
     cancel_requested_at: float | None = None
     cancel_reason: str | None = None
+    #: Why the serving layer rejected/shed this query pre-admission
+    #: (``query.reject`` payload), ``None`` for queries that ran.
+    reject_reason: str | None = None
     abort_error: str | None = None
     failed_operation: str | None = None
     #: Fold links: own node name -> tag of the hosting query.
@@ -150,6 +160,7 @@ class QuerySpan:
                       for w in self.waves],
             "cancel_requested_at": self.cancel_requested_at,
             "cancel_reason": self.cancel_reason,
+            "reject_reason": self.reject_reason,
             "abort_error": self.abort_error,
             "failed_operation": self.failed_operation,
             "folds": dict(self.folds),
@@ -211,7 +222,7 @@ def assemble_spans(bus, executions: dict | None = None) -> SpanSet:
     observability was off — spans then simply carry no waves).
     """
     query_kinds = {QUERY_SUBMIT, QUERY_ADMIT, QUERY_GRANT, QUERY_CANCEL,
-                   QUERY_ABORT, QUERY_FINISH}
+                   QUERY_ABORT, QUERY_FINISH, QUERY_REJECT}
     spans: dict[str, QuerySpan] = {}
     order: list[str] = []
     for event in bus.events:
@@ -252,6 +263,13 @@ def assemble_spans(bus, executions: dict | None = None) -> SpanSet:
                                if span.cancel_reason == "timeout"
                                else SPAN_CANCELLED)
                 span.terminal_events += 1
+        elif event.kind == QUERY_REJECT:
+            # Pre-admission rejection or shed: this IS the terminal
+            # event (the query never ran, no query.finish follows).
+            span.finished_at = event.t
+            span.status = data.get("status", SPAN_REJECTED)
+            span.reject_reason = data.get("reason")
+            span.terminal_events += 1
         elif event.kind == QUERY_ABORT:
             span.abort_error = data.get("error")
             span.failed_operation = data.get("failed_operation")

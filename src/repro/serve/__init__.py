@@ -1,0 +1,80 @@
+"""Overload-robust serving: open-loop arrivals + overload protection.
+
+Two halves:
+
+* :mod:`repro.serve.arrivals` — seeded open-loop arrival processes
+  (Poisson, bursty MMPP, diurnal), all in virtual time and
+  byte-reproducible per seed.
+* :mod:`repro.serve.policies` — the :class:`ServingPolicy`
+  configuration block and the pluggable admission policies (FIFO,
+  priority classes, weighted fair share, deadline-aware EDF) with
+  their bounded, indexed wait queues.
+
+:mod:`repro.serve.harness` glues them to the workload engine: query
+templates, submission generation, the decision log and the serving
+statistics the benchmark reports.
+
+The layer is opt-in: ``WorkloadOptions(serving=None)`` (the default)
+keeps the engine bit-identical to the pre-serving engine.
+"""
+
+from repro.serve.arrivals import (
+    ARRIVAL_PROCESSES,
+    ArrivalProcess,
+    DiurnalArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    make_arrival_process,
+)
+from repro.serve.policies import (
+    POLICIES,
+    AdmissionPolicy,
+    EdfPolicy,
+    FairSharePolicy,
+    FifoPolicy,
+    PriorityPolicy,
+    ServingPolicy,
+    make_admission_policy,
+    provably_infeasible,
+)
+
+#: Harness names resolve lazily: the harness imports the workload
+#: engine, which imports :mod:`repro.serve.policies` — an eager import
+#: here would close that cycle while this package is half-initialized.
+_HARNESS_NAMES = (
+    "QueryTemplate", "build_submissions", "decision_digest",
+    "decision_log", "default_templates", "run_serving", "serving_stats",
+)
+
+
+def __getattr__(name):
+    if name in _HARNESS_NAMES:
+        from repro.serve import harness
+        return getattr(harness, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "AdmissionPolicy",
+    "ArrivalProcess",
+    "DiurnalArrivals",
+    "EdfPolicy",
+    "FairSharePolicy",
+    "FifoPolicy",
+    "MMPPArrivals",
+    "POLICIES",
+    "PoissonArrivals",
+    "PriorityPolicy",
+    "QueryTemplate",
+    "ServingPolicy",
+    "build_submissions",
+    "decision_digest",
+    "decision_log",
+    "default_templates",
+    "make_admission_policy",
+    "make_arrival_process",
+    "provably_infeasible",
+    "run_serving",
+    "serving_stats",
+]

@@ -32,6 +32,8 @@ from repro.workload.session import (
     DONE,
     FAILED,
     PENDING,
+    REJECTED,
+    SHED,
     TIMED_OUT,
     QueryHandle,
     Session,
@@ -45,6 +47,8 @@ __all__ = [
     "POLICIES",
     "POLICY_ADAPTIVE",
     "POLICY_STATIC",
+    "REJECTED",
+    "SHED",
     "TIMED_OUT",
     "QueryHandle",
     "QuerySubmission",

@@ -88,6 +88,13 @@ class AdmissionController:
             return False
         return True
 
+    def fits_memory(self, footprint: int) -> bool:
+        """Would *footprint* fit the memory gate alone, ignoring the
+        concurrency bound?  Brownout fold-through uses this: a fully
+        folded query adds no machine work, so only memory matters."""
+        limit = self.options.memory_limit_bytes
+        return limit is None or self.used_bytes + footprint <= limit
+
     def acquire(self, footprint: int, at: float = 0.0) -> None:
         self.running_count += 1
         self.used_bytes += footprint

@@ -44,6 +44,8 @@ from repro.engine.metrics import (
     STATUS_CANCELLED,
     STATUS_DONE,
     STATUS_FAILED,
+    STATUS_REJECTED,
+    STATUS_SHED,
     STATUS_TIMED_OUT,
     OperationMetrics,
     QueryExecution,
@@ -62,7 +64,10 @@ from repro.obs.bus import (
     QUERY_CANCEL,
     QUERY_FINISH,
     QUERY_GRANT,
+    QUERY_REJECT,
     QUERY_SUBMIT,
+    SERVE_BACKPRESSURE,
+    SERVE_BROWNOUT,
     WAVE_END,
     WAVE_START,
     EventBus,
@@ -70,6 +75,8 @@ from repro.obs.bus import (
 from repro.obs.metrics import (
     ADMISSION_QUEUE_DEPTH,
     ADMISSION_WAIT,
+    BACKPRESSURE_ENGAGED,
+    BROWNOUT_ACTIVE,
     FOLD_ATTEMPTS,
     FOLD_COST_SHARE,
     FOLD_HITS,
@@ -79,6 +86,8 @@ from repro.obs.metrics import (
     POOL_UTILIZATION,
     QUERIES_ADMITTED,
     QUERIES_FINISHED,
+    QUERIES_REJECTED,
+    QUERIES_SHED,
     QUERIES_SUBMITTED,
     QUERY_LATENCY,
     RUNNING_QUERIES,
@@ -101,6 +110,14 @@ from repro.scheduler.allocation import (
     allocate_to_queries,
 )
 from repro.scheduler.complexity import operator_complexity, query_complexity
+from repro.serve.policies import (
+    REJECT_IDLE,
+    REJECT_MEMORY,
+    SHED_DEADLINE_INFEASIBLE,
+    SHED_QUEUE_FULL,
+    make_admission_policy,
+    provably_infeasible,
+)
 from repro.workload.admission import AdmissionController, runtime_footprint
 from repro.workload.options import WorkloadOptions
 from repro.workload.sharing import (
@@ -120,9 +137,11 @@ DONE = STATUS_DONE
 CANCELLED = STATUS_CANCELLED
 TIMED_OUT = STATUS_TIMED_OUT
 FAILED = STATUS_FAILED
+REJECTED = STATUS_REJECTED   # pre-admission: could never run
+SHED = STATUS_SHED           # pre-admission: dropped under overload
 
 #: States a job can legally end the run in.
-TERMINAL_STATES = (DONE, CANCELLED, TIMED_OUT, FAILED)
+TERMINAL_STATES = (DONE, CANCELLED, TIMED_OUT, FAILED, REJECTED, SHED)
 
 
 @dataclass(frozen=True)
@@ -142,6 +161,11 @@ class QuerySubmission:
             (terminal state ``cancelled``).  Must be >= ``arrival``;
             at exactly ``arrival`` the query is withdrawn before
             admission and never runs.
+        priority: Serving priority class (higher is more important);
+            read by the ``priority`` admission policy and the
+            per-class latency labels.  Ignored without ``serving``.
+        tenant: Serving tenant name; read by the ``fair_share``
+            admission policy.  Ignored without ``serving``.
     """
 
     tag: str
@@ -150,6 +174,8 @@ class QuerySubmission:
     arrival: float = 0.0
     timeout: float | None = None
     cancel_at: float | None = None
+    priority: int = 0
+    tenant: str = "default"
 
     def __post_init__(self) -> None:
         if self.arrival < 0:
@@ -162,6 +188,8 @@ class QuerySubmission:
             raise WorkloadError(
                 f"cancel_at ({self.cancel_at}) must be >= arrival "
                 f"({self.arrival}) for {self.tag!r}")
+        if not self.tenant:
+            raise WorkloadError(f"empty tenant for {self.tag!r}")
 
 
 @dataclass(frozen=True)
@@ -256,6 +284,8 @@ class _QueryJob:
         self.arrival = submission.arrival
         self.timeout = submission.timeout
         self.cancel_at = submission.cancel_at
+        self.priority = submission.priority
+        self.tenant = submission.tenant
         self.order = order
         self.plan.validate()
         self.waves = self.plan.chain_waves()
@@ -593,7 +623,16 @@ class _WorkloadRun:
                 FaultInjector(workload.faults, bus=self.bus,
                               metrics=self.metrics))
         self.running: list[_QueryJob] = []
-        self.queue: list[_QueryJob] = []
+        #: Serving layer: ``None`` keeps every overload-protection
+        #: branch off the hot path — serving-off runs are bit-identical
+        #: to the pre-serving engine.  The wait queue is always a
+        #: policy object; without serving it is the FIFO deque, whose
+        #: admission order matches the old list exactly (it just stops
+        #: paying O(waiting) per admitted query).
+        self.serving = workload.serving
+        self.queue = make_admission_policy(workload.serving)
+        self.brownout = False
+        self._backpressure = False
         self.next_thread_id = 0
         #: The single sequential-initialization thread: start-ups of
         #: co-admitted queries serialize behind each other.
@@ -644,14 +683,19 @@ class _WorkloadRun:
                 index += 1
                 job = self.jobs[order]
                 if kind == "arrive":
-                    self.bus.emit(QUERY_SUBMIT, job.arrival, job.tag,
-                                  demand=job.demand, footprint=job.footprint)
-                    self.admission.check_admissible(job.tag, job.footprint)
-                    self.queue.append(job)
-                    if self.metrics is not None:
-                        self.metrics.counter(QUERIES_SUBMITTED).inc(now)
-                        self.metrics.gauge(ADMISSION_QUEUE_DEPTH).set(
-                            now, len(self.queue))
+                    if self.serving is None:
+                        self.bus.emit(QUERY_SUBMIT, job.arrival, job.tag,
+                                      demand=job.demand,
+                                      footprint=job.footprint)
+                        self.admission.check_admissible(job.tag,
+                                                        job.footprint)
+                        self.queue.push(job)
+                        if self.metrics is not None:
+                            self.metrics.counter(QUERIES_SUBMITTED).inc(now)
+                            self.metrics.gauge(ADMISSION_QUEUE_DEPTH).set(
+                                now, len(self.queue))
+                    else:
+                        self._submit_serving(job, now)
                     arrived = True
                 else:
                     deadlines.append((job, kind))
@@ -839,8 +883,17 @@ class _WorkloadRun:
             return
         metrics = self.metrics
         metrics.counter(QUERIES_FINISHED, status=status).inc(finish)
-        metrics.histogram(QUERY_LATENCY, status=status).observe(
-            finish, finish - job.arrival)
+        if self.serving is not None:
+            # Per-class series: the serving benchmark's per-priority /
+            # per-tenant tail latencies read these.  Only with serving
+            # on — legacy runs keep the exact legacy label sets.
+            metrics.histogram(QUERY_LATENCY, status=status,
+                              klass=f"p{job.priority}",
+                              tenant=job.tenant).observe(
+                finish, finish - job.arrival)
+        else:
+            metrics.histogram(QUERY_LATENCY, status=status).observe(
+                finish, finish - job.arrival)
         metrics.gauge(RUNNING_QUERIES).set(finish, len(self.running))
         metrics.gauge(ADMISSION_QUEUE_DEPTH).set(finish, len(self.queue))
         execution = job.execution
@@ -909,6 +962,108 @@ class _WorkloadRun:
                      default=now)
         self._terminate(job, max(finish, now))
 
+    # -- serving / overload protection ----------------------------------------
+
+    def _submit_serving(self, job: _QueryJob, now: float) -> None:
+        """Arrival under the serving layer: reject instead of raise.
+
+        An open-loop arrival stream has no caller to raise into — a
+        query whose footprint can never fit becomes a terminal
+        ``rejected`` status the client reads back, and the run keeps
+        serving everyone else.
+        """
+        self.bus.emit(QUERY_SUBMIT, job.arrival, job.tag,
+                      demand=job.demand, footprint=job.footprint,
+                      priority=job.priority, tenant=job.tenant)
+        if self.metrics is not None:
+            self.metrics.counter(QUERIES_SUBMITTED).inc(now)
+        try:
+            self.admission.check_admissible(job.tag, job.footprint)
+        except AdmissionError as error:
+            self._reject(job, now, REJECTED, REJECT_MEMORY,
+                         detail=str(error))
+            return
+        self.queue.push(job)
+        if self.metrics is not None:
+            self.metrics.gauge(ADMISSION_QUEUE_DEPTH).set(
+                now, len(self.queue))
+
+    def _reject(self, job: _QueryJob, now: float, status: str,
+                reason: str, detail: str | None = None) -> None:
+        """Terminate a never-admitted query as ``rejected``/``shed``.
+
+        Mirrors the pre-admission withdrawal path of
+        :meth:`_apply_deadline`: the job freezes an empty execution
+        carrying the terminal status, emits the ``query.reject``
+        terminal event, and goes through the same terminal telemetry
+        as every other outcome — so conservation (every submission
+        reaches exactly one terminal state) holds by construction.
+        The caller has already removed the job from the wait queue.
+        """
+        job.state = status
+        job.finished_at = now
+        job.execution = job.build_execution(self.executor, status=status)
+        payload = {"status": status, "reason": reason}
+        if detail is not None:
+            payload["detail"] = detail
+        self.bus.emit(QUERY_REJECT, now, job.tag, **payload)
+        if self.metrics is not None:
+            name = QUERIES_SHED if status == SHED else QUERIES_REJECTED
+            self.metrics.counter(name, reason=reason).inc(now)
+        self._record_terminal(job, now, status)
+
+    def _enforce_queue_bound(self, now: float) -> None:
+        """Shed down to the bounded queue and signal backpressure.
+
+        Runs after every admission pass (arrivals are the only thing
+        that grows the queue, and they always trigger one).  The
+        policy picks the victim — lowest-priority/youngest, most
+        over-share, or most-doomed-deadline — and sheds only QUEUED
+        queries, which is what keeps shedding cohort-safe under
+        shared-work execution: folds happen at admission, so a waiter
+        holds no shared subscriptions yet.
+        """
+        serving = self.serving
+        limit = serving.queue_limit
+        if limit is None:
+            return
+        while len(self.queue) > limit:
+            victim = self.queue.victim(now)
+            self.queue.remove(victim)
+            self._reject(victim, now, SHED, SHED_QUEUE_FULL)
+        engaged = len(self.queue) >= limit
+        if engaged != self._backpressure:
+            self._backpressure = engaged
+            self.bus.emit(SERVE_BACKPRESSURE, now, engaged=engaged,
+                          depth=len(self.queue), limit=limit)
+            if self.metrics is not None:
+                self.metrics.gauge(BACKPRESSURE_ENGAGED).set(
+                    now, 1.0 if engaged else 0.0)
+
+    def _update_brownout(self, now: float) -> None:
+        """Trip (or clear) brownout from the monitor alert state.
+
+        Brownout follows the *level* of the critical serving signals —
+        the latency-SLO burn-rate alert and the retry-storm alert.
+        While active, step-0 grants shrink by ``brownout_factor``
+        (degrade per-query parallelism before shedding anyone) and
+        fully folded queries may be admitted past the concurrency
+        bound (they ride running work for free).
+        """
+        serving = self.serving
+        if not serving.brownout or self.monitors is None:
+            return
+        alerts = self.monitors.alerts
+        active = (alerts.is_active("latency_slo", "burn")
+                  or alerts.is_active("retry_storm", "total"))
+        if active != self.brownout:
+            self.brownout = active
+            self.bus.emit(SERVE_BROWNOUT, now, active=active,
+                          factor=serving.brownout_factor)
+            if self.metrics is not None:
+                self.metrics.gauge(BROWNOUT_ACTIVE).set(
+                    now, 1.0 if active else 0.0)
+
     # -- admission ------------------------------------------------------------
 
     def _try_admit(self, now: float) -> None:
@@ -926,15 +1081,30 @@ class _WorkloadRun:
             profiler.enter("admission")
         try:
             self._try_admit_now(now)
+            if self.serving is not None:
+                self._enforce_queue_bound(now)
         finally:
             if profiler is not None:
                 profiler.exit()
 
     def _try_admit_now(self, now: float) -> None:
         profiler = self.profiler
+        serving = self.serving
+        if serving is not None:
+            self._update_brownout(now)
         admitted: list[_QueryJob] = []
-        while self.queue:
-            job = self.queue[0]
+        while True:
+            job = self.queue.peek()
+            if job is None:
+                break
+            if (serving is not None and self.queue.sheds_infeasible
+                    and provably_infeasible(job, now)):
+                # EDF: the head's sequential start-up alone already
+                # overruns its deadline — admitting it would only burn
+                # machine time on work guaranteed to time out.
+                self.queue.pop(job)
+                self._reject(job, now, SHED, SHED_DEADLINE_INFEASIBLE)
+                continue
             if self.sharing is not None and not job.materialized:
                 # Fold pass: price the query with its foldable subplans
                 # shared before asking the memory gate.
@@ -949,15 +1119,30 @@ class _WorkloadRun:
                 folds = None
                 footprint = job.footprint
             if not self.admission.fits(footprint):
-                if not self.running and not admitted:
+                if (serving is not None and self.brownout
+                        and folds is not None and folds
+                        and len(folds) == len(job.plan.nodes)
+                        and self.admission.fits_memory(footprint)):
+                    # Brownout fold-through: every node of this query
+                    # folds onto already-running work, so admitting it
+                    # past the concurrency bound adds no machine load —
+                    # it only lets the fold amortize further.
+                    pass
+                elif not self.running and not admitted:
                     # Nothing runs, yet the head still does not fit:
                     # no future completion can free capacity.
+                    if serving is not None:
+                        self.queue.pop(job)
+                        self._reject(job, now, REJECTED, REJECT_IDLE)
+                        continue
                     raise AdmissionError(
                         f"query {job.tag!r} cannot be admitted on an idle "
                         f"machine (footprint {footprint} bytes, "
                         f"{len(self.queue)} queued)")
-                break
-            self.queue.pop(0)
+                else:
+                    break
+            self.queue.pop(job)
+            self.queue.on_admit(job)
             if folds is not None:
                 if profiler is not None:
                     profiler.enter("fold")
@@ -1088,6 +1273,11 @@ class _WorkloadRun:
             )
         if profiler is not None:
             profiler.exit()
+        if self.brownout:
+            # Browned out: trade per-query parallelism (and its
+            # dilation cost) for throughput before shedding anyone.
+            factor = self.serving.brownout_factor
+            grants = [max(1, int(grant * factor)) for grant in grants]
         return {job.tag: grant
                 for job, grant in zip(self.running, grants)}
 
@@ -1322,6 +1512,8 @@ class _WorkloadRun:
     def _refresh_grants(self, now: float, grow: bool) -> None:
         if not self.running:
             return
+        if self.serving is not None:
+            self._update_brownout(now)
         profiler = self.profiler
         if profiler is not None:
             profiler.enter("regrant")

@@ -9,6 +9,7 @@ from dataclasses import dataclass, field
 from repro.adapt.policy import SchedulingPolicy
 from repro.engine.executor import ObservabilityOptions
 from repro.errors import WorkloadError
+from repro.serve.policies import ServingPolicy
 
 
 @dataclass(frozen=True)
@@ -64,6 +65,15 @@ class WorkloadOptions:
     workload's shared simulation.  ``None`` (the default) leaves the
     engine hot path untouched — fault-free runs are bit-identical
     with or without the faults layer imported."""
+    serving: ServingPolicy | None = None
+    """The :class:`~repro.serve.policies.ServingPolicy` block:
+    overload protection for open-loop serving — pluggable admission
+    order (FIFO / priority / fair-share / EDF), a bounded wait queue
+    with backpressure and load shedding, and brownout degradation.
+    ``None`` (the default) disables the whole layer: queries that
+    cannot ever be admitted *raise* instead of being rejected, the
+    queue is unbounded, and the run is bit-identical to the
+    pre-serving engine — the escape hatch every layer keeps."""
 
     # Hand-written so the deprecated flat ``rebalance=`` keyword can be
     # accepted (with a warning) without being a field.  ``@dataclass``
@@ -75,6 +85,7 @@ class WorkloadOptions:
                  scheduling: SchedulingPolicy | None = None,
                  observability: ObservabilityOptions | None = None,
                  faults: object | None = None,
+                 serving: ServingPolicy | None = None,
                  rebalance: bool | None = None) -> None:
         if rebalance is not None:
             if scheduling is not None:
@@ -99,6 +110,7 @@ class WorkloadOptions:
                            observability if observability is not None
                            else ObservabilityOptions())
         object.__setattr__(self, "faults", faults)
+        object.__setattr__(self, "serving", serving)
         self.__post_init__()
 
     def __post_init__(self) -> None:
@@ -121,6 +133,11 @@ class WorkloadOptions:
             raise WorkloadError(
                 f"observability must be an ObservabilityOptions, got "
                 f"{type(self.observability).__name__}")
+        if (self.serving is not None
+                and not isinstance(self.serving, ServingPolicy)):
+            raise WorkloadError(
+                f"serving must be a ServingPolicy (or None), got "
+                f"{type(self.serving).__name__}")
 
     # Read-only view for the old flat name (engine call sites and user
     # code keep reading ``options.rebalance``).

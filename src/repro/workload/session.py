@@ -26,12 +26,16 @@ from repro.engine.executor import QuerySchedule
 from repro.engine.metrics import (
     STATUS_CANCELLED,
     STATUS_FAILED,
+    STATUS_REJECTED,
+    STATUS_SHED,
     STATUS_TIMED_OUT,
     QueryExecution,
 )
 from repro.errors import (
     ExecutionFaultError,
     QueryCancelledError,
+    QueryRejectedError,
+    QueryShedError,
     QueryTimeoutError,
     WorkloadError,
 )
@@ -55,6 +59,8 @@ DONE = "done"
 FAILED = "failed"
 CANCELLED = STATUS_CANCELLED
 TIMED_OUT = STATUS_TIMED_OUT
+REJECTED = STATUS_REJECTED
+SHED = STATUS_SHED
 
 
 class QueryHandle:
@@ -62,7 +68,8 @@ class QueryHandle:
 
     def __init__(self, session: Session, tag: str, compiled: CompiledQuery,
                  schedule: QuerySchedule, arrival: float,
-                 timeout: float | None = None) -> None:
+                 timeout: float | None = None, priority: int = 0,
+                 tenant: str = "default") -> None:
         self._session = session
         self.tag = tag
         self.compiled = compiled
@@ -72,6 +79,8 @@ class QueryHandle:
         them when other queries run concurrently)."""
         self.arrival = arrival
         self.timeout = timeout
+        self.priority = priority
+        self.tenant = tenant
         self.cancel_at: float | None = None
 
     def __repr__(self) -> str:
@@ -101,7 +110,9 @@ class QueryHandle:
     def status(self) -> str:
         """``pending`` before the workload ran; afterwards the query's
         terminal status: ``done`` / ``cancelled`` / ``timed_out`` /
-        ``failed``."""
+        ``failed`` — or, under a serving policy, ``rejected`` /
+        ``shed`` for queries the overload-protection layer turned
+        away before admission."""
         return self._session._status_of(self.tag)
 
     @property
@@ -138,6 +149,14 @@ class QueryHandle:
                 self.tag, "activation retries exhausted")
             raise ExecutionFaultError(
                 f"query {self.tag!r} aborted: {message}")
+        if execution.status == STATUS_SHED:
+            raise QueryShedError(
+                f"query {self.tag!r} was load-shed before admission; "
+                f"resubmit when the system is less loaded")
+        if execution.status == STATUS_REJECTED:
+            raise QueryRejectedError(
+                f"query {self.tag!r} was rejected at admission; it could "
+                f"never have been admitted under the workload limits")
         rows = self.compiled.shape_rows(execution.result_rows)
         return QueryResult(
             rows=rows,
@@ -192,30 +211,38 @@ class Session:
                algorithm: str = JOIN_NESTED_LOOP,
                schedule: QuerySchedule | None = None,
                tag: str | None = None,
-               timeout: float | None = None) -> QueryHandle:
+               timeout: float | None = None,
+               priority: int = 0,
+               tenant: str = "default") -> QueryHandle:
         """Compile *sql* and queue it for execution at offset *at*."""
         compiled = self.db.compile(sql, algorithm)
         return self.submit_compiled(compiled, at=at, threads=threads,
                                     schedule=schedule, tag=tag,
-                                    timeout=timeout)
+                                    timeout=timeout, priority=priority,
+                                    tenant=tenant)
 
     def submit_plan(self, plan: LeraGraph, output_schema: Schema,
                     at: float = 0.0, threads: int | None = None,
                     schedule: QuerySchedule | None = None,
                     tag: str | None = None,
                     timeout: float | None = None,
+                    priority: int = 0,
+                    tenant: str = "default",
                     description: str = "custom plan") -> QueryHandle:
         """Queue a hand-built Lera-par plan."""
         compiled = CompiledQuery(plan, output_schema, None, description)
         return self.submit_compiled(compiled, at=at, threads=threads,
                                     schedule=schedule, tag=tag,
-                                    timeout=timeout)
+                                    timeout=timeout, priority=priority,
+                                    tenant=tenant)
 
     def submit_compiled(self, compiled: CompiledQuery, at: float = 0.0,
                         threads: int | None = None,
                         schedule: QuerySchedule | None = None,
                         tag: str | None = None,
-                        timeout: float | None = None) -> QueryHandle:
+                        timeout: float | None = None,
+                        priority: int = 0,
+                        tenant: str = "default") -> QueryHandle:
         """Queue an already-compiled query.
 
         The schedule is computed here (submit time), so
@@ -236,17 +263,24 @@ class Session:
         elif any(h.tag == tag for h in self.handles):
             raise WorkloadError(f"duplicate query tag {tag!r} in session")
         compiled.plan.validate()
-        if self.options.memory_limit_bytes is not None:
+        if (self.options.memory_limit_bytes is not None
+                and self.options.serving is None):
+            # Under a serving policy the engine *rejects* an impossible
+            # query (terminal status ``rejected``) instead of the
+            # session raising eagerly — an open-loop stream has no
+            # caller to raise into.
             footprint = plan_footprint(compiled.plan, self.db.machine.costs)
             AdmissionController(self.options).check_admissible(tag, footprint)
         if schedule is None:
             schedule = self.db.scheduler.schedule(compiled.plan, threads)
         handle = QueryHandle(self, tag, compiled, schedule, at,
-                             timeout=timeout)
-        # QuerySubmission re-validates the arrival offset and timeout;
-        # building it here keeps bad values from surfacing only at
-        # run().
-        QuerySubmission(tag, compiled, schedule, at, timeout=timeout)
+                             timeout=timeout, priority=priority,
+                             tenant=tenant)
+        # QuerySubmission re-validates the arrival offset, timeout and
+        # serving attributes; building it here keeps bad values from
+        # surfacing only at run().
+        QuerySubmission(tag, compiled, schedule, at, timeout=timeout,
+                        priority=priority, tenant=tenant)
         self.handles.append(handle)
         return handle
 
@@ -267,7 +301,9 @@ class Session:
             return self._result
         submissions = [QuerySubmission(h.tag, h.compiled, h.schedule,
                                        h.arrival, timeout=h.timeout,
-                                       cancel_at=h.cancel_at)
+                                       cancel_at=h.cancel_at,
+                                       priority=h.priority,
+                                       tenant=h.tenant)
                        for h in self.handles]
         executor = WorkloadExecutor(self.db.machine, self.db.executor.options,
                                     self.options)
